@@ -1,0 +1,64 @@
+// Command benchrunner regenerates the tables and figures of the paper's
+// evaluation (Section 6). Each experiment prints rows mirroring the
+// series the paper plots; see EXPERIMENTS.md for the paper-vs-measured
+// comparison.
+//
+// Usage:
+//
+//	benchrunner -exp all                  # everything, default scale
+//	benchrunner -exp fig9a,fig13          # selected experiments
+//	benchrunner -exp fig9c -scale 1 -queries 50   # paper-scale run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"toprr/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all' (see -list)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Float64("scale", bench.DefaultScale.N, "dataset-size multiplier (1 = paper scale)")
+		queries = flag.Int("queries", bench.DefaultScale.Queries, "wR regions averaged per data point (paper: 50)")
+		budget  = flag.Int("maxregions", bench.DefaultScale.MaxRegions, "per-query recursion budget (0 = solver default)")
+		timeout = flag.Duration("timeout", bench.DefaultScale.Timeout, "per-query wall-clock budget (0 = unlimited)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Caption)
+		}
+		return
+	}
+
+	s := bench.Scale{N: *scale, Queries: *queries, MaxRegions: *budget, Timeout: *timeout}
+	var selected []bench.Experiment
+	if *exp == "all" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := bench.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("# TopRR experiment runner — scale=%.3g queries=%d timeout=%v\n\n", s.N, s.Queries, s.Timeout)
+	for _, e := range selected {
+		start := time.Now()
+		for _, table := range e.Run(s) {
+			fmt.Println(table.String())
+		}
+		fmt.Printf("(%s finished in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,149 @@
+// Command toprr runs a single TopRR query: given a dataset (CSV file or
+// generated on the fly), a value k and a preference box wR, it computes
+// the top-ranking region oR and, optionally, the cost-optimal placement
+// of a new option or the minimum-cost enhancement of an existing one.
+//
+// Usage:
+//
+//	toprr -dist IND -n 100000 -d 4 -k 10 -lo 0.3,0.25,0.2 -hi 0.31,0.26,0.21
+//	toprr -data hotels.csv -k 5 -lo 0.2,0.2,0.2 -hi 0.25,0.25,0.25 -place
+//	toprr -data laptops.csv -k 3 -lo 0.7 -hi 0.8 -enhance 0.3,0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"toprr/internal/core"
+	"toprr/internal/dataset"
+	"toprr/internal/vec"
+)
+
+func parseVec(s string) (vec.Vector, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty vector")
+	}
+	parts := strings.Split(s, ",")
+	v := vec.New(len(parts))
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("component %d: %v", i+1, err)
+		}
+		v[i] = x
+	}
+	return v, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "toprr:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		data    = flag.String("data", "", "CSV dataset file (default: generate synthetic)")
+		dist    = flag.String("dist", "IND", "synthetic distribution when -data is absent")
+		n       = flag.Int("n", 100000, "synthetic dataset size")
+		d       = flag.Int("d", 4, "synthetic dimensionality")
+		seed    = flag.Int64("seed", 7, "synthetic generator seed")
+		k       = flag.Int("k", 10, "rank threshold")
+		loS     = flag.String("lo", "", "wR lower corner, comma-separated (d-1 values)")
+		hiS     = flag.String("hi", "", "wR upper corner, comma-separated (d-1 values)")
+		algS    = flag.String("alg", "TAS*", "algorithm: PAC, TAS or TAS*")
+		place   = flag.Bool("place", false, "report the cost-optimal new option (min sum of squares)")
+		enhance = flag.String("enhance", "", "existing option to enhance at minimum cost, comma-separated")
+		verbose = flag.Bool("v", false, "print oR vertices")
+	)
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err = dataset.ReadCSV(f, *data)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		dd, err := dataset.ParseDistribution(*dist)
+		if err != nil {
+			fatal(err)
+		}
+		ds = dataset.Generate(dd, *n, *d, *seed)
+	}
+
+	lo, err := parseVec(*loS)
+	if err != nil {
+		fatal(fmt.Errorf("-lo: %v", err))
+	}
+	hi, err := parseVec(*hiS)
+	if err != nil {
+		fatal(fmt.Errorf("-hi: %v", err))
+	}
+	if len(lo) != ds.Dim()-1 || len(hi) != ds.Dim()-1 {
+		fatal(fmt.Errorf("wR needs %d components (d-1), got %d/%d", ds.Dim()-1, len(lo), len(hi)))
+	}
+
+	var alg core.Algorithm
+	switch strings.ToUpper(*algS) {
+	case "PAC":
+		alg = core.PAC
+	case "TAS":
+		alg = core.TAS
+	case "TAS*", "TASSTAR", "TAS-STAR":
+		alg = core.TASStar
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algS))
+	}
+
+	prob := core.NewProblem(ds.Pts, *k, core.PrefBox(lo, hi))
+	res, err := core.Solve(prob, core.Options{Alg: alg})
+	if err != nil {
+		fatal(err)
+	}
+	st := res.Stats
+	fmt.Printf("dataset: %s (%d options, %d attributes)\n", ds.Name, ds.Len(), ds.Dim())
+	fmt.Printf("query:   k=%d wR=[%v, %v] alg=%v\n", *k, lo, hi, alg)
+	if res.OR != nil {
+		fmt.Printf("result:  oR has %d vertices, %d facets\n", res.OR.NumVertices(), len(res.OR.Facets()))
+	} else {
+		fmt.Printf("result:  oR geometry beyond vertex budget; exact H-representation has %d constraints\n", len(res.ORConstraints))
+	}
+	fmt.Printf("stats:   |D'|=%d regions=%d splits=%d |Vall|=%d lemma5=%d lemma7=%d time=%v\n",
+		st.FilteredOptions, st.Regions, st.Splits, st.VallSize, st.Lemma5Prunes, st.Lemma7Accepts, st.Elapsed)
+
+	if *verbose && res.OR != nil {
+		fmt.Println("oR vertices:")
+		for _, v := range res.OR.VertexPoints() {
+			fmt.Printf("  %v\n", v)
+		}
+	}
+	if *place {
+		o, err := res.CostOptimalNew()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cost-optimal new option: %v (cost %.4f)\n", o, o.Dot(o))
+	}
+	if *enhance != "" {
+		p, err := parseVec(*enhance)
+		if err != nil {
+			fatal(fmt.Errorf("-enhance: %v", err))
+		}
+		if len(p) != ds.Dim() {
+			fatal(fmt.Errorf("-enhance needs %d components", ds.Dim()))
+		}
+		q, cost, err := res.Enhance(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("enhancement: %v -> %v (modification cost %.4f)\n", p, q, cost)
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: solve the paper's running example (Figure 1) end to end.
+//
+// A market of six laptops is scored on speed and battery life. We target
+// the clientele wR = [0.2, 0.8] (the weight placed on speed) and ask:
+// where must a new laptop land in attribute space so that it is in the
+// top-3 for every such customer?
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"toprr/internal/core"
+	"toprr/internal/vec"
+)
+
+func main() {
+	// The dataset of Figure 1(a).
+	laptops := []vec.Vector{
+		vec.Of(0.9, 0.4), // p1
+		vec.Of(0.7, 0.9), // p2
+		vec.Of(0.6, 0.2), // p3
+		vec.Of(0.3, 0.8), // p4
+		vec.Of(0.2, 0.3), // p5
+		vec.Of(0.1, 0.1), // p6
+	}
+
+	// Target user type: speed weight anywhere in [0.2, 0.8]; k = 3.
+	prob := core.NewProblem(laptops, 3, core.PrefBox(vec.Of(0.2), vec.Of(0.8)))
+	res, err := core.Solve(prob, core.Options{Alg: core.TASStar})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("TopRR solved. The top-ranking region oR is the convex polygon:")
+	for _, v := range res.OR.VertexPoints() {
+		fmt.Printf("  vertex %v\n", v)
+	}
+	fmt.Printf("Vall has %d preference vertices (paper: {0.2, 0.4, 2/3, 0.8}):\n", len(res.Vall))
+	for _, iv := range res.Vall {
+		fmt.Printf("  w=%v  TopK(w)=%.4f\n", iv.W, iv.KthScore)
+	}
+
+	// Probe a few placements.
+	for _, o := range []vec.Vector{vec.Of(0.85, 0.85), vec.Of(0.5, 0.5), vec.Of(0.7, 0.9)} {
+		verdict := "NOT top-ranking"
+		if res.IsTopRanking(o) {
+			verdict = "top-ranking (top-3 for every targeted user)"
+		}
+		fmt.Printf("placement %v: %s\n", o, verdict)
+	}
+
+	// Cheapest new laptop with a guaranteed top-3 ranking, for a
+	// manufacturing cost of speed^2 + battery^2.
+	opt, err := res.CostOptimalNew()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cost-optimal new option: %v (cost %.4f)\n", opt, opt.Dot(opt))
+}

@@ -1,0 +1,50 @@
+// Monochromatic reverse top-k: an option's impact region in preference
+// space (after Tang et al., SIGMOD 2017 — reference [41] of the paper).
+//
+// TopRR asks "where must a NEW option sit to always rank high?". The
+// reverse question is also answered by the same kIPR partitioning
+// machinery: for an EXISTING option, in which parts of the preference
+// region does it already rank among the top-k? This example maps the
+// impact regions of each laptop of the Figure 1 dataset.
+//
+// Run with: go run ./examples/reversetopk
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"toprr/internal/core"
+	"toprr/internal/vec"
+)
+
+func main() {
+	laptops := []vec.Vector{
+		vec.Of(0.9, 0.4), // p1
+		vec.Of(0.7, 0.9), // p2
+		vec.Of(0.6, 0.2), // p3
+		vec.Of(0.3, 0.8), // p4
+		vec.Of(0.2, 0.3), // p5
+		vec.Of(0.1, 0.1), // p6
+	}
+	wr := core.PrefBox(vec.Of(0.2), vec.Of(0.8))
+	k := 3
+
+	fmt.Printf("impact regions within wR=[0.2, 0.8] for k=%d\n", k)
+	fmt.Println("(the share of the targeted clientele that already ranks each laptop top-3)")
+	for pi := range laptops {
+		regions, err := core.ReverseTopK(laptops, k, wr, pi, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		total := 0.0
+		var spans []string
+		for _, r := range regions {
+			lo, hi := r.BoundingBox()
+			total += hi[0] - lo[0]
+			spans = append(spans, fmt.Sprintf("[%.3f, %.3f]", lo[0], hi[0]))
+		}
+		share := total / 0.6 * 100 // |wR| = 0.6
+		fmt.Printf("  p%d %v: %5.1f%% of wR  %v\n", pi+1, laptops[pi], share, spans)
+	}
+}

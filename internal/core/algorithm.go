@@ -1,0 +1,718 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"toprr/internal/geom"
+	"toprr/internal/skyband"
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// Solve runs the selected TopRR algorithm and returns the maximal
+// top-ranking region oR together with instrumentation. The pipeline is
+// the paper's: r-skyband pre-filtering (Section 6.3), recursive
+// partitioning of wR (Sections 4-5), and assembly of oR from the impact
+// halfspaces at the collected vertices (Theorem 1).
+func Solve(p Problem, o Options) (*Result, error) {
+	start := time.Now()
+	o = o.withDefaults()
+	s := &solver{
+		prob: p,
+		opt:  o,
+		rng:  rand.New(rand.NewSource(o.Seed + 1)),
+		vall: make(map[string]ImpactVertex),
+	}
+	s.stats.InputOptions = p.Scorer.Len()
+
+	// Fast filtering: discard options that can never rank among the
+	// top-k anywhere in wR.
+	pts := s.points()
+	rd := skyband.NewRDomVerts(p.WR.VertexPoints())
+	active := skyband.RSkyband(pts, p.K, rd)
+	s.stats.FilteredOptions = len(active)
+	s.stats.ProcessedMin = len(active)
+
+	root := regionCtx{region: p.WR, cache: s.newCache(p.K, active)}
+	if err := s.drive(root, start); err != nil {
+		return nil, err
+	}
+
+	constraints, or := s.assembleOR(o.ORVertexBudget)
+	s.stats.VallSize = len(s.vall)
+	s.stats.Elapsed = time.Since(start)
+	res := &Result{OR: or, ORConstraints: constraints, Vall: s.sortedVall(), Stats: s.stats, Problem: p}
+	return res, nil
+}
+
+// solver carries the state of one Solve call. The mutex guards every
+// shared mutable field (stats, vall, collectSets, rng) so that process()
+// may run concurrently from the parallel driver's workers.
+type solver struct {
+	prob        Problem
+	opt         Options
+	mu          sync.Mutex
+	rng         *rand.Rand
+	vall        map[string]ImpactVertex
+	stats       Stats
+	collectSets map[int]bool // non-nil when the UTK filter wants top-k set members
+}
+
+// addStats applies a mutation to the stats under the solver lock.
+func (s *solver) addStats(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// budgetUsed reports regions+splits so far, under the lock.
+func (s *solver) budgetUsed() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.Regions + s.stats.Splits
+}
+
+// regionCtx is a preference region awaiting processing together with its
+// top-k context. Lemma 5 pruning gives children of a region a fresh
+// cache with a smaller active set and decremented k.
+type regionCtx struct {
+	region *geom.Polytope
+	cache  *topk.Cache
+}
+
+// newCache builds a top-k cache honoring the DisableTopKCache ablation.
+func (s *solver) newCache(k int, active []int) *topk.Cache {
+	if s.opt.DisableTopKCache {
+		return topk.NewPassthroughCache(s.prob.Scorer, k, active)
+	}
+	return topk.NewCache(s.prob.Scorer, k, active)
+}
+
+func (s *solver) points() []vec.Vector {
+	pts := make([]vec.Vector, s.prob.Scorer.Len())
+	for i := range pts {
+		pts[i] = s.prob.Scorer.Point(i)
+	}
+	return pts
+}
+
+// drive processes the region tree from root until exhaustion, honoring
+// the recursion and wall-clock budgets, sequentially or with a worker
+// pool when Options.Workers > 1 (the parallelism direction of the
+// paper's future-work section; results are identical, traversal order
+// and the Seed-dependent split choices may differ).
+func (s *solver) drive(root regionCtx, start time.Time) error {
+	if s.opt.Workers <= 1 {
+		stack := []regionCtx{root}
+		for len(stack) > 0 {
+			rc := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if err := s.checkBudget(start); err != nil {
+				return err
+			}
+			children, err := s.process(rc)
+			if err != nil {
+				return err
+			}
+			stack = append(stack, children...)
+		}
+		return nil
+	}
+	var (
+		qmu      sync.Mutex
+		cond     = sync.NewCond(&qmu)
+		queue    = []regionCtx{root}
+		inflight int
+		firstErr error
+	)
+	worker := func() {
+		for {
+			qmu.Lock()
+			for len(queue) == 0 && inflight > 0 && firstErr == nil {
+				cond.Wait()
+			}
+			if firstErr != nil || (len(queue) == 0 && inflight == 0) {
+				qmu.Unlock()
+				cond.Broadcast()
+				return
+			}
+			rc := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			inflight++
+			qmu.Unlock()
+
+			children, err := s.process(rc)
+			if err == nil {
+				err = s.checkBudget(start)
+			}
+
+			qmu.Lock()
+			inflight--
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			queue = append(queue, children...)
+			cond.Broadcast()
+			qmu.Unlock()
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < s.opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// checkBudget enforces MaxRegions and Timeout.
+func (s *solver) checkBudget(start time.Time) error {
+	if s.budgetUsed() > s.opt.MaxRegions {
+		return fmt.Errorf("core: exceeded MaxRegions=%d (k=%d)", s.opt.MaxRegions, s.prob.K)
+	}
+	if s.opt.Timeout > 0 && time.Since(start) > s.opt.Timeout {
+		return fmt.Errorf("core: exceeded timeout %v (k=%d)", s.opt.Timeout, s.prob.K)
+	}
+	return nil
+}
+
+// process tests one region and either accepts it (recording its vertices
+// in Vall) or splits it, returning the children to process.
+func (s *solver) process(rc regionCtx) ([]regionCtx, error) {
+	cache := rc.cache
+	verts := rc.region.VertexPoints()
+
+	// TAS*: Lemma 5 — discard consistent top-λ options, decrement k.
+	if s.opt.Alg == TASStar && !s.opt.DisableLemma5 {
+		cache = s.lemma5(verts, cache)
+		n := len(cache.Active())
+		s.addStats(func(st *Stats) {
+			if n < st.ProcessedMin {
+				st.ProcessedMin = n
+			}
+		})
+	}
+
+	results := make([]*topk.Result, len(verts))
+	for i, v := range verts {
+		results[i] = cache.Get(v)
+	}
+	_, misses := cache.Stats()
+	s.addStats(func(st *Stats) {
+		st.TopKQueries += len(verts)
+		st.TopKMisses = misses // per-cache running total; coarse but indicative
+	})
+
+	va, vb := s.firstViolation(results)
+	if va < 0 { // region passes the test
+		s.accept(verts, results)
+		return nil, nil
+	}
+
+	// TAS*: Lemma 7 — if all vertices share the same top-(k-1) set, the
+	// impact halfspaces at the vertices already define the region's
+	// TopRR solution; no further splitting is needed.
+	if s.opt.Alg == TASStar && !s.opt.DisableLemma7 && s.sameTopKm1(results) {
+		s.addStats(func(st *Stats) { st.Lemma7Accepts++ })
+		s.accept(verts, results)
+		return nil, nil
+	}
+
+	// Choose candidate splitting pairs and perform the first cut that
+	// divides the region into two non-empty parts (Lemma 4 guarantees
+	// one exists under general position).
+	if children, ok := s.trySplit(rc.region, cache, s.splitCandidates(verts, results, va, vb)); ok {
+		return children, nil
+	}
+
+	// Degenerate case: splits create vertices exactly on score-tie
+	// hyperplanes, so the vertex-level top-k sets can disagree only
+	// through ties while a genuine rank transition still crosses the
+	// interior. Escalate to every pair (x, y) with x in the union of the
+	// vertices' top-k sets and y any active option: if any such score
+	// hyperplane strictly cuts the region, split on it. If none does,
+	// every relevant score order is constant on the region's interior,
+	// the interior is rank-invariant, and — because the k-th highest
+	// score is a continuous function of w — the impact halfspaces at the
+	// region's vertices are exact, so accepting is sound.
+	if children, ok := s.trySplit(rc.region, cache, s.escalationPairs(results, cache)); ok {
+		return children, nil
+	}
+	s.addStats(func(st *Stats) { st.DegenerateStops++ })
+	s.accept(verts, results)
+	return nil, nil
+}
+
+// trySplit attempts the candidate pairs in order and splits the region
+// on the first hyperplane that strictly divides it. Candidates are
+// screened with a cheap vertex-side count before paying for the full
+// geometric split, so grazing hyperplanes (the common degenerate case)
+// cost O(|V|) instead of a polytope construction.
+func (s *solver) trySplit(region *geom.Polytope, cache *topk.Cache, pairs [][2]int) ([]regionCtx, bool) {
+	for _, pair := range pairs {
+		hs, ok := s.splitHyperplane(pair[0], pair[1])
+		if !ok {
+			continue
+		}
+		var nNeg, nPos int
+		for _, v := range region.Verts {
+			switch geom.Side(hs.Eval(v.Point)) {
+			case -1:
+				nNeg++
+			case 1:
+				nPos++
+			}
+			if nNeg > 0 && nPos > 0 {
+				break
+			}
+		}
+		if nNeg == 0 || nPos == 0 {
+			continue
+		}
+		neg, pos := region.Split(hs)
+		if neg.IsEmpty() || pos.IsEmpty() {
+			continue
+		}
+		s.addStats(func(st *Stats) { st.Splits++ })
+		return []regionCtx{
+			{region: neg, cache: cache},
+			{region: pos, cache: cache},
+		}, true
+	}
+	return nil, false
+}
+
+// escalationPairs enumerates (union-of-top-k-sets x active) option pairs
+// for the degenerate-split fallback, in a deterministic order so runs
+// are reproducible.
+func (s *solver) escalationPairs(results []*topk.Result, cache *topk.Cache) [][2]int {
+	inUnion := make(map[int]bool)
+	var union []int
+	for _, r := range results {
+		for _, idx := range r.Ordered {
+			if !inUnion[idx] {
+				inUnion[idx] = true
+				union = append(union, idx)
+			}
+		}
+	}
+	sort.Ints(union)
+	active := cache.Active()
+	if active == nil {
+		active = make([]int, s.prob.Scorer.Len())
+		for i := range active {
+			active[i] = i
+		}
+	}
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	for _, x := range union {
+		for _, y := range active {
+			if x == y {
+				continue
+			}
+			key := [2]int{x, y}
+			if y < x {
+				key = [2]int{y, x}
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// firstViolation returns indices of the first vertex pair violating the
+// region test, or (-1, -1) if the region passes. For PAC the test is
+// order-sensitive (identical ranked top-k result everywhere, strictly
+// finer than kIPR); for TAS and TAS* it is the kIPR test of Lemma 3
+// (same top-k set and same top-k-th option).
+func (s *solver) firstViolation(results []*topk.Result) (int, int) {
+	base := results[0]
+	for i := 1; i < len(results); i++ {
+		r := results[i]
+		if s.opt.Alg == PAC {
+			if r.OrderKey() != base.OrderKey() {
+				return 0, i
+			}
+			continue
+		}
+		if !r.SameSet(base) || !r.SameKth(base) {
+			return 0, i
+		}
+	}
+	return -1, -1
+}
+
+// sameTopKm1 reports whether all vertices share the same top-(k-1) set
+// (the hypothesis of Lemma 7). For k == 1 the condition is vacuous: the
+// lemma degenerates to Lemma 6 and always applies.
+func (s *solver) sameTopKm1(results []*topk.Result) bool {
+	k := len(results[0].Ordered)
+	if k == 1 {
+		return true
+	}
+	base := prefixSetKey(results[0], k-1)
+	for _, r := range results[1:] {
+		if prefixSetKey(r, k-1) != base {
+			return false
+		}
+	}
+	return true
+}
+
+// prefixSetKey returns a canonical identity for the set of the first
+// lambda entries of a top-k result.
+func prefixSetKey(r *topk.Result, lambda int) string {
+	ix := append([]int(nil), r.Ordered[:lambda]...)
+	// Insertion sort: lambda is tiny.
+	for i := 1; i < len(ix); i++ {
+		for j := i; j > 0 && ix[j] < ix[j-1]; j-- {
+			ix[j], ix[j-1] = ix[j-1], ix[j]
+		}
+	}
+	var b []byte
+	for _, x := range ix {
+		b = append(b, []byte(fmt.Sprintf("%d,", x))...)
+	}
+	return string(b)
+}
+
+// lemma5 implements the consistent top-λ pruning of Section 5.1: if all
+// vertices of the region share the same top-λ set for some λ < k, those
+// λ options can be discarded and k reduced, without changing the TopRR
+// output. It returns the (possibly new) top-k context.
+func (s *solver) lemma5(verts []vec.Vector, cache *topk.Cache) *topk.Cache {
+	k := cache.K()
+	if k <= 1 {
+		return cache
+	}
+	results := make([]*topk.Result, len(verts))
+	for i, v := range verts {
+		results[i] = cache.Get(v)
+	}
+	s.addStats(func(st *Stats) { st.TopKQueries += len(verts) })
+	lambda := 0
+	for l := k - 1; l >= 1; l-- {
+		base := prefixSetKey(results[0], l)
+		same := true
+		for _, r := range results[1:] {
+			if prefixSetKey(r, l) != base {
+				same = false
+				break
+			}
+		}
+		if same {
+			lambda = l
+			break
+		}
+	}
+	if lambda == 0 {
+		return cache
+	}
+	// Φ = the common top-λ set (indices from the first vertex's result).
+	phi := make(map[int]bool, lambda)
+	for _, idx := range results[0].Ordered[:lambda] {
+		phi[idx] = true
+	}
+	oldActive := cache.Active()
+	newActive := make([]int, 0, len(oldActive)-lambda)
+	if oldActive == nil {
+		for i := 0; i < s.prob.Scorer.Len(); i++ {
+			if !phi[i] {
+				newActive = append(newActive, i)
+			}
+		}
+	} else {
+		for _, i := range oldActive {
+			if !phi[i] {
+				newActive = append(newActive, i)
+			}
+		}
+	}
+	s.addStats(func(st *Stats) { st.Lemma5Prunes += lambda })
+	return s.newCache(k-lambda, newActive)
+}
+
+// accept records a confirmed region: its defining vertices (with their
+// TopK scores) join Vall, and — when the UTK filter is collecting — the
+// region's top-k set members are recorded.
+func (s *solver) accept(verts []vec.Vector, results []*topk.Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Regions++
+	for i, v := range verts {
+		key := v.Key(1e-10)
+		if _, ok := s.vall[key]; !ok {
+			s.vall[key] = ImpactVertex{W: v, KthScore: results[i].KthScore}
+		}
+	}
+	if s.collectSets != nil {
+		for _, r := range results {
+			for _, idx := range r.Ordered {
+				s.collectSets[idx] = true
+			}
+		}
+	}
+}
+
+// splitCandidates produces the ordered list of option pairs to try as
+// splitting hyperplanes, most preferred first, per Section 4.2.1 and the
+// k-switch enhancement of Section 5.3.
+func (s *solver) splitCandidates(verts []vec.Vector, results []*topk.Result, va, vb int) [][2]int {
+	ra, rb := results[va], results[vb]
+	if ra.SameSet(rb) {
+		// Case 2: same top-k set, different top-k-th option (PAC can land
+		// here with an order-only difference; pick the first inverted pair).
+		if ra.Kth() != rb.Kth() {
+			return [][2]int{{ra.Kth(), rb.Kth()}}
+		}
+		return s.orderInversionPairs(ra, rb)
+	}
+	// Case 1: different top-k sets.
+	onlyA, onlyB := setDifferences(ra, rb)
+	var cands [][2]int
+	useKSwitch := s.opt.Alg == TASStar && !s.opt.DisableKSwitch
+	if useKSwitch {
+		if pair, ok := s.kSwitchPair(verts[va], verts[vb], ra, rb); ok {
+			cands = append(cands, pair)
+		} else if pair, ok := s.kSwitchPair(verts[vb], verts[va], rb, ra); ok {
+			cands = append(cands, pair)
+		}
+	}
+	// Generic Case-1 pairs (random order), used by PAC/TAS directly and
+	// as fallback for TAS*.
+	s.mu.Lock()
+	perm := s.rng.Perm(len(onlyA) * len(onlyB))
+	s.mu.Unlock()
+	for _, t := range perm {
+		cands = append(cands, [2]int{onlyA[t/len(onlyB)], onlyB[t%len(onlyB)]})
+	}
+	return cands
+}
+
+// setDifferences returns the options only in ra's set and only in rb's.
+func setDifferences(ra, rb *topk.Result) (onlyA, onlyB []int) {
+	inB := make(map[int]bool, len(rb.Ordered))
+	for _, x := range rb.Ordered {
+		inB[x] = true
+	}
+	inA := make(map[int]bool, len(ra.Ordered))
+	for _, x := range ra.Ordered {
+		inA[x] = true
+		if !inB[x] {
+			onlyA = append(onlyA, x)
+		}
+	}
+	for _, x := range rb.Ordered {
+		if !inA[x] {
+			onlyB = append(onlyB, x)
+		}
+	}
+	return onlyA, onlyB
+}
+
+// orderInversionPairs lists pairs whose relative order differs between
+// the two results (used by PAC's order-sensitive refinement).
+func (s *solver) orderInversionPairs(ra, rb *topk.Result) [][2]int {
+	posB := make(map[int]int, len(rb.Ordered))
+	for pos, x := range rb.Ordered {
+		posB[x] = pos
+	}
+	var out [][2]int
+	for i := 0; i < len(ra.Ordered); i++ {
+		for j := i + 1; j < len(ra.Ordered); j++ {
+			x, y := ra.Ordered[i], ra.Ordered[j]
+			if posB[x] > posB[y] { // inverted relative order
+				out = append(out, [2]int{x, y})
+			}
+		}
+	}
+	s.mu.Lock()
+	s.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	s.mu.Unlock()
+	return out
+}
+
+// kSwitchPair implements Definition 4: pz1 is the top-k-th option at va;
+// pz2 is the option of vb's top-k set that scores below pz1 at va but
+// above it at vb, with the smallest score gap at va.
+func (s *solver) kSwitchPair(va, vb vec.Vector, ra, rb *topk.Result) ([2]int, bool) {
+	sc := s.prob.Scorer
+	pz1 := ra.Kth()
+	sa1 := sc.Score(va, pz1)
+	sb1 := sc.Score(vb, pz1)
+	best, bestGap := -1, 0.0
+	for _, pz := range rb.Ordered {
+		if pz == pz1 {
+			continue
+		}
+		saz := sc.Score(va, pz)
+		sbz := sc.Score(vb, pz)
+		if saz < sa1 && sbz > sb1 {
+			gap := sa1 - saz
+			if best < 0 || gap < bestGap {
+				best, bestGap = pz, gap
+			}
+		}
+	}
+	if best < 0 {
+		return [2]int{}, false
+	}
+	return [2]int{pz1, best}, true
+}
+
+// splitHyperplane builds the preference-space hyperplane
+// wHP(p_i, p_j) = {w : S_w(p_i) = S_w(p_j)} as a halfspace whose >= side
+// is S_w(p_i) >= S_w(p_j). It reports false for (numerically) parallel
+// score functions, which cannot cut any region.
+func (s *solver) splitHyperplane(i, j int) (geom.Halfspace, bool) {
+	sc := s.prob.Scorer
+	p, q := sc.Point(i), sc.Point(j)
+	m := sc.PrefDim()
+	a := vec.New(m)
+	for t := 0; t < m; t++ {
+		a[t] = (p[t] - p[m]) - (q[t] - q[m])
+	}
+	if a.NormInf() < geom.Eps {
+		return geom.Halfspace{}, false
+	}
+	return geom.NewHalfspace(a, -(p[m] - q[m])), true
+}
+
+// assembleOR applies Theorem 1: oR is the intersection of the option
+// box with the impact halfspaces of every vertex in Vall.
+//
+// It always returns the exact H-representation (box constraints plus the
+// deduplicated impact halfspaces). The explicit polytope is built by
+// incremental clipping — halfspaces already satisfied by every current
+// vertex are skipped, and deeper cuts are applied first so most later
+// halfspaces hit that fast path — but with a small preference region the
+// impact halfspaces are nearly parallel, and in high dimensions their
+// intersection can have intractably many vertices; if the enumeration
+// exceeds vertexBudget the polytope is abandoned (nil) while the
+// H-representation stays exact.
+func (s *solver) assembleOR(vertexBudget int) ([]geom.Halfspace, *geom.Polytope) {
+	d := s.prob.Scorer.Dim()
+	lo, hi := vec.New(d), vec.New(d)
+	for j := range hi {
+		hi[j] = 1
+	}
+	box := geom.NewBox(lo, hi)
+
+	// Deduplicate impact halfspaces on a quantized grid and order them
+	// deepest-cut first (higher threshold binds more of the box), with a
+	// deterministic tie-break so runs are reproducible.
+	type keyed struct {
+		h   geom.Halfspace
+		key string
+	}
+	seen := make(map[string]bool, len(s.vall))
+	impactKeyed := make([]keyed, 0, len(s.vall))
+	for _, iv := range s.vall {
+		h := iv.ImpactHalfspace(s.prob.Scorer)
+		key := append(h.A.Clone(), h.B).Key(1e-9)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		impactKeyed = append(impactKeyed, keyed{h: h, key: key})
+	}
+	sort.Slice(impactKeyed, func(i, j int) bool {
+		if impactKeyed[i].h.B != impactKeyed[j].h.B {
+			return impactKeyed[i].h.B > impactKeyed[j].h.B
+		}
+		return impactKeyed[i].key < impactKeyed[j].key
+	})
+	impact := make([]geom.Halfspace, len(impactKeyed))
+	for i, k := range impactKeyed {
+		impact[i] = k.h
+	}
+
+	constraints := append(append([]geom.Halfspace(nil), box.HS...), impact...)
+
+	or := box
+	for _, h := range impact {
+		next := or.Clip(h)
+		if next != or {
+			s.stats.ImpactClips++
+		}
+		or = next
+		if or.NumVertices() > vertexBudget {
+			return constraints, nil
+		}
+	}
+	return constraints, or
+}
+
+// sortedVall returns Vall in a deterministic order.
+func (s *solver) sortedVall() []ImpactVertex {
+	keys := make([]string, 0, len(s.vall))
+	for k := range s.vall {
+		keys = append(keys, k)
+	}
+	// Insertion sort keeps this dependency-free; |Vall| is modest.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := make([]ImpactVertex, len(keys))
+	for i, k := range keys {
+		out[i] = s.vall[k]
+	}
+	return out
+}
+
+// UTKFilter computes exactly the options that appear in the top-k result
+// of at least one weight vector in wR — the fourth filtering alternative
+// of Section 6.3 (after [30]). It partitions wR into kIPRs with plain
+// TAS and unions the (constant) top-k set of each partition.
+func UTKFilter(pts []vec.Vector, k int, wr *geom.Polytope) ([]int, error) {
+	p := NewProblem(pts, k, wr)
+	s := &solver{
+		prob:        p,
+		opt:         Options{Alg: TAS}.withDefaults(),
+		rng:         rand.New(rand.NewSource(1)),
+		vall:        make(map[string]ImpactVertex),
+		collectSets: make(map[int]bool),
+	}
+	s.stats.InputOptions = p.Scorer.Len()
+	rd := skyband.NewRDomVerts(p.WR.VertexPoints())
+	active := skyband.RSkyband(s.points(), p.K, rd)
+	s.stats.FilteredOptions = len(active)
+	stack := []regionCtx{{region: p.WR, cache: s.newCache(p.K, active)}}
+	for len(stack) > 0 {
+		rc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.stats.Regions+s.stats.Splits > s.opt.MaxRegions {
+			return nil, fmt.Errorf("core: UTK filter exceeded MaxRegions")
+		}
+		children, err := s.process(rc)
+		if err != nil {
+			return nil, err
+		}
+		stack = append(stack, children...)
+	}
+	out := make([]int, 0, len(s.collectSets))
+	for idx := range s.collectSets {
+		out = append(out, idx)
+	}
+	// Small insertion sort for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}

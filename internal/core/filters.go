@@ -1,0 +1,46 @@
+package core
+
+import (
+	"toprr/internal/skyband"
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// FilterSizes reports the candidate-set sizes behind Figure 12 of the
+// paper: |D'| after the r-skyband filter alone, and after additionally
+// applying the consistent top-λ pruning of Lemma 5 at the root region
+// wR itself.
+func FilterSizes(p Problem) (rSkyband, withLemma5 int) {
+	pts := make([]vec.Vector, p.Scorer.Len())
+	for i := range pts {
+		pts[i] = p.Scorer.Point(i)
+	}
+	rd := skyband.NewRDomVerts(p.WR.VertexPoints())
+	active := skyband.RSkyband(pts, p.K, rd)
+	rSkyband = len(active)
+
+	// Root-level Lemma 5: largest λ < k with a common top-λ set at all
+	// vertices of wR.
+	cache := topk.NewCache(p.Scorer, p.K, active)
+	verts := p.WR.VertexPoints()
+	results := make([]*topk.Result, len(verts))
+	for i, v := range verts {
+		results[i] = cache.Get(v)
+	}
+	lambda := 0
+	for l := p.K - 1; l >= 1; l-- {
+		base := prefixSetKey(results[0], l)
+		same := true
+		for _, r := range results[1:] {
+			if prefixSetKey(r, l) != base {
+				same = false
+				break
+			}
+		}
+		if same {
+			lambda = l
+			break
+		}
+	}
+	return rSkyband, rSkyband - lambda
+}

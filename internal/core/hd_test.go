@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"toprr/internal/dataset"
+	"toprr/internal/vec"
+)
+
+// TestD8Budgeted probes a d=8 instance under a region budget and reports
+// where the time goes. It is a diagnostic; skipped in -short runs.
+func TestD8Budgeted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic timing probe")
+	}
+	d := 8
+	ds := dataset.Generate(dataset.Independent, 100000, d, 7)
+	m := d - 1
+	lo, hi := vec.New(m), vec.New(m)
+	for j := 0; j < m; j++ {
+		lo[j] = 0.115
+		hi[j] = 0.125
+	}
+	t0 := time.Now()
+	res, err := Solve(NewProblem(ds.Pts, 10, PrefBox(lo, hi)), Options{Alg: TASStar, MaxRegions: 600})
+	if err != nil {
+		t.Logf("d=%d: %v after %v", d, err, time.Since(t0))
+		return
+	}
+	orVerts := -1 // -1: geometry beyond the vertex budget (H-rep only)
+	if res.OR != nil {
+		orVerts = res.OR.NumVertices()
+	}
+	t.Logf("d=%d: %.2fs regions=%d splits=%d |Vall|=%d |D'|=%d oRverts=%d", d,
+		time.Since(t0).Seconds(), res.Stats.Regions, res.Stats.Splits, res.Stats.VallSize,
+		res.Stats.FilteredOptions, orVerts)
+
+	// The H-representation stays exact: the top corner is always in oR
+	// and the placement machinery must keep working without geometry.
+	one := vec.New(d)
+	for j := range one {
+		one[j] = 1
+	}
+	if !res.IsTopRanking(one) {
+		t.Error("top corner must be top-ranking")
+	}
+	if _, err := res.CostOptimalNew(); err != nil {
+		t.Errorf("constraint-based placement failed: %v", err)
+	}
+}

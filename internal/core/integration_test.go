@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/dataset"
+	"toprr/internal/vec"
+)
+
+// TestPipelineMatrix runs the full pipeline (filter, partition, assemble,
+// place) across a grid of dataset distributions, dimensions and k, and
+// validates each result against the brute-force rank oracle.
+func TestPipelineMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second integration sweep")
+	}
+	rng := rand.New(rand.NewSource(1234))
+	dists := []dataset.Distribution{dataset.Independent, dataset.Correlated, dataset.Anticorrelated}
+	for _, dist := range dists {
+		for _, d := range []int{2, 3, 4} {
+			for _, k := range []int{1, 3, 8} {
+				name := fmt.Sprintf("%v/d=%d/k=%d", dist, d, k)
+				t.Run(name, func(t *testing.T) {
+					ds := dataset.Generate(dist, 1500, d, int64(17*d+int(dist)))
+					m := d - 1
+					lo, hi := vec.New(m), vec.New(m)
+					for j := 0; j < m; j++ {
+						lo[j] = 0.15 + 0.1*rng.Float64()
+						hi[j] = lo[j] + 0.05
+					}
+					prob := NewProblem(ds.Pts, k, PrefBox(lo, hi))
+					res, err := Solve(prob, Options{Alg: TASStar})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.OR.IsEmpty() {
+						t.Fatal("oR empty")
+					}
+					// Soundness on sampled interior points.
+					for probe := 0; probe < 8; probe++ {
+						o := res.OR.SamplePoint(rng)
+						if w := VerifyTopRanking(prob, o, 40, rng); w != nil {
+							t.Fatalf("point %v of oR not top-%d at %v", o, k, w)
+						}
+					}
+					// The cost-optimal placement is itself top-ranking.
+					opt, err := CostOptimalNew(res.OR)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if w := VerifyTopRanking(prob, opt, 40, rng); w != nil {
+						t.Fatalf("cost-optimal %v not top-%d at %v", opt, k, w)
+					}
+					// Points sampled outside oR must carry a witness.
+					for probe := 0; probe < 30; probe++ {
+						o := vec.New(d)
+						for j := range o {
+							o[j] = rng.Float64()
+						}
+						if res.OR.Contains(o) {
+							continue
+						}
+						if res.WitnessNonTopRanking(o) == nil {
+							t.Fatalf("no witness for excluded point %v", o)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestTASvsTASStarVallOrdering confirms across a batch of instances that
+// TAS* never needs more Vall vertices than TAS (the Sections 5.2-5.3
+// optimizations only remove vertices).
+func TestTASvsTASStarVallOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	rng := rand.New(rand.NewSource(777))
+	worse := 0
+	for iter := 0; iter < 10; iter++ {
+		prob := randomProblem(rng, 400, 3, 6)
+		tas, err := Solve(prob, Options{Alg: TAS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		star, err := Solve(prob, Options{Alg: TASStar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if star.Stats.VallSize > tas.Stats.VallSize {
+			worse++
+		}
+	}
+	// Randomized split choices allow occasional inversions; systematic
+	// inversion would indicate a defect.
+	if worse > 3 {
+		t.Errorf("TAS* produced larger Vall than TAS in %d/10 instances", worse)
+	}
+}
+
+// TestHigherDimensionSmoke exercises d = 5..6 end to end (beyond the
+// agreement tests' 2-4) with small candidate sets.
+func TestHigherDimensionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("high-dimensional smoke test")
+	}
+	rng := rand.New(rand.NewSource(321))
+	for _, d := range []int{5, 6} {
+		ds := dataset.Generate(dataset.Correlated, 2000, d, int64(d))
+		m := d - 1
+		lo, hi := vec.New(m), vec.New(m)
+		for j := 0; j < m; j++ {
+			lo[j] = 0.12
+			hi[j] = 0.125
+		}
+		prob := NewProblem(ds.Pts, 5, PrefBox(lo, hi))
+		res, err := Solve(prob, Options{Alg: TASStar})
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		o := res.OR.SamplePoint(rng)
+		if w := VerifyTopRanking(prob, o, 60, rng); w != nil {
+			t.Fatalf("d=%d: sampled oR point fails at %v", d, w)
+		}
+	}
+}
+
+// TestDuplicateOptions ensures exact duplicates in D are handled: they
+// tie everywhere, which stresses the degenerate-split machinery.
+func TestDuplicateOptions(t *testing.T) {
+	pts := []vec.Vector{
+		vec.Of(0.8, 0.5), vec.Of(0.8, 0.5), vec.Of(0.8, 0.5), // triplet
+		vec.Of(0.5, 0.9), vec.Of(0.4, 0.4), vec.Of(0.2, 0.6),
+	}
+	for _, k := range []int{1, 2, 3, 4} {
+		prob := NewProblem(pts, k, PrefBox(vec.Of(0.3), vec.Of(0.7)))
+		res, err := Solve(prob, Options{Alg: TASStar})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		o := res.OR.SamplePoint(rng)
+		if w := VerifyTopRanking(prob, o, 100, rng); w != nil {
+			t.Fatalf("k=%d: duplicate-heavy dataset broke soundness at %v", k, w)
+		}
+	}
+}
+
+// TestCollinearOptions puts every option on a line in option space so
+// that many score hyperplanes coincide.
+func TestCollinearOptions(t *testing.T) {
+	var pts []vec.Vector
+	for i := 0; i < 8; i++ {
+		x := float64(i) / 7
+		pts = append(pts, vec.Of(x, 1-x))
+	}
+	prob := NewProblem(pts, 3, PrefBox(vec.Of(0.25), vec.Of(0.75)))
+	res, err := Solve(prob, Options{Alg: TASStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	o := res.OR.SamplePoint(rng)
+	if w := VerifyTopRanking(prob, o, 150, rng); w != nil {
+		t.Fatalf("collinear dataset broke soundness at %v", w)
+	}
+}
+
+// TestWholePreferenceSpace uses wR equal to (almost) the entire valid
+// preference simplex.
+func TestWholePreferenceSpace(t *testing.T) {
+	ds := dataset.Generate(dataset.Independent, 300, 3, 99)
+	prob := NewProblem(ds.Pts, 5, PrefBox(vec.Of(0.01, 0.01), vec.Of(0.98, 0.98)))
+	res, err := Solve(prob, Options{Alg: TASStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5; i++ {
+		o := res.OR.SamplePoint(rng)
+		if w := VerifyTopRanking(prob, o, 80, rng); w != nil {
+			t.Fatalf("whole-space wR: point fails at %v", w)
+		}
+	}
+}

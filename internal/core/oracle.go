@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// Rank returns the rank a new option placed at o would attain in the
+// dataset under reduced weight vector w: one plus the number of existing
+// options scoring strictly higher. Scores within 1e-9 are treated as
+// ties, consistent with Definition 2's non-strict inequality (a new
+// option scoring exactly TopK(w) is in the top-k). It is the brute-force
+// oracle used by tests and examples to validate TopRR output.
+func Rank(scorer *topk.Scorer, w vec.Vector, o vec.Vector) int {
+	so := topk.ScorePoint(w, o)
+	rank := 1
+	for i := 0; i < scorer.Len(); i++ {
+		if scorer.Score(w, i) > so+1e-9 {
+			rank++
+		}
+	}
+	return rank
+}
+
+// VerifyTopRanking samples the preference region and checks that o ranks
+// within the top k at every sample; it returns the first violating
+// weight vector, or nil when all samples pass. Used as a probabilistic
+// soundness oracle.
+func VerifyTopRanking(p Problem, o vec.Vector, samples int, rng *rand.Rand) vec.Vector {
+	for s := 0; s < samples; s++ {
+		w := p.WR.SamplePoint(rng)
+		if Rank(p.Scorer, w, o) > p.K {
+			return w
+		}
+	}
+	// Also check the region's vertices — the extreme preferences.
+	for _, w := range p.WR.VertexPoints() {
+		if Rank(p.Scorer, w, o) > p.K {
+			return w
+		}
+	}
+	return nil
+}
+
+// WitnessNonTopRanking searches Vall for a vertex certifying that o is
+// NOT top-ranking (its score at the vertex falls below the k-th score).
+// For points outside oR such a witness must exist by Theorem 1's
+// maximality argument; it returns nil if none is found.
+func (r *Result) WitnessNonTopRanking(o vec.Vector) vec.Vector {
+	for _, iv := range r.Vall {
+		if topk.ScorePoint(iv.W, o) < iv.KthScore-1e-9 {
+			return iv.W
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"toprr/internal/geom"
+	"toprr/internal/qp"
+	"toprr/internal/vec"
+)
+
+// ErrEmptyRegion is returned when a placement is requested over an empty
+// option region.
+var ErrEmptyRegion = errors.New("core: option region is empty")
+
+// qpConstraints converts an H-representation {A·x >= B} into the QP
+// form G x <= h.
+func qpConstraints(hs []geom.Halfspace) (g []vec.Vector, h vec.Vector) {
+	g = make([]vec.Vector, len(hs))
+	h = vec.New(len(hs))
+	for i, c := range hs {
+		g[i] = c.A.Scale(-1)
+		h[i] = -c.B
+	}
+	return g, h
+}
+
+// CostOptimalNew returns the placement in oR that minimizes the
+// manufacturing-cost model of the paper's case study (Section 6.2):
+// cost(o) = Σ_j o[j]^2. This is the cheapest option that is still
+// guaranteed to rank among the top-k everywhere in wR.
+func CostOptimalNew(or *geom.Polytope) (vec.Vector, error) {
+	if or == nil || or.IsEmpty() {
+		return nil, ErrEmptyRegion
+	}
+	return costOptimal(or.Dim, or.HS)
+}
+
+// CostOptimalNew is the Result-level form: it optimizes over the exact
+// H-representation, so it works even when the explicit oR geometry was
+// too large to enumerate.
+func (r *Result) CostOptimalNew() (vec.Vector, error) {
+	return costOptimal(r.Problem.Scorer.Dim(), r.ORConstraints)
+}
+
+func costOptimal(dim int, hs []geom.Halfspace) (vec.Vector, error) {
+	g, h := qpConstraints(hs)
+	x, err := qp.MinSquaredNorm(dim, g, h, qp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: cost-optimal placement: %w", err)
+	}
+	return x, nil
+}
+
+// Enhance returns the minimum-modification upgrade of an existing option
+// p: the point of oR nearest to p in Euclidean distance (the paper's
+// option-enhancement cost model, Section 1). The returned cost is that
+// distance; it is zero when p is already top-ranking.
+func Enhance(or *geom.Polytope, p vec.Vector) (placement vec.Vector, cost float64, err error) {
+	if or == nil || or.IsEmpty() {
+		return nil, 0, ErrEmptyRegion
+	}
+	return enhance(or.HS, p, or.Contains(p))
+}
+
+// Enhance is the Result-level form, exact regardless of whether the
+// explicit oR geometry was enumerated.
+func (r *Result) Enhance(p vec.Vector) (placement vec.Vector, cost float64, err error) {
+	return enhance(r.ORConstraints, p, r.IsTopRanking(p))
+}
+
+func enhance(hs []geom.Halfspace, p vec.Vector, alreadyIn bool) (vec.Vector, float64, error) {
+	if alreadyIn {
+		return p.Clone(), 0, nil
+	}
+	g, h := qpConstraints(hs)
+	x, err := qp.NearestPoint(p, g, h, qp.Options{})
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: enhancement: %w", err)
+	}
+	return x, x.Dist(p), nil
+}
+
+// MarketImpactResult is the outcome of the budgeted market-impact search
+// of Section 3.1.
+type MarketImpactResult struct {
+	K         int        // smallest k whose enhancement fits the budget
+	Placement vec.Vector // the corresponding cost-optimal upgrade of the option
+	Cost      float64    // its modification cost (Euclidean distance)
+}
+
+// MarketImpact solves the budgeted variant of Section 3.1: find the
+// smallest k such that option p can be upgraded, within modification
+// budget, to rank among the top-k everywhere in wR. It evaluates TopRR
+// for progressively smaller k (the optimal cost is monotone
+// non-increasing in k) and returns the best achievable guarantee. maxK
+// bounds the search; solve runs one TopRR instance (typically TAS*).
+func MarketImpact(pts []vec.Vector, wr *geom.Polytope, p vec.Vector, budget float64, maxK int, opt Options) (*MarketImpactResult, error) {
+	var best *MarketImpactResult
+	for k := maxK; k >= 1; k-- {
+		res, err := Solve(NewProblem(pts, k, wr), opt)
+		if err != nil {
+			return nil, err
+		}
+		place, cost, err := res.Enhance(p)
+		if err != nil {
+			return nil, err
+		}
+		if cost > budget {
+			break // costs only grow as k shrinks (oR shrinks monotonically)
+		}
+		best = &MarketImpactResult{K: k, Placement: place, Cost: cost}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: budget %.4g insufficient even for k=%d", budget, maxK)
+	}
+	return best, nil
+}

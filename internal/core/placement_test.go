@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/geom"
+	"toprr/internal/vec"
+)
+
+func solveFig1(t *testing.T) *Result {
+	t.Helper()
+	res, err := Solve(fig1Problem(), Options{Alg: TASStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCostOptimalNewInRegion(t *testing.T) {
+	res := solveFig1(t)
+	o, err := CostOptimalNew(res.OR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OR.Contains(o) {
+		t.Fatalf("cost-optimal point %v not in oR", o)
+	}
+	// No vertex of oR may be cheaper.
+	cost := o.Dot(o)
+	for _, v := range res.OR.VertexPoints() {
+		if v.Dot(v) < cost-1e-6 {
+			t.Fatalf("vertex %v cheaper than the optimum %v", v, o)
+		}
+	}
+	// And no random point of oR either.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		p := res.OR.SamplePoint(rng)
+		if p.Dot(p) < cost-1e-6 {
+			t.Fatalf("sampled point %v cheaper than the optimum", p)
+		}
+	}
+}
+
+func TestEnhanceP4(t *testing.T) {
+	// The paper's Figure 1(c): revamping p4 = (0.3, 0.8) into the gray
+	// region at minimum Euclidean cost.
+	res := solveFig1(t)
+	p4 := vec.Of(0.3, 0.8)
+	place, cost, err := Enhance(res.OR, p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatal("p4 is not top-ranking, cost must be positive")
+	}
+	if !res.OR.Contains(place) {
+		t.Fatalf("enhanced placement %v not in oR", place)
+	}
+	// Optimality: no point of oR is closer to p4.
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 500; i++ {
+		p := res.OR.SamplePoint(rng)
+		if p.Dist(p4) < cost-1e-6 {
+			t.Fatalf("sampled point %v closer to p4 than the QP optimum", p)
+		}
+	}
+	// The enhanced option must actually be top-3 across wR.
+	if w := VerifyTopRanking(res.Problem, place, 200, rng); w != nil {
+		t.Fatalf("enhanced p4 not top-3 at w=%v", w)
+	}
+}
+
+func TestEnhanceAlreadyTopRanking(t *testing.T) {
+	res := solveFig1(t)
+	p2 := vec.Of(0.7, 0.9)
+	place, cost, err := Enhance(res.OR, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 || !place.Equal(p2, 0) {
+		t.Errorf("already-top-ranking option should cost 0: got %v at cost %v", place, cost)
+	}
+}
+
+func TestEnhanceEmptyRegion(t *testing.T) {
+	empty := &geom.Polytope{Dim: 2}
+	if _, _, err := Enhance(empty, vec.Of(0.5, 0.5)); err == nil {
+		t.Error("expected error on empty region")
+	}
+	if _, err := CostOptimalNew(empty); err == nil {
+		t.Error("expected error on empty region")
+	}
+}
+
+// TestEnhancementCostMonotoneInK verifies the Section 3.1 observation
+// that drives the budgeted search: oR shrinks (so enhancement cost
+// grows) as k decreases.
+func TestEnhancementCostMonotoneInK(t *testing.T) {
+	pts := fig1Dataset()
+	wr := PrefBox(vec.Of(0.2), vec.Of(0.8))
+	p4 := vec.Of(0.3, 0.8)
+	var prev float64 = -1
+	for _, k := range []int{4, 3, 2, 1} {
+		res, err := Solve(NewProblem(pts, k, wr), Options{Alg: TASStar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cost, err := Enhance(res.OR, p4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost < prev-1e-9 {
+			t.Fatalf("cost decreased when k dropped: k=%d cost=%v prev=%v", k, cost, prev)
+		}
+		prev = cost
+	}
+}
+
+func TestMarketImpact(t *testing.T) {
+	pts := fig1Dataset()
+	wr := PrefBox(vec.Of(0.2), vec.Of(0.8))
+	p4 := vec.Of(0.3, 0.8)
+	// Generous budget: should reach k = 1.
+	resBig, err := MarketImpact(pts, wr, p4, 1.0, 4, Options{Alg: TASStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBig.K != 1 {
+		t.Errorf("generous budget should achieve k=1, got %d", resBig.K)
+	}
+	// Tight budget: a smaller guarantee (larger k).
+	resSmall, err := MarketImpact(pts, wr, p4, 0.08, 4, Options{Alg: TASStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resSmall.K < resBig.K {
+		t.Errorf("tighter budget cannot give stronger guarantee: %d < %d", resSmall.K, resBig.K)
+	}
+	if resSmall.Cost > 0.08+1e-9 {
+		t.Errorf("placement cost %v exceeds budget", resSmall.Cost)
+	}
+	// Budget too small for anything.
+	if _, err := MarketImpact(pts, wr, vec.Of(0, 0), 1e-6, 2, Options{Alg: TASStar}); err == nil {
+		t.Error("expected error for infeasible budget")
+	}
+}
+
+// TestCaseStudyCostSavings reproduces the *shape* of the Section 6.2
+// claim: the cost-optimal new option is cheaper to produce than the
+// existing options inside oR.
+func TestCaseStudyCostSavings(t *testing.T) {
+	res := solveFig1(t)
+	opt, err := CostOptimalNew(res.OR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optCost := opt.Dot(opt)
+	for i, p := range fig1Dataset() {
+		if res.OR.Contains(p) {
+			if pc := p.Dot(p); pc < optCost-1e-9 {
+				t.Errorf("existing option p%d cheaper (%v) than the optimum (%v)", i+1, pc, optCost)
+			}
+		}
+	}
+	if math.IsNaN(optCost) || optCost <= 0 {
+		t.Errorf("suspicious optimal cost %v", optCost)
+	}
+}

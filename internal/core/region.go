@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sync"
+
+	"toprr/internal/geom"
+	"toprr/internal/vec"
+)
+
+// Region is a convex region of option space in H-representation. It is
+// the working form of oR for downstream processing: Section 3.1 of the
+// paper notes that manufacturing constraints, attribute
+// interdependencies (e.g. p[1] + p[2] <= 1.5) and finite attribute
+// domains are imposed by intersecting them with oR after TopRR
+// computation — Intersect does exactly that — and the placement
+// optimizations then run over the constrained region.
+type Region struct {
+	Dim int
+	HS  []geom.Halfspace
+}
+
+// Region returns oR as a Region over its exact H-representation.
+func (r *Result) Region() Region {
+	return Region{Dim: r.Problem.Scorer.Dim(), HS: r.ORConstraints}
+}
+
+// Intersect returns the region further constrained by the given
+// halfspaces (each {o : A·o >= B}). The receiver is unchanged.
+func (g Region) Intersect(extra ...geom.Halfspace) Region {
+	hs := make([]geom.Halfspace, 0, len(g.HS)+len(extra))
+	hs = append(hs, g.HS...)
+	hs = append(hs, extra...)
+	return Region{Dim: g.Dim, HS: hs}
+}
+
+// Contains reports whether o satisfies every constraint.
+func (g Region) Contains(o vec.Vector) bool {
+	for _, h := range g.HS {
+		if h.Eval(o) < -geom.Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Feasible reports whether the region is nonempty, and returns its
+// Chebyshev center (the deepest interior point) when it is.
+func (g Region) Feasible() (vec.Vector, bool) {
+	c, _, ok := geom.ChebyshevCenter(g.HS, g.Dim)
+	return c, ok
+}
+
+// Minimal returns an equivalent region with every redundant constraint
+// removed (one LP per constraint; see geom.RemoveRedundant). The facets
+// of the result are exactly the facets of oR plus any binding extra
+// constraints.
+func (g Region) Minimal() Region {
+	return Region{Dim: g.Dim, HS: geom.RemoveRedundant(g.HS, g.Dim)}
+}
+
+// CostOptimalNew returns the point of the region minimizing Σ o[j]^2,
+// the paper's manufacturing-cost model.
+func (g Region) CostOptimalNew() (vec.Vector, error) {
+	return costOptimal(g.Dim, g.HS)
+}
+
+// Enhance returns the point of the region nearest to p and the
+// modification cost ||p' - p||.
+func (g Region) Enhance(p vec.Vector) (vec.Vector, float64, error) {
+	return enhance(g.HS, p, g.Contains(p))
+}
+
+// Polytope enumerates the region's explicit geometry. Returns nil when
+// the vertex enumeration exceeds vertexBudget (0 means the solver
+// default of 5000).
+func (g Region) Polytope(vertexBudget int) *geom.Polytope {
+	if vertexBudget <= 0 {
+		vertexBudget = 5000
+	}
+	lo, hi := vec.New(g.Dim), vec.New(g.Dim)
+	for j := range hi {
+		hi[j] = 1
+	}
+	p := geom.NewBox(lo, hi)
+	for _, h := range g.HS {
+		p = p.Clip(h)
+		if p.IsEmpty() || p.NumVertices() > vertexBudget {
+			if p.NumVertices() > vertexBudget {
+				return nil
+			}
+			return p
+		}
+	}
+	return p
+}
+
+// SolveUnion solves TopRR for a target clientele given as a union of
+// convex preference regions — the paper's treatment of non-convex wR
+// (Section 3.1): partition the non-convex region into convex pieces,
+// solve each independently, and intersect the option regions. The
+// pieces are independent problems and are solved concurrently (the
+// parallelism direction of the paper's future-work section).
+func SolveUnion(pts []vec.Vector, k int, pieces []*geom.Polytope, opt Options) (Region, []*Result, error) {
+	if len(pieces) == 0 {
+		panic("core: SolveUnion needs at least one region")
+	}
+	results := make([]*Result, len(pieces))
+	errs := make([]error, len(pieces))
+	var wg sync.WaitGroup
+	for i, wr := range pieces {
+		wg.Add(1)
+		go func(i int, wr *geom.Polytope) {
+			defer wg.Done()
+			results[i], errs[i] = Solve(NewProblem(pts, k, wr), opt)
+		}(i, wr)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Region{}, nil, err
+		}
+	}
+	region := results[0].Region()
+	for _, res := range results[1:] {
+		// Box constraints repeat across pieces; Intersect tolerates the
+		// duplicates and Minimal can drop them later.
+		region = region.Intersect(res.ORConstraints...)
+	}
+	return region, results, nil
+}

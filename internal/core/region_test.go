@@ -1,0 +1,329 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/geom"
+	"toprr/internal/skyband"
+	"toprr/internal/vec"
+)
+
+func TestRegionContainsMatchesPolytope(t *testing.T) {
+	res := solveFig1(t)
+	g := res.Region()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		o := vec.Of(rng.Float64(), rng.Float64())
+		if g.Contains(o) != res.OR.Contains(o) {
+			t.Fatalf("Region and polytope disagree at %v", o)
+		}
+	}
+}
+
+func TestRegionIntersectManufacturingConstraint(t *testing.T) {
+	// Section 3.1: impose the attribute interdependency p1 + p2 <= 1.5
+	// on oR after computation.
+	res := solveFig1(t)
+	budgeted := res.Region().Intersect(geom.NewHalfspace(vec.Of(-1, -1), -1.5))
+	if budgeted.Contains(vec.Of(0.9, 0.9)) {
+		t.Error("constraint p1+p2 <= 1.5 not enforced")
+	}
+	// A feasible corner of the constrained region still exists.
+	if _, ok := budgeted.Feasible(); !ok {
+		t.Fatal("constrained region should be feasible")
+	}
+	o, err := budgeted.CostOptimalNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !budgeted.Contains(o) {
+		t.Fatalf("optimal %v violates the constrained region", o)
+	}
+	if o.Sum() > 1.5+1e-6 {
+		t.Errorf("optimal %v violates the budget plane", o)
+	}
+	// The constrained optimum can only be costlier or equal.
+	free, err := res.CostOptimalNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Dot(o) < free.Dot(free)-1e-9 {
+		t.Error("adding constraints made the optimum cheaper")
+	}
+}
+
+func TestRegionInfeasibleIntersection(t *testing.T) {
+	res := solveFig1(t)
+	impossible := res.Region().Intersect(geom.NewHalfspace(vec.Of(-1, -1), -0.1)) // p1+p2 <= 0.1
+	if _, ok := impossible.Feasible(); ok {
+		t.Error("region below every threshold should be infeasible")
+	}
+	if _, err := impossible.CostOptimalNew(); err == nil {
+		t.Error("QP over infeasible region should error")
+	}
+}
+
+func TestRegionMinimal(t *testing.T) {
+	res := solveFig1(t)
+	g := res.Region()
+	min := g.Minimal()
+	if len(min.HS) > len(g.HS) {
+		t.Fatal("Minimal grew the constraint set")
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		o := vec.Of(rng.Float64(), rng.Float64())
+		if g.Contains(o) != min.Contains(o) {
+			t.Fatalf("Minimal changed membership at %v", o)
+		}
+	}
+	// Fig 1 example: oR is bounded by oH(0.2), oH(0.4), oH(2/3) plus
+	// the upper box sides; at most 2 box + 4 impact constraints remain
+	// (oH(0.8) is implied). Expect a clearly reduced set.
+	if len(min.HS) > 6 {
+		t.Errorf("minimal H-rep has %d constraints, expected <= 6", len(min.HS))
+	}
+}
+
+func TestRegionEnhanceMatchesResultEnhance(t *testing.T) {
+	res := solveFig1(t)
+	p4 := vec.Of(0.3, 0.8)
+	a, costA, err := res.Enhance(p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, costB, err := res.Region().Enhance(p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(costA-costB) > 1e-9 || !a.Equal(b, 1e-7) {
+		t.Errorf("Result.Enhance %v/%v vs Region.Enhance %v/%v", a, costA, b, costB)
+	}
+	// Enhancing into a tighter region costs at least as much.
+	tight := res.Region().Intersect(geom.NewHalfspace(vec.Of(1, 0), 0.6)) // perf >= 0.6
+	_, costT, err := tight.Enhance(p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costT < costA-1e-9 {
+		t.Error("tighter region cannot be cheaper to enter")
+	}
+}
+
+func TestFilterSizes(t *testing.T) {
+	prob := fig1Problem()
+	rsky, withL5 := FilterSizes(prob)
+	if rsky <= 0 || withL5 <= 0 || withL5 > rsky {
+		t.Fatalf("FilterSizes = (%d, %d)", rsky, withL5)
+	}
+	// Independent r-skyband count.
+	pts := fig1Dataset()
+	direct := len(skyband.RSkyband(pts, prob.K, skyband.NewRDomVerts(prob.WR.VertexPoints())))
+	if rsky != direct {
+		t.Errorf("r-skyband size %d, FilterSizes reported %d", direct, rsky)
+	}
+	// On a dataset with a universally dominant option, Lemma 5 at the
+	// root must discard it: withLemma5 < rSkyband.
+	dom := append([]vec.Vector{vec.Of(0.99, 0.99)}, fig1Dataset()...)
+	r2, l2 := FilterSizes(NewProblem(dom, 3, PrefBox(vec.Of(0.2), vec.Of(0.8))))
+	if l2 >= r2 {
+		t.Errorf("dominant option not pruned by root Lemma 5: (%d, %d)", r2, l2)
+	}
+}
+
+func TestDisableTopKCacheSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	prob := randomProblem(rng, 80, 3, 5)
+	a, err := Solve(prob, Options{Alg: TASStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(prob, Options{Alg: TASStar, DisableTopKCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		o := vec.Of(rng.Float64(), rng.Float64(), rng.Float64())
+		if a.IsTopRanking(o) != b.IsTopRanking(o) {
+			t.Fatalf("cache ablation changed the answer at %v", o)
+		}
+	}
+	if b.Stats.TopKMisses < a.Stats.TopKMisses {
+		t.Error("pass-through cache should do at least as many computations")
+	}
+}
+
+func TestRegionFeasibleCenter(t *testing.T) {
+	res := solveFig1(t)
+	c, ok := res.Region().Feasible()
+	if !ok {
+		t.Fatal("oR must be feasible")
+	}
+	if !res.Region().Contains(c) {
+		t.Errorf("Chebyshev center %v outside region", c)
+	}
+}
+
+func TestRegionPolytope(t *testing.T) {
+	res := solveFig1(t)
+	p := res.Region().Polytope(0)
+	if p == nil || p.IsEmpty() {
+		t.Fatal("region polytope missing")
+	}
+	if p.CanonicalKey() != res.OR.CanonicalKey() {
+		t.Error("Region.Polytope disagrees with the solver's oR")
+	}
+}
+
+func TestSolveUnionNonConvexWR(t *testing.T) {
+	// Non-convex clientele: speed weight in [0.2, 0.35] ∪ [0.6, 0.8].
+	pts := fig1Dataset()
+	pieces := []*geom.Polytope{
+		PrefBox(vec.Of(0.2), vec.Of(0.35)),
+		PrefBox(vec.Of(0.6), vec.Of(0.8)),
+	}
+	union, results, err := SolveUnion(pts, 3, pieces, Options{Alg: TASStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d piece results", len(results))
+	}
+	// The union result must equal solving the covering interval
+	// intersected appropriately: membership = in both pieces' oR.
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 400; i++ {
+		o := vec.Of(rng.Float64(), rng.Float64())
+		want := results[0].IsTopRanking(o) && results[1].IsTopRanking(o)
+		if union.Contains(o) != want {
+			t.Fatalf("union membership wrong at %v", o)
+		}
+	}
+	// Oracle: a sampled point of the union region is top-3 in BOTH
+	// preference intervals.
+	poly := union.Polytope(0)
+	if poly == nil || poly.IsEmpty() {
+		t.Fatal("union region should be explicit at d=2")
+	}
+	for i := 0; i < 10; i++ {
+		o := poly.SamplePoint(rng)
+		for pi, res := range results {
+			if w := VerifyTopRanking(res.Problem, o, 100, rng); w != nil {
+				t.Fatalf("union point %v fails piece %d at w=%v", o, pi, w)
+			}
+		}
+	}
+	// And the union is genuinely more restrictive than either piece
+	// alone whenever their oRs differ.
+	vol0 := results[0].OR.Volume(0)
+	volU := poly.Volume(0)
+	if volU > vol0+1e-9 {
+		t.Error("union region larger than a piece's region")
+	}
+}
+
+func TestSolveUnionPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SolveUnion(fig1Dataset(), 3, nil, Options{})
+}
+
+func TestReverseTopKFig1(t *testing.T) {
+	// For p3 (index 2) with k=3 over wR=[0.2, 0.8], Figure 1(d) shows p3
+	// enters the top-3 exactly at w >= 2/3.
+	pts := fig1Dataset()
+	wr := PrefBox(vec.Of(0.2), vec.Of(0.8))
+	regions, err := ReverseTopK(pts, 3, wr, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) == 0 {
+		t.Fatal("p3 should be in the top-3 somewhere in wR")
+	}
+	lo, hi := 1.0, 0.0
+	for _, r := range regions {
+		l, h := r.BoundingBox()
+		lo = math.Min(lo, l[0])
+		hi = math.Max(hi, h[0])
+	}
+	if math.Abs(lo-2.0/3.0) > 1e-6 || math.Abs(hi-0.8) > 1e-6 {
+		t.Errorf("p3's impact region = [%v, %v], want [2/3, 0.8]", lo, hi)
+	}
+
+	// p4 (index 3) is in the top-3 for w in [0.2, 2/3].
+	regions, err = ReverseTopK(pts, 3, wr, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi = 1.0, 0.0
+	for _, r := range regions {
+		l, h := r.BoundingBox()
+		lo = math.Min(lo, l[0])
+		hi = math.Max(hi, h[0])
+	}
+	if math.Abs(lo-0.2) > 1e-6 || math.Abs(hi-2.0/3.0) > 1e-6 {
+		t.Errorf("p4's impact region = [%v, %v], want [0.2, 2/3]", lo, hi)
+	}
+}
+
+func TestReverseTopKMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 6; iter++ {
+		prob := randomProblem(rng, 60, 3, 4)
+		pts := make([]vec.Vector, prob.Scorer.Len())
+		for i := range pts {
+			pts[i] = prob.Scorer.Point(i)
+		}
+		pi := rng.Intn(len(pts))
+		regions, err := ReverseTopK(pts, prob.K, prob.WR, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inRegions := func(w vec.Vector) bool {
+			for _, r := range regions {
+				if r.Contains(w) {
+					return true
+				}
+			}
+			return false
+		}
+		for s := 0; s < 300; s++ {
+			w := prob.WR.SamplePoint(rng)
+			want := prob.Scorer.TopK(w, prob.K, nil).Contains(pi)
+			if got := inRegions(w); got != want {
+				// Boundary points may flip either way; tolerate only
+				// points near a region boundary.
+				if !nearBoundary(regions, prob.WR, w) {
+					t.Fatalf("iter %d: reverse top-k wrong at %v (want %v)", iter, w, want)
+				}
+			}
+		}
+	}
+}
+
+// nearBoundary reports whether w is within tolerance of any region's
+// bounding hyperplane (where oracle and partition may legitimately
+// disagree on ties).
+func nearBoundary(regions []*geom.Polytope, wr *geom.Polytope, w vec.Vector) bool {
+	const tol = 1e-6
+	check := func(p *geom.Polytope) bool {
+		for _, h := range p.HS {
+			n := h.Normalize()
+			if math.Abs(n.Eval(w)) < tol {
+				return true
+			}
+		}
+		return false
+	}
+	for _, r := range regions {
+		if check(r) {
+			return true
+		}
+	}
+	return check(wr)
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"toprr/internal/geom"
+	"toprr/internal/skyband"
+	"toprr/internal/vec"
+)
+
+// ReverseTopK computes the monochromatic reverse top-k of option index
+// pi over preference region wR: the maximal subregions of wR in whose
+// every preference pi ranks among the top-k. This is the query of Tang
+// et al. (SIGMOD 2017, reference [41] of the paper), obtained here as a
+// by-product of the kIPR partitioning machinery: within each kIPR the
+// top-k set is constant, so pi's membership is decided at any one
+// vertex.
+//
+// The returned polytopes are disjoint up to shared boundaries and their
+// union is exactly {w in wR : pi in top-k at w}.
+func ReverseTopK(pts []vec.Vector, k int, wr *geom.Polytope, pi int, opt Options) ([]*geom.Polytope, error) {
+	p := NewProblem(pts, k, wr)
+	opt.Alg = TAS // kIPR partitioning without Lemma 5/7 shortcuts, which
+	// could otherwise accept regions where pi drifts in and out of the
+	// k-th rank.
+	opt = opt.withDefaults()
+	s := &solver{
+		prob: p,
+		opt:  opt,
+		rng:  rand.New(rand.NewSource(opt.Seed + 1)),
+		vall: make(map[string]ImpactVertex),
+	}
+	s.stats.InputOptions = p.Scorer.Len()
+	ptsAll := s.points()
+	rd := skyband.NewRDomVerts(wr.VertexPoints())
+	active := skyband.RSkyband(ptsAll, k, rd)
+	// pi itself must stay in the candidate set even if the filter would
+	// drop it (its membership is the question being answered).
+	hasPi := false
+	for _, idx := range active {
+		if idx == pi {
+			hasPi = true
+			break
+		}
+	}
+	if !hasPi {
+		active = append(active, pi)
+	}
+	s.stats.FilteredOptions = len(active)
+
+	var out []*geom.Polytope
+	stack := []regionCtx{{region: wr, cache: s.newCache(k, active)}}
+	for len(stack) > 0 {
+		rc := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.stats.Regions+s.stats.Splits > opt.MaxRegions {
+			return nil, fmt.Errorf("core: reverse top-k exceeded region budget %d", opt.MaxRegions)
+		}
+		before := s.stats.Regions
+		children, err := s.process(rc)
+		if err != nil {
+			return nil, err
+		}
+		if len(children) == 0 && s.stats.Regions > before {
+			// Region confirmed. Membership is decided at the centroid, a
+			// strictly interior point: region vertices sit on score-tie
+			// hyperplanes by construction, where the deterministic
+			// tie-break could misstate pi's (interior) membership.
+			r := p.Scorer.TopK(rc.region.Centroid(), rc.cache.K(), rc.cache.Active())
+			if r.Contains(pi) {
+				out = append(out, rc.region)
+			}
+		}
+		stack = append(stack, children...)
+	}
+	return out, nil
+}

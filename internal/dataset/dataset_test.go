@@ -1,0 +1,210 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+type vecAlias = vec.Vector
+
+func of(xs ...float64) vec.Vector { return vec.Of(xs...) }
+
+// correlation returns the Pearson correlation of attributes a and b.
+func correlation(d *Dataset, a, b int) float64 {
+	n := float64(d.Len())
+	var sa, sb, saa, sbb, sab float64
+	for _, p := range d.Pts {
+		sa += p[a]
+		sb += p[b]
+		saa += p[a] * p[a]
+		sbb += p[b] * p[b]
+		sab += p[a] * p[b]
+	}
+	cov := sab/n - (sa/n)*(sb/n)
+	va := saa/n - (sa/n)*(sa/n)
+	vb := sbb/n - (sb/n)*(sb/n)
+	return cov / math.Sqrt(va*vb)
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, dist := range []Distribution{Independent, Correlated, Anticorrelated} {
+		d := Generate(dist, 5000, 4, 42)
+		if d.Len() != 5000 || d.Dim() != 4 {
+			t.Fatalf("%v: wrong shape %dx%d", dist, d.Len(), d.Dim())
+		}
+		for _, p := range d.Pts {
+			for _, x := range p {
+				if x < 0 || x > 1 {
+					t.Fatalf("%v: value %v out of unit range", dist, x)
+				}
+			}
+		}
+	}
+}
+
+func TestDistributionCorrelationCharacter(t *testing.T) {
+	ind := Generate(Independent, 20000, 3, 7)
+	cor := Generate(Correlated, 20000, 3, 7)
+	anti := Generate(Anticorrelated, 20000, 3, 7)
+	cInd := correlation(ind, 0, 1)
+	cCor := correlation(cor, 0, 1)
+	cAnti := correlation(anti, 0, 1)
+	if math.Abs(cInd) > 0.05 {
+		t.Errorf("IND correlation = %v, want ~0", cInd)
+	}
+	if cCor < 0.6 {
+		t.Errorf("COR correlation = %v, want strongly positive", cCor)
+	}
+	if cAnti > -0.2 {
+		t.Errorf("ANTI correlation = %v, want clearly negative", cAnti)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Anticorrelated, 100, 4, 99)
+	b := Generate(Anticorrelated, 100, 4, 99)
+	for i := range a.Pts {
+		if !a.Pts[i].Equal(b.Pts[i], 0) {
+			t.Fatal("same seed must give identical data")
+		}
+	}
+	c := Generate(Anticorrelated, 100, 4, 100)
+	same := true
+	for i := range a.Pts {
+		if !a.Pts[i].Equal(c.Pts[i], 0) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different data")
+	}
+}
+
+func TestSimulatedRealDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large simulated datasets")
+	}
+	cases := []struct {
+		d    *Dataset
+		n, k int
+	}{
+		{Hotel(), 418843, 4},
+		{House(), 315265, 6},
+		{NBA(), 21960, 8},
+	}
+	for _, c := range cases {
+		if c.d.Len() != c.n || c.d.Dim() != c.k {
+			t.Errorf("%s: shape %dx%d, want %dx%d", c.d.Name, c.d.Len(), c.d.Dim(), c.n, c.k)
+		}
+	}
+	// NBA must be clearly more correlated than HOTEL (Table 6 character).
+	nba := NBA()
+	hotel := Hotel()
+	if correlation(nba, 0, 1) <= correlation(hotel, 0, 1) {
+		t.Error("NBA should be more correlated than HOTEL")
+	}
+}
+
+func TestLaptops(t *testing.T) {
+	d := Laptops()
+	if d.Len() != 149 || d.Dim() != 2 {
+		t.Fatalf("laptops shape %dx%d", d.Len(), d.Dim())
+	}
+	found := 0
+	for i := range d.Pts {
+		switch d.Label(i) {
+		case "Apple MacBook Pro", "Acer Predator 15", "Lenovo ThinkPad X201", "Asus Chromebook Flip":
+			found++
+		}
+	}
+	if found != 4 {
+		t.Errorf("pinned laptops found = %d, want 4", found)
+	}
+	if d.Label(200) != "p201" {
+		t.Errorf("fallback label = %q", d.Label(200))
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := &Dataset{Pts: []vecAlias{of(2, 10), of(4, 20), of(6, 10)}}
+	d.Normalize()
+	if !d.Pts[0].Equal(of(0, 0), 1e-12) || !d.Pts[1].Equal(of(0.5, 1), 1e-12) || !d.Pts[2].Equal(of(1, 0), 1e-12) {
+		t.Errorf("normalized = %v", d.Pts)
+	}
+	// Constant attribute maps to zero.
+	c := &Dataset{Pts: []vecAlias{of(5, 1), of(5, 2)}}
+	c.Normalize()
+	if c.Pts[0][0] != 0 || c.Pts[1][0] != 0 {
+		t.Error("constant attribute should normalize to 0")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := Laptops()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.Dim() != d.Dim() {
+		t.Fatalf("round trip shape %dx%d", got.Len(), got.Dim())
+	}
+	for i := range d.Pts {
+		if !d.Pts[i].Equal(got.Pts[i], 1e-12) {
+			t.Fatalf("row %d: %v != %v", i, d.Pts[i], got.Pts[i])
+		}
+		if d.Label(i) != got.Label(i) {
+			t.Fatalf("row %d label %q != %q", i, d.Label(i), got.Label(i))
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), "bad"); err == nil {
+		t.Error("ragged rows should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("x\n"), "bad"); err == nil {
+		t.Error("single non-numeric field should error")
+	}
+	d, err := ReadCSV(strings.NewReader("# comment\n\n0.1,0.2\n"), "ok")
+	if err != nil || d.Len() != 1 {
+		t.Errorf("comment/blank handling wrong: %v %v", d, err)
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for s, want := range map[string]Distribution{"ind": Independent, "COR": Correlated, " anti ": Anticorrelated} {
+		got, err := ParseDistribution(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDistribution(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseDistribution("zipf"); err == nil {
+		t.Error("unknown distribution should error")
+	}
+	if Independent.String() != "IND" || Correlated.String() != "COR" || Anticorrelated.String() != "ANTI" {
+		t.Error("distribution names wrong")
+	}
+}
+
+func TestAntiPreservesSumSpread(t *testing.T) {
+	// ANTI points should concentrate near sum = d/2 with clearly more
+	// spread across attributes than COR points.
+	anti := Generate(Anticorrelated, 2000, 4, 3)
+	var sumDev float64
+	for _, p := range anti.Pts {
+		sumDev += math.Abs(p.Sum() - 2)
+	}
+	sumDev /= float64(anti.Len())
+	if sumDev > 0.35 {
+		t.Errorf("ANTI mean |sum - d/2| = %v, want small", sumDev)
+	}
+}

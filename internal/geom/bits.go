@@ -1,0 +1,64 @@
+package geom
+
+import "math/bits"
+
+// onesCount64 is a local alias so hot loops in other files avoid an
+// import of math/bits at every call site.
+func onesCount64(x uint64) int { return bits.OnesCount64(x) }
+
+// Bits is a fixed-capacity bitset used to record, for each polytope
+// vertex, which halfspaces are tight (satisfied with equality) at it.
+// Tight sets drive the combinatorial vertex-adjacency test in Split.
+type Bits []uint64
+
+// NewBits returns a bitset able to hold n bits.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Set turns bit i on.
+func (b Bits) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Get reports whether bit i is on.
+func (b Bits) Get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// And returns the intersection of b and o as a new bitset.
+func (b Bits) And(o Bits) Bits {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	r := make(Bits, n)
+	for i := 0; i < n; i++ {
+		r[i] = b[i] & o[i]
+	}
+	return r
+}
+
+// Contains reports whether every bit set in o is also set in b.
+func (b Bits) Contains(o Bits) bool {
+	for i, w := range o {
+		var bw uint64
+		if i < len(b) {
+			bw = b[i]
+		}
+		if w&^bw != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clone returns a copy of b.
+func (b Bits) Clone() Bits {
+	c := make(Bits, len(b))
+	copy(c, b)
+	return c
+}

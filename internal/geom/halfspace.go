@@ -1,0 +1,96 @@
+// Package geom implements the convex-geometry substrate of the TopRR
+// reproduction: bounded convex polytopes in arbitrary (small) dimension,
+// represented in the paper's hybrid facet-based model — the bounding
+// halfspaces together with the vertex set, where every vertex knows
+// which halfspaces are tight at it (Section 4.2.2 of the paper).
+//
+// The package replaces the qhull dependency of the original C++
+// implementation. It supports the two operations the paper needs:
+//
+//   - splitting a polytope by a hyperplane into its two sides
+//     (preference-region splitting, Section 4.2), and
+//   - incremental halfspace intersection starting from a bounding box
+//     (assembly of the option region oR from impact halfspaces,
+//     Theorem 1).
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"toprr/internal/vec"
+)
+
+// Eps is the geometric tolerance shared by all predicates in this package.
+const Eps = 1e-9
+
+// vertexQuantum is the grid used to deduplicate vertices by coordinates.
+const vertexQuantum = 1e-8
+
+// Halfspace is the closed region {x : A·x >= B}. Its boundary hyperplane
+// is {x : A·x = B}, so the same struct doubles as a hyperplane where the
+// orientation matters only for Split direction.
+type Halfspace struct {
+	A vec.Vector
+	B float64
+}
+
+// NewHalfspace builds A·x >= B.
+func NewHalfspace(a vec.Vector, b float64) Halfspace { return Halfspace{A: a, B: b} }
+
+// Eval returns A·x - B: positive strictly inside, ~0 on the boundary,
+// negative strictly outside.
+func (h Halfspace) Eval(x vec.Vector) float64 { return h.A.Dot(x) - h.B }
+
+// Flip returns the complementary halfspace {x : A·x <= B}, expressed in
+// the canonical >= form.
+func (h Halfspace) Flip() Halfspace { return Halfspace{A: h.A.Scale(-1), B: -h.B} }
+
+// Normalize scales the halfspace so that ||A|| = 1, which makes Eval a
+// signed Euclidean distance. It panics on a zero normal.
+func (h Halfspace) Normalize() Halfspace {
+	n := h.A.Norm()
+	if n < Eps {
+		panic("geom: zero normal in halfspace")
+	}
+	return Halfspace{A: h.A.Scale(1 / n), B: h.B / n}
+}
+
+// Contains reports whether x satisfies the halfspace within Eps.
+func (h Halfspace) Contains(x vec.Vector) bool { return h.Eval(x) >= -Eps }
+
+// String renders the halfspace for debugging.
+func (h Halfspace) String() string { return fmt.Sprintf("%v·x >= %.6g", h.A, h.B) }
+
+// Side classifies a signed evaluation into -1 (outside), 0 (on the
+// boundary) or +1 (inside), using tolerance Eps.
+func Side(eval float64) int {
+	switch {
+	case eval > Eps:
+		return 1
+	case eval < -Eps:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// crossingParam returns t in (0,1) such that the point (1-t)*u + t*v lies
+// on the hyperplane, given the signed evaluations of u (negative side)
+// and v (positive side).
+func crossingParam(evalU, evalV float64) float64 {
+	t := evalU / (evalU - evalV)
+	// Clamp for numeric safety; callers guarantee opposite strict sides.
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return t
+}
+
+// almostEqual reports |a-b| <= Eps scaled by magnitude.
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= Eps*(1+math.Abs(a)+math.Abs(b))
+}

@@ -1,0 +1,83 @@
+package geom
+
+import (
+	"toprr/internal/lp"
+	"toprr/internal/vec"
+)
+
+// ChebyshevCenter returns the center and radius of the largest ball
+// inscribed in the region {x : A_i·x >= B_i for all i}. It reports
+// ok = false when the region is empty or its inscribed radius is
+// unbounded (the region must be bounded in every direction by the given
+// halfspaces, as oR and wR always are via their box constraints).
+//
+// The LP is the classic one: maximize r subject to
+// A_i·x - ||A_i||·r >= B_i, with x free and r >= 0 (r's nonnegativity
+// follows from optimality whenever the region is nonempty).
+func ChebyshevCenter(hs []Halfspace, dim int) (center vec.Vector, radius float64, ok bool) {
+	cons := make([]lp.Constraint, 0, len(hs))
+	for _, h := range hs {
+		a := make(vec.Vector, dim+1)
+		copy(a, h.A)
+		a[dim] = -h.A.Norm()
+		cons = append(cons, lp.Constraint{A: a, Rel: lp.GE, B: h.B})
+	}
+	obj := make(vec.Vector, dim+1)
+	obj[dim] = 1
+	res := lp.MaximizeFree(obj, cons)
+	if res.Status != lp.Optimal || res.Value < 0 {
+		return nil, 0, false
+	}
+	return res.X[:dim].Clone(), res.Value, true
+}
+
+// RemoveRedundant returns the subset of halfspaces that actually bound
+// the region {x : A_i·x >= B_i} — i.e. it drops every constraint
+// implied by the others. Each candidate is tested with one LP
+// (minimize A_i·x over the remaining constraints); already-dropped
+// constraints are excluded from later tests, which keeps the result
+// correct because a dropped constraint is implied by the survivors.
+// Exact duplicates are removed up front so mutual-implication pairs
+// cannot eliminate each other.
+//
+// Cost is one LP per constraint; intended for post-processing oR's
+// H-representation, not for inner loops.
+func RemoveRedundant(hs []Halfspace, dim int) []Halfspace {
+	// Deduplicate on a quantized key first.
+	seen := make(map[string]bool, len(hs))
+	uniq := make([]Halfspace, 0, len(hs))
+	for _, h := range hs {
+		n := h.Normalize()
+		key := append(n.A.Clone(), n.B).Key(1e-9)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		uniq = append(uniq, h)
+	}
+	alive := make([]bool, len(uniq))
+	for i := range alive {
+		alive[i] = true
+	}
+	for i := range uniq {
+		cons := make([]lp.Constraint, 0, len(uniq)-1)
+		for j, h := range uniq {
+			if j == i || !alive[j] {
+				continue
+			}
+			cons = append(cons, lp.Constraint{A: h.A, Rel: lp.GE, B: h.B})
+		}
+		res := lp.MinimizeFree(uniq[i].A, cons)
+		// Redundant iff the others already force A_i·x >= B_i.
+		if res.Status == lp.Optimal && res.Value >= uniq[i].B-1e-9 {
+			alive[i] = false
+		}
+	}
+	out := make([]Halfspace, 0, len(uniq))
+	for i, h := range uniq {
+		if alive[i] {
+			out = append(out, h)
+		}
+	}
+	return out
+}

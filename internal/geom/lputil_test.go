@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"math"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+func boxHS(d int) []Halfspace {
+	lo, hi := vec.New(d), vec.New(d)
+	for j := range hi {
+		hi[j] = 1
+	}
+	return NewBox(lo, hi).HS
+}
+
+func TestChebyshevCenterUnitSquare(t *testing.T) {
+	c, r, ok := ChebyshevCenter(boxHS(2), 2)
+	if !ok {
+		t.Fatal("square should have a center")
+	}
+	if !c.Equal(vec.Of(0.5, 0.5), 1e-7) {
+		t.Errorf("center = %v, want (0.5,0.5)", c)
+	}
+	if math.Abs(r-0.5) > 1e-7 {
+		t.Errorf("radius = %v, want 0.5", r)
+	}
+}
+
+func TestChebyshevCenterTriangle(t *testing.T) {
+	// x >= 0, y >= 0, x + y <= 1: incircle radius = 1/(2+sqrt 2).
+	hs := append(boxHS(2), NewHalfspace(vec.Of(-1, -1), -1))
+	c, r, ok := ChebyshevCenter(hs, 2)
+	if !ok {
+		t.Fatal("triangle should have a center")
+	}
+	want := 1 / (2 + math.Sqrt2)
+	if math.Abs(r-want) > 1e-7 {
+		t.Errorf("radius = %v, want %v", r, want)
+	}
+	if math.Abs(c[0]-want) > 1e-6 || math.Abs(c[1]-want) > 1e-6 {
+		t.Errorf("center = %v, want (%v,%v)", c, want, want)
+	}
+}
+
+func TestChebyshevCenterInfeasible(t *testing.T) {
+	hs := []Halfspace{
+		NewHalfspace(vec.Of(1), 2),   // x >= 2
+		NewHalfspace(vec.Of(-1), -1), // x <= 1
+	}
+	if _, _, ok := ChebyshevCenter(hs, 1); ok {
+		t.Error("infeasible region should report !ok")
+	}
+}
+
+func TestRemoveRedundantKeepsFacets(t *testing.T) {
+	hs := boxHS(2)
+	// Add two redundant constraints and one binding diagonal.
+	redundant1 := NewHalfspace(vec.Of(1, 1), -1)   // x+y >= -1: useless
+	redundant2 := NewHalfspace(vec.Of(1, 0), -0.5) // x >= -0.5: useless
+	binding := NewHalfspace(vec.Of(-1, -1), -1.5)  // x+y <= 1.5: cuts the corner
+	all := append(append([]Halfspace{}, hs...), redundant1, redundant2, binding)
+	out := RemoveRedundant(all, 2)
+	if len(out) != 5 { // 4 box sides + diagonal
+		t.Fatalf("kept %d constraints, want 5: %v", len(out), out)
+	}
+	found := false
+	for _, h := range out {
+		if h.A.Equal(binding.A, 1e-12) && math.Abs(h.B-binding.B) < 1e-12 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("binding diagonal was dropped")
+	}
+}
+
+func TestRemoveRedundantDuplicates(t *testing.T) {
+	hs := append(boxHS(2), boxHS(2)...) // every constraint twice
+	out := RemoveRedundant(hs, 2)
+	if len(out) != 4 {
+		t.Fatalf("kept %d constraints, want 4", len(out))
+	}
+}
+
+func TestRemoveRedundantPreservesRegion(t *testing.T) {
+	// Region membership must be identical before and after.
+	hs := append(boxHS(3),
+		NewHalfspace(vec.Of(-1, -1, -1), -2),      // sum <= 2 (binding)
+		NewHalfspace(vec.Of(-1, -1, -1), -2.9),    // sum <= 2.9 (redundant)
+		NewHalfspace(vec.Of(0.5, 0.5, 0.5), -0.1), // redundant
+	)
+	out := RemoveRedundant(hs, 3)
+	if len(out) >= len(hs) {
+		t.Fatal("nothing was removed")
+	}
+	probe := func(x vec.Vector, set []Halfspace) bool {
+		for _, h := range set {
+			if h.Eval(x) < -Eps {
+				return false
+			}
+		}
+		return true
+	}
+	for _, x := range []vec.Vector{
+		vec.Of(0.5, 0.5, 0.5), vec.Of(1, 1, 0), vec.Of(1, 1, 0.5),
+		vec.Of(0.9, 0.9, 0.9), vec.Of(0, 0, 0), vec.Of(1, 0.6, 0.3),
+	} {
+		if probe(x, hs) != probe(x, out) {
+			t.Errorf("membership of %v changed after reduction", x)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package geom
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"toprr/internal/vec"
+)
+
+// Vertex is a polytope vertex: its coordinates plus the bitset of
+// halfspace indices (into Polytope.HS) tight at it.
+type Vertex struct {
+	Point vec.Vector
+	Tight Bits
+}
+
+// Polytope is a bounded convex polytope in Dim dimensions, stored in the
+// hybrid facet-based representation: the bounding halfspaces (H-rep) and
+// the complete vertex set (V-rep) with per-vertex tight sets. Instances
+// are immutable after construction; Split and Clip return new polytopes.
+type Polytope struct {
+	Dim   int
+	HS    []Halfspace
+	Verts []Vertex
+}
+
+// NewBox returns the axis-aligned box [lo, hi] as a polytope, with the
+// 2*Dim bounding halfspaces and all 2^Dim corner vertices. It panics on
+// inconsistent bounds or an empty interval in any axis.
+func NewBox(lo, hi vec.Vector) *Polytope {
+	d := len(lo)
+	if len(hi) != d {
+		panic("geom: NewBox bounds dimension mismatch")
+	}
+	hs := make([]Halfspace, 0, 2*d)
+	for j := 0; j < d; j++ {
+		if hi[j] < lo[j]-Eps {
+			panic(fmt.Sprintf("geom: NewBox empty interval on axis %d", j))
+		}
+		aLo := vec.New(d)
+		aLo[j] = 1 // x[j] >= lo[j]
+		hs = append(hs, Halfspace{A: aLo, B: lo[j]})
+		aHi := vec.New(d)
+		aHi[j] = -1 // x[j] <= hi[j]
+		hs = append(hs, Halfspace{A: aHi, B: -hi[j]})
+	}
+	// Enumerate the 2^d corners.
+	pts := make([]vec.Vector, 0, 1<<uint(d))
+	for mask := 0; mask < 1<<uint(d); mask++ {
+		p := vec.New(d)
+		for j := 0; j < d; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				p[j] = hi[j]
+			} else {
+				p[j] = lo[j]
+			}
+		}
+		pts = append(pts, p)
+	}
+	return newFromParts(d, hs, pts)
+}
+
+// FromHalfspaces intersects the given halfspaces with the bounding box
+// [lo, hi] and returns the resulting polytope, or an empty polytope if
+// the intersection is empty. This is the package's halfspace-intersection
+// entry point (the qhull replacement).
+func FromHalfspaces(hs []Halfspace, lo, hi vec.Vector) *Polytope {
+	p := NewBox(lo, hi)
+	for _, h := range hs {
+		p = p.Clip(h)
+		if p.IsEmpty() {
+			return p
+		}
+	}
+	return p
+}
+
+// newFromParts builds a polytope from candidate halfspaces and candidate
+// vertex points: it deduplicates points, recomputes every tight set, and
+// drops halfspaces that are tight at no vertex (which, for a bounded
+// polytope, are provably redundant).
+func newFromParts(dim int, hs []Halfspace, pts []vec.Vector) *Polytope {
+	// Deduplicate vertex points on a quantized grid.
+	seen := make(map[string]bool, len(pts))
+	uniq := pts[:0:0]
+	for _, p := range pts {
+		k := p.Key(vertexQuantum)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		uniq = append(uniq, p)
+	}
+	if len(uniq) == 0 {
+		return &Polytope{Dim: dim}
+	}
+	// Keep only halfspaces tight at some vertex; every facet of a
+	// bounded polytope carries at least one vertex, so never-tight
+	// halfspaces cannot be facets.
+	type tightInfo struct {
+		h     Halfspace
+		verts []int
+	}
+	kept := make([]tightInfo, 0, len(hs))
+	for _, h := range hs {
+		ti := tightInfo{h: h}
+		for vi, p := range uniq {
+			if almostEqual(h.A.Dot(p), h.B) {
+				ti.verts = append(ti.verts, vi)
+			}
+		}
+		if len(ti.verts) > 0 {
+			kept = append(kept, ti)
+		}
+	}
+	verts := make([]Vertex, len(uniq))
+	for i, p := range uniq {
+		verts[i] = Vertex{Point: p, Tight: NewBits(len(kept))}
+	}
+	out := make([]Halfspace, len(kept))
+	for hi, ti := range kept {
+		out[hi] = ti.h
+		for _, vi := range ti.verts {
+			verts[vi].Tight.Set(hi)
+		}
+	}
+	return &Polytope{Dim: dim, HS: out, Verts: verts}
+}
+
+// IsEmpty reports whether the polytope has no vertices (empty set).
+func (p *Polytope) IsEmpty() bool { return len(p.Verts) == 0 }
+
+// NumVertices returns the number of vertices.
+func (p *Polytope) NumVertices() int { return len(p.Verts) }
+
+// VertexPoints returns the vertex coordinates. The returned slice aliases
+// the polytope's internal vectors and must not be mutated.
+func (p *Polytope) VertexPoints() []vec.Vector {
+	out := make([]vec.Vector, len(p.Verts))
+	for i, v := range p.Verts {
+		out[i] = v.Point
+	}
+	return out
+}
+
+// Contains reports whether x lies in the polytope (within Eps).
+func (p *Polytope) Contains(x vec.Vector) bool {
+	if p.IsEmpty() {
+		return false
+	}
+	for _, h := range p.HS {
+		if h.Eval(x) < -Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Centroid returns the mean of the vertices, a point inside the polytope
+// (strictly interior when the polytope is full-dimensional).
+func (p *Polytope) Centroid() vec.Vector {
+	return vec.Centroid(p.VertexPoints())
+}
+
+// SamplePoint returns a random point of the polytope as a random convex
+// combination of its vertices. The distribution is not uniform over the
+// volume; it is intended for property tests and probes.
+func (p *Polytope) SamplePoint(rng *rand.Rand) vec.Vector {
+	if p.IsEmpty() {
+		panic("geom: SamplePoint on empty polytope")
+	}
+	w := make([]float64, len(p.Verts))
+	var sum float64
+	for i := range w {
+		w[i] = rng.ExpFloat64()
+		sum += w[i]
+	}
+	x := vec.New(p.Dim)
+	for i, v := range p.Verts {
+		f := w[i] / sum
+		for j := range x {
+			x[j] += f * v.Point[j]
+		}
+	}
+	return x
+}
+
+// adjacent reports whether vertices i and j share an edge, using the
+// standard combinatorial test: they are adjacent iff no third vertex's
+// tight set contains the intersection of their tight sets. The popcount
+// pre-filter (an edge of a Dim-polytope lies on at least Dim-1 facets)
+// rejects most non-edges cheaply. The test is allocation-free: it is the
+// innermost loop of Split, which dominates high-dimensional runs.
+func (p *Polytope) adjacent(i, j int) bool {
+	ti, tj := p.Verts[i].Tight, p.Verts[j].Tight
+	cnt := 0
+	for w := range ti {
+		cnt += onesCount64(ti[w] & tj[w])
+	}
+	if cnt < p.Dim-1 {
+		return false
+	}
+	for k := range p.Verts {
+		if k == i || k == j {
+			continue
+		}
+		tk := p.Verts[k].Tight
+		contains := true
+		for w := range ti {
+			if ti[w]&tj[w]&^tk[w] != 0 {
+				contains = false
+				break
+			}
+		}
+		if contains {
+			return false
+		}
+	}
+	return true
+}
+
+// Split cuts the polytope by the boundary hyperplane of h and returns
+// the two closed sides: neg = {x in P : h.A·x <= h.B} and
+// pos = {x in P : h.A·x >= h.B}. Either side may be empty (when the
+// hyperplane misses the interior). The input polytope is unchanged.
+func (p *Polytope) Split(h Halfspace) (neg, pos *Polytope) {
+	if p.IsEmpty() {
+		return p, p
+	}
+	evals := make([]float64, len(p.Verts))
+	var nNeg, nPos, nOn int
+	for i, v := range p.Verts {
+		evals[i] = h.Eval(v.Point)
+		switch Side(evals[i]) {
+		case -1:
+			nNeg++
+		case 1:
+			nPos++
+		default:
+			nOn++
+		}
+	}
+	// When the hyperplane does not cross the interior, the far side is
+	// empty unless some vertices lie exactly on the boundary — then that
+	// side is the (lower-dimensional) face they span. Keeping the face
+	// matters: an option region can legitimately collapse to a facet or
+	// a single point (e.g. when an existing option sits at the top
+	// corner of the option space).
+	if nNeg == 0 || nPos == 0 {
+		var facePts []vec.Vector
+		for i, v := range p.Verts {
+			if Side(evals[i]) == 0 {
+				facePts = append(facePts, v.Point)
+			}
+		}
+		face := &Polytope{Dim: p.Dim}
+		if len(facePts) > 0 {
+			faceHS := append(append([]Halfspace(nil), p.HS...), h, h.Flip())
+			face = newFromParts(p.Dim, faceHS, facePts)
+		}
+		if nNeg == 0 { // entirely on the >= side
+			return face, p
+		}
+		return p, face // entirely on the <= side
+	}
+	// New vertices on the cutting hyperplane: one per crossing edge.
+	var cut []vec.Vector
+	for i := range p.Verts {
+		if Side(evals[i]) != -1 {
+			continue
+		}
+		for j := range p.Verts {
+			if Side(evals[j]) != 1 {
+				continue
+			}
+			if !p.adjacent(i, j) {
+				continue
+			}
+			t := crossingParam(evals[i], evals[j])
+			cut = append(cut, p.Verts[i].Point.Lerp(p.Verts[j].Point, t))
+		}
+	}
+	var negPts, posPts []vec.Vector
+	for i, v := range p.Verts {
+		switch Side(evals[i]) {
+		case -1:
+			negPts = append(negPts, v.Point)
+		case 1:
+			posPts = append(posPts, v.Point)
+		default: // on the hyperplane: belongs to both sides
+			negPts = append(negPts, v.Point)
+			posPts = append(posPts, v.Point)
+		}
+	}
+	negPts = append(negPts, cut...)
+	posPts = append(posPts, cut...)
+
+	negHS := append(append([]Halfspace(nil), p.HS...), h.Flip())
+	posHS := append(append([]Halfspace(nil), p.HS...), h)
+	return newFromParts(p.Dim, negHS, negPts), newFromParts(p.Dim, posHS, posPts)
+}
+
+// Clip intersects the polytope with halfspace h (keeping the >= side).
+// When every vertex already satisfies h, the receiver itself is returned
+// unchanged — this redundancy fast path is what keeps the assembly of oR
+// cheap even with thousands of impact halfspaces.
+func (p *Polytope) Clip(h Halfspace) *Polytope {
+	if p.IsEmpty() {
+		return p
+	}
+	violated := false
+	for _, v := range p.Verts {
+		if h.Eval(v.Point) < -Eps {
+			violated = true
+			break
+		}
+	}
+	if !violated {
+		return p
+	}
+	_, pos := p.Split(h)
+	return pos
+}
+
+// Facet is a polytope facet in the paper's facet-based representation: a
+// bounding halfspace together with the indices of the vertices on it.
+type Facet struct {
+	H        Halfspace
+	VertexIx []int
+}
+
+// Facets enumerates the facets: halfspaces tight at >= Dim vertices.
+// (Halfspaces touching the polytope at a lower-dimensional face are
+// reported too when degenerate geometry makes them indistinguishable;
+// callers treat the list as a superset of the true facets.)
+func (p *Polytope) Facets() []Facet {
+	var out []Facet
+	for hi, h := range p.HS {
+		var ix []int
+		for vi, v := range p.Verts {
+			if v.Tight.Get(hi) {
+				ix = append(ix, vi)
+			}
+		}
+		if len(ix) >= p.Dim {
+			out = append(out, Facet{H: h, VertexIx: ix})
+		}
+	}
+	return out
+}
+
+// CanonicalKey returns a deterministic identity string for the polytope
+// built from its sorted, quantized vertex keys. Two polytopes with the
+// same vertex set (up to tolerance) share a key; used by tests to compare
+// results across algorithms.
+func (p *Polytope) CanonicalKey() string {
+	keys := make([]string, len(p.Verts))
+	for i, v := range p.Verts {
+		keys[i] = v.Point.Key(vertexQuantum * 10)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// BoundingBox returns the component-wise min and max over the vertices.
+func (p *Polytope) BoundingBox() (lo, hi vec.Vector) {
+	if p.IsEmpty() {
+		panic("geom: BoundingBox of empty polytope")
+	}
+	lo = p.Verts[0].Point.Clone()
+	hi = p.Verts[0].Point.Clone()
+	for _, v := range p.Verts[1:] {
+		for j, x := range v.Point {
+			if x < lo[j] {
+				lo[j] = x
+			}
+			if x > hi[j] {
+				hi[j] = x
+			}
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,431 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+func unitBox(d int) *Polytope {
+	lo, hi := vec.New(d), vec.New(d)
+	for j := range hi {
+		hi[j] = 1
+	}
+	return NewBox(lo, hi)
+}
+
+func TestNewBoxStructure(t *testing.T) {
+	for d := 1; d <= 5; d++ {
+		b := unitBox(d)
+		if got, want := b.NumVertices(), 1<<uint(d); got != want {
+			t.Errorf("d=%d: vertices = %d, want %d", d, got, want)
+		}
+		if got, want := len(b.HS), 2*d; got != want {
+			t.Errorf("d=%d: halfspaces = %d, want %d", d, got, want)
+		}
+		// Every vertex must be tight at exactly d halfspaces.
+		for _, v := range b.Verts {
+			if v.Tight.Count() != d {
+				t.Errorf("d=%d: vertex %v tight at %d facets, want %d", d, v.Point, v.Tight.Count(), d)
+			}
+		}
+	}
+}
+
+func TestBoxContains(t *testing.T) {
+	b := unitBox(3)
+	if !b.Contains(vec.Of(0.5, 0.5, 0.5)) {
+		t.Error("interior point rejected")
+	}
+	if !b.Contains(vec.Of(0, 1, 0.5)) {
+		t.Error("boundary point rejected")
+	}
+	if b.Contains(vec.Of(1.1, 0.5, 0.5)) {
+		t.Error("exterior point accepted")
+	}
+}
+
+func TestNewBoxPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBox(vec.Of(0, 0), vec.Of(1, -1))
+}
+
+func TestSplitSquareDiagonal(t *testing.T) {
+	b := unitBox(2)
+	// x - y >= 0: the lower-right triangle.
+	h := NewHalfspace(vec.Of(1, -1), 0)
+	neg, pos := b.Split(h)
+	if neg.IsEmpty() || pos.IsEmpty() {
+		t.Fatal("diagonal split produced an empty side")
+	}
+	if got := pos.NumVertices(); got != 3 {
+		t.Errorf("pos side vertices = %d, want 3", got)
+	}
+	if got := neg.NumVertices(); got != 3 {
+		t.Errorf("neg side vertices = %d, want 3", got)
+	}
+	if !pos.Contains(vec.Of(0.9, 0.1)) || pos.Contains(vec.Of(0.1, 0.9)) {
+		t.Error("pos side membership wrong")
+	}
+	if !neg.Contains(vec.Of(0.1, 0.9)) || neg.Contains(vec.Of(0.9, 0.1)) {
+		t.Error("neg side membership wrong")
+	}
+	wantArea := 0.5
+	if a := pos.Volume(0); math.Abs(a-wantArea) > 1e-9 {
+		t.Errorf("pos area = %v, want %v", a, wantArea)
+	}
+}
+
+func TestSplitMisses(t *testing.T) {
+	b := unitBox(2)
+	neg, pos := b.Split(NewHalfspace(vec.Of(1, 0), -1)) // x >= -1: everything
+	if !neg.IsEmpty() {
+		t.Error("neg side should be empty when hyperplane misses")
+	}
+	if pos.NumVertices() != 4 {
+		t.Error("pos side should be the whole box")
+	}
+	neg, pos = b.Split(NewHalfspace(vec.Of(1, 0), 2)) // x >= 2: nothing
+	if !pos.IsEmpty() || neg.NumVertices() != 4 {
+		t.Error("degenerate split on far side wrong")
+	}
+}
+
+func TestSplitInterval1D(t *testing.T) {
+	b := NewBox(vec.Of(0.2), vec.Of(0.8))
+	neg, pos := b.Split(NewHalfspace(vec.Of(1), 0.5))
+	if neg.IsEmpty() || pos.IsEmpty() {
+		t.Fatal("1-D split failed")
+	}
+	loN, hiN := neg.BoundingBox()
+	loP, hiP := pos.BoundingBox()
+	if math.Abs(loN[0]-0.2) > Eps || math.Abs(hiN[0]-0.5) > Eps {
+		t.Errorf("neg interval [%v,%v]", loN[0], hiN[0])
+	}
+	if math.Abs(loP[0]-0.5) > Eps || math.Abs(hiP[0]-0.8) > Eps {
+		t.Errorf("pos interval [%v,%v]", loP[0], hiP[0])
+	}
+}
+
+func TestSplitVolumeConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for d := 2; d <= 3; d++ {
+		for iter := 0; iter < 30; iter++ {
+			b := unitBox(d)
+			a := vec.New(d)
+			for j := range a {
+				a[j] = rng.NormFloat64()
+			}
+			if a.Norm() < 0.1 {
+				continue
+			}
+			h := NewHalfspace(a, a.Dot(b.Centroid())+0.2*rng.NormFloat64())
+			neg, pos := b.Split(h)
+			got := neg.Volume(0) + pos.Volume(0)
+			if math.Abs(got-1) > 1e-6 {
+				t.Errorf("d=%d iter=%d: split volumes sum to %v, want 1", d, iter, got)
+			}
+		}
+	}
+}
+
+func TestSplitMembershipPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for d := 2; d <= 5; d++ {
+		b := unitBox(d)
+		a := vec.New(d)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+		}
+		h := NewHalfspace(a, a.Dot(b.Centroid()))
+		neg, pos := b.Split(h)
+		for s := 0; s < 200; s++ {
+			x := vec.New(d)
+			for j := range x {
+				x[j] = rng.Float64()
+			}
+			inNeg, inPos := neg.Contains(x), pos.Contains(x)
+			if !inNeg && !inPos {
+				t.Fatalf("d=%d: point %v in neither side", d, x)
+			}
+			side := Side(h.Eval(x))
+			if side > 0 && !inPos {
+				t.Fatalf("d=%d: strict-positive point missing from pos", d)
+			}
+			if side < 0 && !inNeg {
+				t.Fatalf("d=%d: strict-negative point missing from neg", d)
+			}
+		}
+	}
+}
+
+func TestRecursiveSplitsStayConsistent(t *testing.T) {
+	// Repeatedly split a 3-D box and verify vertices remain inside and
+	// tight sets remain valid.
+	rng := rand.New(rand.NewSource(5))
+	p := unitBox(3)
+	for iter := 0; iter < 12; iter++ {
+		a := vec.New(3)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+		}
+		if a.Norm() < 0.1 {
+			continue
+		}
+		c := p.Centroid()
+		h := NewHalfspace(a, a.Dot(c))
+		neg, pos := p.Split(h)
+		if neg.IsEmpty() || pos.IsEmpty() {
+			t.Fatalf("iter %d: centroid split produced empty side", iter)
+		}
+		for _, child := range []*Polytope{neg, pos} {
+			for _, v := range child.Verts {
+				if !child.Contains(v.Point) {
+					t.Fatalf("iter %d: vertex %v outside own polytope", iter, v.Point)
+				}
+				for hi, hh := range child.HS {
+					tight := almostEqual(hh.A.Dot(v.Point), hh.B)
+					if tight != v.Tight.Get(hi) {
+						t.Fatalf("iter %d: tight set inconsistent at %v", iter, v.Point)
+					}
+				}
+			}
+		}
+		if rng.Intn(2) == 0 {
+			p = neg
+		} else {
+			p = pos
+		}
+	}
+}
+
+func TestSplitGrazingKeepsFace(t *testing.T) {
+	// A hyperplane touching the box only at the top corner: the >= side
+	// must be the corner itself (a 0-dimensional face), not empty. This
+	// is how an option region legitimately collapses when an existing
+	// option sits at the top corner of the option space.
+	b := unitBox(2)
+	h := NewHalfspace(vec.Of(0.3, 0.7), 1) // 0.3x + 0.7y >= 1
+	neg, pos := b.Split(h)
+	if pos.IsEmpty() {
+		t.Fatal("grazing split lost the corner face")
+	}
+	if pos.NumVertices() != 1 || !pos.Verts[0].Point.Equal(vec.Of(1, 1), Eps) {
+		t.Fatalf("face should be the corner, got %v", pos.VertexPoints())
+	}
+	if !pos.Contains(vec.Of(1, 1)) || pos.Contains(vec.Of(0.5, 0.5)) {
+		t.Error("face membership wrong")
+	}
+	if neg.NumVertices() != 4 {
+		t.Error("<= side should be the whole box")
+	}
+	// Clipping by the same halfspace keeps the face too.
+	if got := b.Clip(h); got.IsEmpty() || got.NumVertices() != 1 {
+		t.Error("Clip should keep the grazing face")
+	}
+	// An edge-grazing split keeps the full edge.
+	hEdge := NewHalfspace(vec.Of(1, 0), 1) // x >= 1
+	_, edge := b.Split(hEdge)
+	if edge.NumVertices() != 2 {
+		t.Fatalf("edge face should have 2 vertices, got %d", edge.NumVertices())
+	}
+}
+
+func TestClipRedundantFastPath(t *testing.T) {
+	b := unitBox(3)
+	got := b.Clip(NewHalfspace(vec.Of(1, 1, 1), -5))
+	if got != b {
+		t.Error("redundant clip should return the receiver unchanged")
+	}
+}
+
+func TestClipEmptyResult(t *testing.T) {
+	b := unitBox(2)
+	got := b.Clip(NewHalfspace(vec.Of(1, 0), 2))
+	if !got.IsEmpty() {
+		t.Error("infeasible clip should be empty")
+	}
+	if !got.Clip(NewHalfspace(vec.Of(1, 0), 0)).IsEmpty() {
+		t.Error("clip of empty should stay empty")
+	}
+}
+
+func TestFromHalfspacesTriangle(t *testing.T) {
+	// x >= 0, y >= 0, x + y <= 1 within the unit box.
+	hs := []Halfspace{
+		NewHalfspace(vec.Of(-1, -1), -1),
+	}
+	p := FromHalfspaces(hs, vec.Of(0, 0), vec.Of(1, 1))
+	if p.NumVertices() != 3 {
+		t.Fatalf("triangle vertices = %d, want 3", p.NumVertices())
+	}
+	if a := p.Volume(0); math.Abs(a-0.5) > 1e-9 {
+		t.Errorf("triangle area = %v, want 0.5", a)
+	}
+}
+
+func TestFromHalfspacesEmpty(t *testing.T) {
+	hs := []Halfspace{
+		NewHalfspace(vec.Of(1, 0), 0.8),
+		NewHalfspace(vec.Of(-1, 0), -0.2), // x <= 0.2, contradicts x >= 0.8
+	}
+	p := FromHalfspaces(hs, vec.Of(0, 0), vec.Of(1, 1))
+	if !p.IsEmpty() {
+		t.Error("contradictory halfspaces should give empty polytope")
+	}
+}
+
+func TestFacets(t *testing.T) {
+	b := unitBox(2)
+	fs := b.Facets()
+	if len(fs) != 4 {
+		t.Fatalf("square facets = %d, want 4", len(fs))
+	}
+	for _, f := range fs {
+		if len(f.VertexIx) != 2 {
+			t.Errorf("square facet should have 2 vertices, got %d", len(f.VertexIx))
+		}
+	}
+}
+
+func TestCanonicalKeyEquality(t *testing.T) {
+	a := unitBox(2)
+	h := NewHalfspace(vec.Of(1, -1), 0)
+	_, p1 := a.Split(h)
+	_, p2 := unitBox(2).Split(h)
+	if p1.CanonicalKey() != p2.CanonicalKey() {
+		t.Error("identical polytopes must share canonical keys")
+	}
+	neg, _ := a.Split(h)
+	if neg.CanonicalKey() == p1.CanonicalKey() {
+		t.Error("different polytopes must have different keys")
+	}
+}
+
+func TestSamplePointInside(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := FromHalfspaces([]Halfspace{NewHalfspace(vec.Of(-1, -1, -1), -1.2)},
+		vec.New(3), vec.Of(1, 1, 1))
+	for i := 0; i < 100; i++ {
+		if x := p.SamplePoint(rng); !p.Contains(x) {
+			t.Fatalf("sampled point %v outside polytope", x)
+		}
+	}
+}
+
+func TestVolumeBox(t *testing.T) {
+	for d := 1; d <= 3; d++ {
+		lo, hi := vec.New(d), vec.New(d)
+		for j := range hi {
+			hi[j] = 0.5
+		}
+		b := NewBox(lo, hi)
+		want := math.Pow(0.5, float64(d))
+		if got := b.Volume(0); math.Abs(got-want) > 1e-9 {
+			t.Errorf("d=%d box volume = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func TestVolumeMonteCarloHighDim(t *testing.T) {
+	b := unitBox(4)
+	got := b.Volume(50000)
+	if math.Abs(got-1) > 0.05 {
+		t.Errorf("4-D box MC volume = %v, want ~1", got)
+	}
+	// Half-box via a clip.
+	half := b.Clip(NewHalfspace(vec.Of(1, 0, 0, 0), 0.5))
+	if got := half.Volume(50000); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("4-D half box MC volume = %v, want ~0.5", got)
+	}
+}
+
+func TestBitsOps(t *testing.T) {
+	b := NewBits(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Error("Set/Get wrong")
+	}
+	if b.Count() != 3 {
+		t.Errorf("Count = %d, want 3", b.Count())
+	}
+	o := NewBits(130)
+	o.Set(64)
+	if !b.Contains(o) {
+		t.Error("Contains subset failed")
+	}
+	o.Set(2)
+	if b.Contains(o) {
+		t.Error("Contains should fail on non-subset")
+	}
+	and := b.And(o)
+	if and.Count() != 1 || !and.Get(64) {
+		t.Error("And wrong")
+	}
+	c := b.Clone()
+	c.Set(1)
+	if b.Get(1) {
+		t.Error("Clone aliases storage")
+	}
+}
+
+func TestHalfspaceFlipNormalize(t *testing.T) {
+	h := NewHalfspace(vec.Of(3, 4), 5)
+	f := h.Flip()
+	x := vec.Of(1, 1)
+	if math.Abs(h.Eval(x)+f.Eval(x)) > Eps {
+		t.Error("Flip should negate Eval")
+	}
+	n := h.Normalize()
+	if math.Abs(n.A.Norm()-1) > Eps {
+		t.Error("Normalize should give unit normal")
+	}
+	if Side(n.Eval(x))*Side(h.Eval(x)) < 0 {
+		t.Error("Normalize must preserve orientation")
+	}
+}
+
+func TestSideClassification(t *testing.T) {
+	if Side(1) != 1 || Side(-1) != -1 || Side(0) != 0 || Side(Eps/2) != 0 {
+		t.Error("Side misclassifies")
+	}
+}
+
+func TestHighDimSplitSoundness(t *testing.T) {
+	// Dimension 6 split: the combinatorial adjacency machinery must hold
+	// up beyond the visualizable cases.
+	rng := rand.New(rand.NewSource(11))
+	b := unitBox(6)
+	a := vec.Of(1, -1, 0.5, -0.5, 0.25, -0.25)
+	h := NewHalfspace(a, a.Dot(b.Centroid()))
+	neg, pos := b.Split(h)
+	if neg.IsEmpty() || pos.IsEmpty() {
+		t.Fatal("6-D split through centroid empty")
+	}
+	for s := 0; s < 500; s++ {
+		x := vec.New(6)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		if !neg.Contains(x) && !pos.Contains(x) {
+			t.Fatalf("point %v lost by 6-D split", x)
+		}
+	}
+	// Sampled points of each side satisfy the side constraint.
+	for s := 0; s < 100; s++ {
+		if h.Eval(pos.SamplePoint(rng)) < -1e-7 {
+			t.Fatal("pos sample violates halfspace")
+		}
+		if h.Eval(neg.SamplePoint(rng)) > 1e-7 {
+			t.Fatal("neg sample violates flipped halfspace")
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+// TestClipIdempotent: clipping twice by the same halfspace changes
+// nothing the second time.
+func TestClipIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 40; iter++ {
+		d := 2 + rng.Intn(3)
+		p := unitBox(d)
+		a := vec.New(d)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+		}
+		if a.Norm() < 0.2 {
+			continue
+		}
+		h := NewHalfspace(a, a.Dot(p.Centroid()))
+		once := p.Clip(h)
+		twice := once.Clip(h)
+		if once.CanonicalKey() != twice.CanonicalKey() {
+			t.Fatalf("iter %d: clip not idempotent", iter)
+		}
+	}
+}
+
+// TestClipMonotone: the clipped polytope is contained in the original.
+func TestClipMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 40; iter++ {
+		d := 2 + rng.Intn(3)
+		p := unitBox(d)
+		a := vec.New(d)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+		}
+		if a.Norm() < 0.2 {
+			continue
+		}
+		clipped := p.Clip(NewHalfspace(a, a.Dot(p.Centroid())))
+		if clipped.IsEmpty() {
+			continue
+		}
+		for s := 0; s < 50; s++ {
+			x := clipped.SamplePoint(rng)
+			if !p.Contains(x) {
+				t.Fatalf("iter %d: clipped point %v escapes the parent", iter, x)
+			}
+		}
+	}
+}
+
+// TestClipOrderIndependent: intersecting a set of halfspaces yields the
+// same region regardless of the order of application.
+func TestClipOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 20; iter++ {
+		d := 2 + rng.Intn(2)
+		var hs []Halfspace
+		for c := 0; c < 4; c++ {
+			a := vec.New(d)
+			for j := range a {
+				a[j] = rng.NormFloat64()
+			}
+			if a.Norm() < 0.2 {
+				continue
+			}
+			hs = append(hs, NewHalfspace(a, a.Dot(unitBox(d).Centroid())-0.2))
+		}
+		fwd := unitBox(d)
+		for _, h := range hs {
+			fwd = fwd.Clip(h)
+		}
+		rev := unitBox(d)
+		for i := len(hs) - 1; i >= 0; i-- {
+			rev = rev.Clip(hs[i])
+		}
+		if fwd.IsEmpty() != rev.IsEmpty() {
+			t.Fatalf("iter %d: emptiness depends on clip order", iter)
+		}
+		if fwd.IsEmpty() {
+			continue
+		}
+		// Membership-compare on random probes.
+		for s := 0; s < 100; s++ {
+			x := vec.New(d)
+			for j := range x {
+				x[j] = rng.Float64()
+			}
+			if fwd.Contains(x) != rev.Contains(x) {
+				t.Fatalf("iter %d: clip order changed membership at %v", iter, x)
+			}
+		}
+	}
+}
+
+// TestVerticesSatisfyAllHalfspaces: structural invariant after arbitrary
+// splits.
+func TestVerticesSatisfyAllHalfspaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	p := unitBox(4)
+	for iter := 0; iter < 10 && !p.IsEmpty(); iter++ {
+		a := vec.New(4)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+		}
+		if a.Norm() < 0.2 {
+			continue
+		}
+		_, p = p.Split(NewHalfspace(a, a.Dot(p.Centroid())))
+		for _, v := range p.Verts {
+			for _, h := range p.HS {
+				if h.Eval(v.Point) < -1e-7 {
+					t.Fatalf("vertex %v violates halfspace %v", v.Point, h)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundingBoxContainsSamples: the bounding box really bounds.
+func TestBoundingBoxContainsSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	p := FromHalfspaces([]Halfspace{
+		NewHalfspace(vec.Of(-1, -1, -1), -1.4),
+		NewHalfspace(vec.Of(1, 0.5, 0.25), 0.3),
+	}, vec.New(3), vec.Of(1, 1, 1))
+	lo, hi := p.BoundingBox()
+	for s := 0; s < 200; s++ {
+		x := p.SamplePoint(rng)
+		for j := range x {
+			if x[j] < lo[j]-1e-9 || x[j] > hi[j]+1e-9 {
+				t.Fatalf("sample %v outside bounding box [%v, %v]", x, lo, hi)
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"toprr/internal/vec"
+)
+
+// exactVolumeMaxDim bounds the exact recursive volume computation; the
+// facet recursion visits O(F^d) sub-faces in the worst case, which is
+// fine for the dimensionalities where explicit oR geometry exists but
+// not beyond.
+const exactVolumeMaxDim = 7
+
+// Volume returns the (hyper)volume of the polytope. Up to
+// exactVolumeMaxDim dimensions it is computed exactly by recursive
+// facet-pyramid decomposition (vol = Σ facet_area · height / d around
+// the centroid, with facet areas computed recursively in facet-local
+// coordinates); higher dimensions fall back to a Monte Carlo estimate
+// over the bounding box with the given sample count and a deterministic
+// seed. Volume is a reporting facility — the TopRR algorithms themselves
+// never depend on it.
+func (p *Polytope) Volume(mcSamples int) float64 {
+	if p.IsEmpty() {
+		return 0
+	}
+	if p.Dim <= exactVolumeMaxDim {
+		return p.exactVolume()
+	}
+	return p.volumeMC(mcSamples)
+}
+
+// exactVolume implements the recursive facet-pyramid decomposition.
+func (p *Polytope) exactVolume() float64 {
+	switch p.Dim {
+	case 0:
+		return 0
+	case 1:
+		lo, hi := p.BoundingBox()
+		return hi[0] - lo[0]
+	case 2:
+		return polygonArea(p.VertexPoints())
+	}
+	if len(p.Verts) <= p.Dim { // lower-dimensional: zero volume
+		return 0
+	}
+	c := p.Centroid()
+	var vol float64
+	seen := make(map[string]bool)
+	for _, f := range p.Facets() {
+		h := f.H.Normalize()
+		key := append(h.A.Clone(), h.B).Key(1e-9)
+		if seen[key] { // duplicated bounding halfspace: count once
+			continue
+		}
+		seen[key] = true
+		height := math.Abs(h.Eval(c))
+		if height < Eps {
+			continue
+		}
+		facetPoly := p.facetPolytope(f, h)
+		if facetPoly == nil {
+			continue
+		}
+		vol += facetPoly.exactVolume() * height / float64(p.Dim)
+	}
+	return vol
+}
+
+// facetPolytope builds the (Dim-1)-dimensional polytope of a facet in
+// facet-local orthonormal coordinates: vertices are projected, and every
+// other bounding halfspace is re-expressed in the local frame.
+func (p *Polytope) facetPolytope(f Facet, h Halfspace) *Polytope {
+	if len(f.VertexIx) < p.Dim {
+		return nil
+	}
+	basis := vec.OrthonormalBasisOrthogonalTo(h.A, Eps)
+	origin := p.Verts[f.VertexIx[0]].Point
+	pts := make([]vec.Vector, 0, len(f.VertexIx))
+	for _, vi := range f.VertexIx {
+		pts = append(pts, vec.ProjectToBasis(p.Verts[vi].Point.Sub(origin), basis))
+	}
+	var hs []Halfspace
+	for _, other := range p.HS {
+		// Constraint other.A·x >= other.B restricted to the facet plane
+		// x = origin + Σ t_i basis_i becomes a·t >= b with
+		// a_i = other.A·basis_i and b = other.B - other.A·origin.
+		a := vec.New(len(basis))
+		for i, bvec := range basis {
+			a[i] = other.A.Dot(bvec)
+		}
+		if a.NormInf() < Eps {
+			continue // parallel to the facet (e.g. the facet itself)
+		}
+		hs = append(hs, Halfspace{A: a, B: other.B - other.A.Dot(origin)})
+	}
+	return newFromParts(p.Dim-1, hs, pts)
+}
+
+// polygonArea computes the area of the convex hull of the given coplanar
+// 2-D points by sorting them around their centroid and applying the
+// shoelace formula.
+func polygonArea(pts []vec.Vector) float64 {
+	if len(pts) < 3 {
+		return 0
+	}
+	c := vec.Centroid(pts)
+	ordered := append([]vec.Vector(nil), pts...)
+	sort.Slice(ordered, func(i, j int) bool {
+		ai := math.Atan2(ordered[i][1]-c[1], ordered[i][0]-c[0])
+		aj := math.Atan2(ordered[j][1]-c[1], ordered[j][0]-c[0])
+		return ai < aj
+	})
+	var area float64
+	for i := range ordered {
+		a, b := ordered[i], ordered[(i+1)%len(ordered)]
+		area += a[0]*b[1] - b[0]*a[1]
+	}
+	return math.Abs(area) / 2
+}
+
+// volumeMC estimates the volume by rejection sampling over the bounding
+// box with a fixed seed for reproducibility.
+func (p *Polytope) volumeMC(samples int) float64 {
+	if samples <= 0 {
+		samples = 20000
+	}
+	lo, hi := p.BoundingBox()
+	boxVol := 1.0
+	for j := range lo {
+		boxVol *= hi[j] - lo[j]
+	}
+	if boxVol <= 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(1))
+	hit := 0
+	x := vec.New(p.Dim)
+	for s := 0; s < samples; s++ {
+		for j := range x {
+			x[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+		}
+		if p.Contains(x) {
+			hit++
+		}
+	}
+	return boxVol * float64(hit) / float64(samples)
+}

@@ -1,0 +1,180 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+// TestExactVolumeSimplex checks the standard simplex volume 1/d! for
+// dimensions 2-6 via the halfspace Σx <= 1 clipped out of the unit box.
+func TestExactVolumeSimplex(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		ones := vec.New(d)
+		for j := range ones {
+			ones[j] = -1
+		}
+		simplex := FromHalfspaces([]Halfspace{NewHalfspace(ones, -1)},
+			vec.New(d), onesVec(d))
+		want := 1.0
+		for f := 2; f <= d; f++ {
+			want /= float64(f)
+		}
+		if got := simplex.Volume(0); math.Abs(got-want) > 1e-9 {
+			t.Errorf("d=%d simplex volume = %v, want %v", d, got, want)
+		}
+	}
+}
+
+func onesVec(d int) vec.Vector {
+	v := vec.New(d)
+	for j := range v {
+		v[j] = 1
+	}
+	return v
+}
+
+// TestExactVolumeBoxHighDim verifies exact box volumes through the
+// recursive path in dimensions past the old hand-coded 3-D case.
+func TestExactVolumeBoxHighDim(t *testing.T) {
+	for d := 4; d <= 6; d++ {
+		lo, hi := vec.New(d), vec.New(d)
+		for j := range hi {
+			hi[j] = 0.5
+		}
+		b := NewBox(lo, hi)
+		want := math.Pow(0.5, float64(d))
+		if got := b.Volume(0); math.Abs(got-want) > 1e-9 {
+			t.Errorf("d=%d box volume = %v, want %v", d, got, want)
+		}
+	}
+}
+
+// TestExactVolumeMatchesMonteCarlo cross-checks the recursion against
+// sampling on random clipped polytopes in 4-5 dimensions.
+func TestExactVolumeMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for d := 4; d <= 5; d++ {
+		for iter := 0; iter < 5; iter++ {
+			p := NewBox(vec.New(d), onesVec(d))
+			for cuts := 0; cuts < 3; cuts++ {
+				a := vec.New(d)
+				for j := range a {
+					a[j] = rng.NormFloat64()
+				}
+				if a.Norm() < 0.2 {
+					continue
+				}
+				p = p.Clip(NewHalfspace(a, a.Dot(p.Centroid())-0.1))
+				if p.IsEmpty() {
+					break
+				}
+			}
+			if p.IsEmpty() || p.NumVertices() <= d {
+				continue
+			}
+			exact := p.exactVolume()
+			mc := p.volumeMC(120000)
+			if exact < 1e-6 {
+				continue
+			}
+			if math.Abs(exact-mc)/exact > 0.1 {
+				t.Errorf("d=%d iter=%d: exact %v vs MC %v", d, iter, exact, mc)
+			}
+		}
+	}
+}
+
+// TestVolumeSplitAdditivityHighDim: volumes of split halves sum to the
+// whole, now checkable exactly in 4-5 dimensions.
+func TestVolumeSplitAdditivityHighDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for d := 4; d <= 5; d++ {
+		b := NewBox(vec.New(d), onesVec(d))
+		for iter := 0; iter < 10; iter++ {
+			a := vec.New(d)
+			for j := range a {
+				a[j] = rng.NormFloat64()
+			}
+			if a.Norm() < 0.2 {
+				continue
+			}
+			h := NewHalfspace(a, a.Dot(b.Centroid())+0.1*rng.NormFloat64())
+			neg, pos := b.Split(h)
+			got := neg.Volume(0) + pos.Volume(0)
+			if math.Abs(got-1) > 1e-7 {
+				t.Errorf("d=%d iter=%d: split volumes sum to %v, want 1", d, iter, got)
+			}
+		}
+	}
+}
+
+// TestVolumeDegenerateFace: faces have zero volume.
+func TestVolumeDegenerateFace(t *testing.T) {
+	b := unitBox(3)
+	_, corner := b.Split(NewHalfspace(vec.Of(1, 1, 1), 3)) // touches (1,1,1) only
+	if corner.IsEmpty() {
+		t.Fatal("corner face lost")
+	}
+	if got := corner.Volume(0); got != 0 {
+		t.Errorf("corner volume = %v, want 0", got)
+	}
+}
+
+func TestOrthonormalBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for d := 2; d <= 7; d++ {
+		for iter := 0; iter < 20; iter++ {
+			a := vec.New(d)
+			for j := range a {
+				a[j] = rng.NormFloat64()
+			}
+			if a.Norm() < 0.1 {
+				continue
+			}
+			basis := vec.OrthonormalBasisOrthogonalTo(a, 1e-9)
+			if len(basis) != d-1 {
+				t.Fatalf("d=%d: basis size %d", d, len(basis))
+			}
+			for i, b := range basis {
+				if math.Abs(b.Norm()-1) > 1e-9 {
+					t.Fatalf("basis vector not unit")
+				}
+				if math.Abs(b.Dot(a)) > 1e-9 {
+					t.Fatalf("basis vector not orthogonal to normal")
+				}
+				for j := i + 1; j < len(basis); j++ {
+					if math.Abs(b.Dot(basis[j])) > 1e-9 {
+						t.Fatalf("basis vectors not mutually orthogonal")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestProjectToBasisRoundTrip(t *testing.T) {
+	// Distances within a hyperplane are preserved under projection to
+	// its orthonormal basis.
+	rng := rand.New(rand.NewSource(4))
+	a := vec.Of(1, 2, -1, 0.5)
+	basis := vec.OrthonormalBasisOrthogonalTo(a, 1e-9)
+	mk := func() vec.Vector {
+		// Random point in the hyperplane through the origin.
+		p := vec.New(4)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		return p.AddScaled(-p.Dot(a)/a.Dot(a), a)
+	}
+	for iter := 0; iter < 50; iter++ {
+		p, q := mk(), mk()
+		pp := vec.ProjectToBasis(p, basis)
+		qq := vec.ProjectToBasis(q, basis)
+		if math.Abs(p.Dist(q)-pp.Dist(qq)) > 1e-9 {
+			t.Fatalf("projection distorted distances: %v vs %v", p.Dist(q), pp.Dist(qq))
+		}
+	}
+}

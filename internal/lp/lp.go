@@ -1,0 +1,333 @@
+// Package lp implements a dense two-phase simplex solver for small to
+// medium linear programs.
+//
+// It serves the TopRR reproduction in three roles: convex-hull layer
+// peeling for the k-onion filter (Section 6.3 of the paper), feasibility
+// and redundancy probes over polytope H-representations, and as an
+// independent oracle in tests of the geometry engine.
+//
+// The solver handles problems of the form
+//
+//	maximize (or minimize) c·x
+//	subject to a_i·x {<=,=,>=} b_i  for each constraint i
+//	           x >= 0
+//
+// using the standard two-phase tableau method with Bland's rule, which
+// guarantees termination.
+package lp
+
+import (
+	"fmt"
+	"math"
+
+	"toprr/internal/vec"
+)
+
+// Eps is the pivoting and feasibility tolerance.
+const Eps = 1e-9
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // a·x <= b
+	EQ            // a·x  = b
+	GE            // a·x >= b
+)
+
+// Constraint is a single linear constraint a·x REL b.
+type Constraint struct {
+	A   vec.Vector
+	Rel Rel
+	B   float64
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Result carries the solution of a linear program.
+type Result struct {
+	Status Status
+	X      vec.Vector // primal solution (valid when Status == Optimal)
+	Value  float64    // objective value at X
+}
+
+// Maximize solves: max c·x subject to cons and x >= 0.
+func Maximize(c vec.Vector, cons []Constraint) Result {
+	return solve(c, cons, false)
+}
+
+// Minimize solves: min c·x subject to cons and x >= 0.
+func Minimize(c vec.Vector, cons []Constraint) Result {
+	r := solve(c.Scale(-1), cons, false)
+	r.Value = -r.Value
+	return r
+}
+
+// Feasible reports whether the system {cons, x >= 0} has a solution and
+// returns one if so.
+func Feasible(n int, cons []Constraint) (vec.Vector, bool) {
+	r := solve(vec.New(n), cons, true)
+	if r.Status != Optimal {
+		return nil, false
+	}
+	return r.X, true
+}
+
+// MaximizeFree solves max c·x subject to cons with x unrestricted in
+// sign, via the standard substitution x = u - v with u, v >= 0.
+func MaximizeFree(c vec.Vector, cons []Constraint) Result {
+	n := len(c)
+	cc := make(vec.Vector, 2*n)
+	copy(cc, c)
+	for j := 0; j < n; j++ {
+		cc[n+j] = -c[j]
+	}
+	cons2 := make([]Constraint, len(cons))
+	for i, con := range cons {
+		a := make(vec.Vector, 2*n)
+		copy(a, con.A)
+		for j := 0; j < n; j++ {
+			a[n+j] = -con.A[j]
+		}
+		cons2[i] = Constraint{A: a, Rel: con.Rel, B: con.B}
+	}
+	r := solve(cc, cons2, false)
+	if r.Status != Optimal {
+		return Result{Status: r.Status}
+	}
+	x := make(vec.Vector, n)
+	for j := 0; j < n; j++ {
+		x[j] = r.X[j] - r.X[n+j]
+	}
+	return Result{Status: Optimal, X: x, Value: r.Value}
+}
+
+// MinimizeFree solves min c·x subject to cons with x unrestricted in
+// sign.
+func MinimizeFree(c vec.Vector, cons []Constraint) Result {
+	r := MaximizeFree(c.Scale(-1), cons)
+	r.Value = -r.Value
+	return r
+}
+
+// tableau is a dense simplex tableau. Row 0..m-1 are constraints, the
+// last two rows hold the phase-2 and phase-1 objectives.
+type tableau struct {
+	m, n  int // constraints, total columns (vars + slacks + artificials + rhs)
+	data  []float64
+	basis []int // basic variable per row
+}
+
+func (t *tableau) at(i, j int) float64     { return t.data[i*t.n+j] }
+func (t *tableau) set(i, j int, v float64) { t.data[i*t.n+j] = v }
+func (t *tableau) add(i, j int, v float64) { t.data[i*t.n+j] += v }
+
+// solve maximizes c·x. feasOnly skips phase 2.
+func solve(c vec.Vector, cons []Constraint, feasOnly bool) Result {
+	nVars := len(c)
+	// Count auxiliary columns.
+	nSlack, nArt := 0, 0
+	for _, con := range cons {
+		if len(con.A) != nVars {
+			panic("lp: constraint dimension mismatch")
+		}
+		b := con.B
+		rel := con.Rel
+		if b < 0 { // normalize to b >= 0 by flipping the row
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	m := len(cons)
+	cols := nVars + nSlack + nArt + 1 // +1 rhs
+	t := &tableau{m: m, n: cols, data: make([]float64, (m+2)*cols), basis: make([]int, m)}
+	rhs := cols - 1
+	objRow, artRow := m, m+1
+
+	slackCol := nVars
+	artCol := nVars + nSlack
+	for i, con := range cons {
+		a, b, rel := con.A, con.B, con.Rel
+		if b < 0 {
+			a = a.Scale(-1)
+			b = -b
+			rel = flip(rel)
+		}
+		for j, v := range a {
+			t.set(i, j, v)
+		}
+		t.set(i, rhs, b)
+		switch rel {
+		case LE:
+			t.set(i, slackCol, 1)
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.set(i, slackCol, -1)
+			slackCol++
+			t.set(i, artCol, 1)
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.set(i, artCol, 1)
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+	// Phase-2 objective row: maximize c·x -> row holds -c (reduced costs).
+	for j, v := range c {
+		t.set(objRow, j, -v)
+	}
+	// Phase-1 objective: minimize sum of artificials -> maximize -sum.
+	for j := nVars + nSlack; j < nVars+nSlack+nArt; j++ {
+		t.set(artRow, j, 1)
+	}
+	// Price out the artificial basic variables from the phase-1 row.
+	for i := 0; i < m; i++ {
+		if t.basis[i] >= nVars+nSlack {
+			for j := 0; j < cols; j++ {
+				t.add(artRow, j, -t.at(i, j))
+			}
+		}
+	}
+	if nArt > 0 {
+		if !t.pivotLoop(artRow, nVars+nSlack+nArt) {
+			// Phase 1 of an LP is always bounded; reaching here means a
+			// numeric breakdown, treat as infeasible.
+			return Result{Status: Infeasible}
+		}
+		if -t.at(artRow, rhs) > 1e-7 {
+			return Result{Status: Infeasible}
+		}
+		// Drive any artificial variables that remain basic at zero level
+		// out of the basis when possible.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < nVars+nSlack {
+				continue
+			}
+			for j := 0; j < nVars+nSlack; j++ {
+				if math.Abs(t.at(i, j)) > Eps {
+					t.pivot(i, j)
+					break
+				}
+			}
+		}
+	}
+	if feasOnly {
+		return Result{Status: Optimal, X: t.extract(nVars, rhs), Value: 0}
+	}
+	if !t.pivotLoop(objRow, nVars+nSlack) {
+		return Result{Status: Unbounded}
+	}
+	x := t.extract(nVars, rhs)
+	return Result{Status: Optimal, X: x, Value: t.at(objRow, rhs)}
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// pivotLoop runs simplex iterations maximizing the given objective row,
+// considering entering columns < limit. It returns false on unboundedness.
+func (t *tableau) pivotLoop(objRow, limit int) bool {
+	rhs := t.n - 1
+	for iter := 0; ; iter++ {
+		// Bland's rule: smallest-index column with negative reduced cost.
+		col := -1
+		for j := 0; j < limit; j++ {
+			if t.at(objRow, j) < -Eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return true
+		}
+		// Ratio test, Bland tie-break on basis index.
+		row, best := -1, math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.at(i, col)
+			if a <= Eps {
+				continue
+			}
+			r := t.at(i, rhs) / a
+			if r < best-Eps || (r < best+Eps && (row < 0 || t.basis[i] < t.basis[row])) {
+				row, best = i, r
+			}
+		}
+		if row < 0 {
+			return false
+		}
+		t.pivot(row, col)
+	}
+}
+
+// pivot makes (row, col) the basic entry.
+func (t *tableau) pivot(row, col int) {
+	pv := t.at(row, col)
+	inv := 1 / pv
+	for j := 0; j < t.n; j++ {
+		t.set(row, j, t.at(row, j)*inv)
+	}
+	for i := 0; i < t.m+2; i++ {
+		if i == row {
+			continue
+		}
+		f := t.at(i, col)
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			t.add(i, j, -f*t.at(row, j))
+		}
+	}
+	t.basis[row] = col
+}
+
+// extract reads the primal solution for the first nVars columns.
+func (t *tableau) extract(nVars, rhs int) vec.Vector {
+	x := vec.New(nVars)
+	for i, b := range t.basis {
+		if b < nVars {
+			x[b] = t.at(i, rhs)
+		}
+	}
+	return x
+}

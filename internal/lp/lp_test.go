@@ -1,0 +1,265 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+func TestMaximizeBasic(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 -> (4,0), value 12.
+	r := Maximize(vec.Of(3, 2), []Constraint{
+		{A: vec.Of(1, 1), Rel: LE, B: 4},
+		{A: vec.Of(1, 3), Rel: LE, B: 6},
+	})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if math.Abs(r.Value-12) > 1e-7 {
+		t.Errorf("value = %v, want 12", r.Value)
+	}
+	if !r.X.Equal(vec.Of(4, 0), 1e-7) {
+		t.Errorf("x = %v, want (4,0)", r.X)
+	}
+}
+
+func TestMinimizeBasic(t *testing.T) {
+	// min x + y s.t. x + 2y >= 4, 3x + y >= 6 -> intersection (8/5, 6/5), value 14/5.
+	r := Minimize(vec.Of(1, 1), []Constraint{
+		{A: vec.Of(1, 2), Rel: GE, B: 4},
+		{A: vec.Of(3, 1), Rel: GE, B: 6},
+	})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if math.Abs(r.Value-2.8) > 1e-7 {
+		t.Errorf("value = %v, want 2.8", r.Value)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x s.t. x + y = 1, x,y >= 0 -> x = 1.
+	r := Maximize(vec.Of(1, 0), []Constraint{
+		{A: vec.Of(1, 1), Rel: EQ, B: 1},
+	})
+	if r.Status != Optimal || math.Abs(r.Value-1) > 1e-7 {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	r := Maximize(vec.Of(1), []Constraint{
+		{A: vec.Of(1), Rel: GE, B: 2},
+		{A: vec.Of(1), Rel: LE, B: 1},
+	})
+	if r.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	r := Maximize(vec.Of(1, 0), []Constraint{
+		{A: vec.Of(0, 1), Rel: LE, B: 1},
+	})
+	if r.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// a·x <= -1 with a = (-1): means -x <= -1, i.e. x >= 1. min x -> 1.
+	r := Minimize(vec.Of(1), []Constraint{
+		{A: vec.Of(-1), Rel: LE, B: -1},
+	})
+	if r.Status != Optimal || math.Abs(r.Value-1) > 1e-7 {
+		t.Fatalf("r = %+v", r)
+	}
+}
+
+func TestFeasiblePoint(t *testing.T) {
+	x, ok := Feasible(2, []Constraint{
+		{A: vec.Of(1, 1), Rel: EQ, B: 1},
+		{A: vec.Of(1, 0), Rel: GE, B: 0.25},
+	})
+	if !ok {
+		t.Fatal("system should be feasible")
+	}
+	if math.Abs(x.Sum()-1) > 1e-7 || x[0] < 0.25-1e-7 {
+		t.Errorf("point %v does not satisfy constraints", x)
+	}
+	if _, ok := Feasible(1, []Constraint{
+		{A: vec.Of(1), Rel: GE, B: 1},
+		{A: vec.Of(1), Rel: LE, B: 0},
+	}); ok {
+		t.Error("infeasible system reported feasible")
+	}
+}
+
+func TestDegenerateCycleGuard(t *testing.T) {
+	// A classic degenerate LP; Bland's rule must terminate.
+	r := Maximize(vec.Of(0.75, -150, 0.02, -6), []Constraint{
+		{A: vec.Of(0.25, -60, -0.04, 9), Rel: LE, B: 0},
+		{A: vec.Of(0.5, -90, -0.02, 3), Rel: LE, B: 0},
+		{A: vec.Of(0, 0, 1, 0), Rel: LE, B: 1},
+	})
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if math.Abs(r.Value-0.05) > 1e-6 {
+		t.Errorf("value = %v, want 0.05", r.Value)
+	}
+}
+
+// TestAgainstVertexEnumeration cross-checks the simplex against brute
+// force enumeration of basic feasible solutions on random 2-D problems.
+func TestAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 300; iter++ {
+		nCons := 2 + rng.Intn(4)
+		cons := make([]Constraint, nCons)
+		for i := range cons {
+			cons[i] = Constraint{
+				A:   vec.Of(rng.Float64(), rng.Float64()),
+				Rel: LE,
+				B:   0.5 + rng.Float64(),
+			}
+		}
+		c := vec.Of(rng.Float64(), rng.Float64())
+		r := Maximize(c, cons)
+		if r.Status != Optimal {
+			t.Fatalf("iter %d: random LE problem with positive rhs must be optimal, got %v", iter, r.Status)
+		}
+		// Brute force over intersections of constraint boundaries and axes.
+		lines := make([][3]float64, 0, nCons+2)
+		for _, con := range cons {
+			lines = append(lines, [3]float64{con.A[0], con.A[1], con.B})
+		}
+		lines = append(lines, [3]float64{1, 0, 0}, [3]float64{0, 1, 0})
+		best := 0.0 // origin is feasible
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				det := lines[i][0]*lines[j][1] - lines[j][0]*lines[i][1]
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				x := (lines[i][2]*lines[j][1] - lines[j][2]*lines[i][1]) / det
+				y := (lines[i][0]*lines[j][2] - lines[j][0]*lines[i][2]) / det
+				if x < -1e-9 || y < -1e-9 {
+					continue
+				}
+				ok := true
+				for _, con := range cons {
+					if con.A[0]*x+con.A[1]*y > con.B+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if v := c[0]*x + c[1]*y; v > best {
+						best = v
+					}
+				}
+			}
+		}
+		if math.Abs(r.Value-best) > 1e-6 {
+			t.Fatalf("iter %d: simplex value %v, brute force %v", iter, r.Value, best)
+		}
+	}
+}
+
+func TestSolutionSatisfiesConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 100; iter++ {
+		n := 2 + rng.Intn(3)
+		cons := make([]Constraint, 0, 5)
+		for i := 0; i < 4; i++ {
+			a := vec.New(n)
+			for j := range a {
+				a[j] = rng.NormFloat64()
+			}
+			cons = append(cons, Constraint{A: a, Rel: LE, B: 1 + rng.Float64()})
+		}
+		c := vec.New(n)
+		for j := range c {
+			c[j] = rng.Float64()
+		}
+		r := Maximize(c, cons)
+		if r.Status != Optimal {
+			continue // may legitimately be unbounded
+		}
+		for _, con := range cons {
+			if con.A.Dot(r.X) > con.B+1e-6 {
+				t.Fatalf("iter %d: solution violates constraint", iter)
+			}
+		}
+		for _, x := range r.X {
+			if x < -1e-9 {
+				t.Fatalf("iter %d: negative variable %v", iter, x)
+			}
+		}
+	}
+}
+
+func TestMaximizeFreeNegativeOptimum(t *testing.T) {
+	// max x s.t. x <= -2: solution x = -2, impossible with x >= 0.
+	r := MaximizeFree(vec.Of(1), []Constraint{
+		{A: vec.Of(1), Rel: LE, B: -2},
+	})
+	if r.Status != Optimal || math.Abs(r.Value+2) > 1e-7 {
+		t.Fatalf("r = %+v, want value -2", r)
+	}
+	if math.Abs(r.X[0]+2) > 1e-7 {
+		t.Errorf("x = %v, want -2", r.X)
+	}
+}
+
+func TestMinimizeFree(t *testing.T) {
+	// min x + y s.t. x >= -1, y >= -3: optimum -4.
+	r := MinimizeFree(vec.Of(1, 1), []Constraint{
+		{A: vec.Of(1, 0), Rel: GE, B: -1},
+		{A: vec.Of(0, 1), Rel: GE, B: -3},
+	})
+	if r.Status != Optimal || math.Abs(r.Value+4) > 1e-7 {
+		t.Fatalf("r = %+v, want value -4", r)
+	}
+}
+
+func TestFreeMatchesNonNegativeWhenApplicable(t *testing.T) {
+	// On a problem whose optimum has x >= 0 anyway, both solvers agree.
+	cons := []Constraint{
+		{A: vec.Of(1, 1), Rel: LE, B: 4},
+		{A: vec.Of(1, 3), Rel: LE, B: 6},
+		{A: vec.Of(1, 0), Rel: GE, B: 0},
+		{A: vec.Of(0, 1), Rel: GE, B: 0},
+	}
+	a := Maximize(vec.Of(3, 2), cons)
+	b := MaximizeFree(vec.Of(3, 2), cons)
+	if a.Status != Optimal || b.Status != Optimal || math.Abs(a.Value-b.Value) > 1e-7 {
+		t.Fatalf("free %v vs nonneg %v", b.Value, a.Value)
+	}
+}
+
+func TestMaximizeFreeUnbounded(t *testing.T) {
+	r := MaximizeFree(vec.Of(1), nil)
+	if r.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" || Status(9).String() != "status(9)" {
+		t.Error("status strings wrong")
+	}
+}
+
+func TestConstraintDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Maximize(vec.Of(1, 2), []Constraint{{A: vec.Of(1), Rel: LE, B: 1}})
+}

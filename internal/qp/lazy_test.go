@@ -1,0 +1,117 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+// TestLazyMatchesDense builds random projection problems with more
+// constraints than the lazy threshold and cross-checks constraint
+// generation against a direct dense solve on the same system.
+func TestLazyMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 20; iter++ {
+		n := 2 + rng.Intn(3)
+		m := lazyThreshold + 10 + rng.Intn(50)
+		g := make([]vec.Vector, m)
+		h := vec.New(m)
+		for i := range g {
+			g[i] = vec.New(n)
+			for j := range g[i] {
+				g[i][j] = rng.NormFloat64()
+			}
+			h[i] = 0.5 + rng.Float64() // origin strictly feasible
+		}
+		target := vec.New(n)
+		for j := range target {
+			target[j] = rng.NormFloat64() * 2
+		}
+		q := vec.New(n)
+		c := vec.New(n)
+		for j := range q {
+			q[j] = 2
+			c[j] = -2 * target[j]
+		}
+		lazy, err := SolveDiagonal(q, c, g, h, Options{})
+		if err != nil {
+			t.Fatalf("iter %d lazy: %v", iter, err)
+		}
+		dense, err := solveDense(q, c, g, h, Options{})
+		if err != nil {
+			t.Fatalf("iter %d dense: %v", iter, err)
+		}
+		// Both are projections of the target on the same convex set:
+		// distances must agree (points may differ only on degenerate
+		// faces, distances may not).
+		if math.Abs(lazy.Dist(target)-dense.Dist(target)) > 1e-5 {
+			t.Fatalf("iter %d: lazy dist %v vs dense dist %v",
+				iter, lazy.Dist(target), dense.Dist(target))
+		}
+		// Feasibility of the lazy solution on every constraint.
+		for i := range g {
+			if g[i].Dot(lazy) > h[i]+1e-6 {
+				t.Fatalf("iter %d: lazy solution violates constraint %d", iter, i)
+			}
+		}
+	}
+}
+
+// TestLazyManyRedundant stresses the intended regime: thousands of
+// near-parallel constraints of which only a handful bind.
+func TestLazyManyRedundant(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 4
+	m := 3000
+	g := make([]vec.Vector, m)
+	h := vec.New(m)
+	for i := range g {
+		// -(w·x) <= -thr, i.e. w·x >= thr with w near (.25,.25,.25,.25).
+		w := vec.New(n)
+		sum := 0.0
+		for j := range w {
+			w[j] = 0.25 + 0.01*rng.NormFloat64()
+			sum += w[j]
+		}
+		for j := range w {
+			w[j] /= sum
+		}
+		g[i] = w.Scale(-1)
+		h[i] = -(0.55 + 0.02*rng.Float64())
+	}
+	x, err := MinSquaredNorm(n, g, h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g {
+		if g[i].Dot(x) > h[i]+1e-6 {
+			t.Fatalf("violated constraint %d", i)
+		}
+	}
+	// The optimum must sit near the deepest threshold plane, not at 0.
+	if x.Norm() < 0.2 {
+		t.Errorf("suspicious optimum %v", x)
+	}
+}
+
+// TestLazyInfeasible propagates infeasibility out of the outer loop.
+func TestLazyInfeasible(t *testing.T) {
+	n := 1
+	m := lazyThreshold + 5
+	g := make([]vec.Vector, m)
+	h := vec.New(m)
+	for i := range g {
+		if i%2 == 0 {
+			g[i] = vec.Of(1) // x <= -1
+			h[i] = -1
+		} else {
+			g[i] = vec.Of(-1) // x >= 2
+			h[i] = -2
+		}
+	}
+	if _, err := MinSquaredNorm(n, g, h, Options{}); err == nil {
+		t.Error("expected infeasibility")
+	}
+}

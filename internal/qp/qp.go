@@ -1,0 +1,245 @@
+// Package qp solves the strictly convex quadratic programs that TopRR
+// uses for cost-optimal option placement (Section 1 and the Figure 7
+// case study of the paper):
+//
+//   - creating a new option at minimum manufacturing cost, modeled as
+//     min Σ o[j]^2 over the option region oR, and
+//   - enhancing an existing option p at minimum modification cost,
+//     modeled as min ||o - p||^2 over oR.
+//
+// Both are instances of
+//
+//	minimize  ½ xᵀ diag(q) x + cᵀ x
+//	subject to G x <= h
+//
+// with strictly positive q, which this package solves with Hildreth's
+// dual coordinate-ascent method — a compact, dependency-free algorithm
+// that is exact in the limit and, with the tolerances used here,
+// accurate far beyond what the experiments need.
+package qp
+
+import (
+	"errors"
+	"math"
+
+	"toprr/internal/vec"
+)
+
+// Options tunes the Hildreth iteration.
+type Options struct {
+	MaxSweeps int     // maximum coordinate sweeps (default 10000)
+	Tol       float64 // convergence tolerance on multiplier change (default 1e-12)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 10000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	return o
+}
+
+// ErrInfeasible is returned when the constraint system admits no
+// solution (detected through diverging multipliers).
+var ErrInfeasible = errors.New("qp: constraints are infeasible")
+
+// lazyThreshold is the constraint count beyond which SolveDiagonal
+// switches to constraint generation: Hildreth's dual matrix is m x m, so
+// thousands of (mostly redundant) constraints — typical for option
+// regions assembled from large Vall sets — would dominate the solve.
+const lazyThreshold = 64
+
+// SolveDiagonal minimizes ½ xᵀ diag(q) x + cᵀ x subject to G x <= h,
+// with q strictly positive. It returns the optimizer. Large constraint
+// systems are handled by constraint generation: repeatedly solve over a
+// working subset and add the most violated constraint until feasible,
+// which is exact because a solution of the relaxation that satisfies all
+// constraints is optimal for the full problem.
+func SolveDiagonal(q, c vec.Vector, g []vec.Vector, h vec.Vector, opt Options) (vec.Vector, error) {
+	if len(g) > lazyThreshold {
+		return solveLazy(q, c, g, h, opt)
+	}
+	return solveDense(q, c, g, h, opt)
+}
+
+// solveLazy runs the constraint-generation outer loop.
+func solveLazy(q, c vec.Vector, g []vec.Vector, h vec.Vector, opt Options) (vec.Vector, error) {
+	m := len(g)
+	working := make([]int, 0, 64)
+	inWorking := make([]bool, m)
+	var gw []vec.Vector
+	var hw vec.Vector
+	x, err := solveDense(q, c, nil, nil, opt)
+	if err != nil {
+		return nil, err
+	}
+	for iter := 0; iter <= m; iter++ {
+		// Most violated constraint at the current relaxed optimum.
+		worstI, worstV := -1, 1e-9
+		for i := 0; i < m; i++ {
+			if inWorking[i] {
+				continue
+			}
+			if v := g[i].Dot(x) - h[i]; v > worstV {
+				worstI, worstV = i, v
+			}
+		}
+		if worstI < 0 {
+			return x, nil
+		}
+		working = append(working, worstI)
+		inWorking[worstI] = true
+		gw = append(gw, g[worstI])
+		hw = append(hw, h[worstI])
+		if x, err = solveDense(q, c, gw, hw, opt); err != nil {
+			return nil, err
+		}
+	}
+	return nil, errors.New("qp: constraint generation did not converge")
+}
+
+// solveDense is the direct Hildreth solver.
+func solveDense(q, c vec.Vector, g []vec.Vector, h vec.Vector, opt Options) (vec.Vector, error) {
+	opt = opt.withDefaults()
+	n := len(q)
+	for _, qi := range q {
+		if qi <= 0 {
+			return nil, errors.New("qp: q must be strictly positive")
+		}
+	}
+	m := len(g)
+	if len(h) != m {
+		return nil, errors.New("qp: G and h size mismatch")
+	}
+	// Unconstrained minimizer.
+	x0 := vec.New(n)
+	for j := range x0 {
+		x0[j] = -c[j] / q[j]
+	}
+	if m == 0 {
+		return x0, nil
+	}
+	// Dual: min ½ λᵀPλ + dᵀλ, λ >= 0, with
+	//   P = G Q⁻¹ Gᵀ,  d = h - G x0  (note x0 = -Q⁻¹c).
+	// Hildreth's coordinate update:
+	//   λ_i ← max(0, -(d_i + Σ_{j≠i} P_ij λ_j) / P_ii).
+	p := make([][]float64, m)
+	d := make([]float64, m)
+	for i := 0; i < m; i++ {
+		p[i] = make([]float64, m)
+		gi := g[i]
+		for j := 0; j <= i; j++ {
+			var s float64
+			for t := 0; t < n; t++ {
+				s += gi[t] * g[j][t] / q[t]
+			}
+			p[i][j] = s
+			p[j][i] = s
+		}
+		d[i] = h[i] - gi.Dot(x0)
+	}
+	lambda := make([]float64, m)
+	for sweep := 0; sweep < opt.MaxSweeps; sweep++ {
+		var maxDelta, maxLambda float64
+		for i := 0; i < m; i++ {
+			if p[i][i] < 1e-15 {
+				continue // zero-normal constraint: nothing to do
+			}
+			s := d[i]
+			for j := 0; j < m; j++ {
+				if j != i {
+					s += p[i][j] * lambda[j]
+				}
+			}
+			next := -s / p[i][i]
+			if next < 0 {
+				next = 0
+			}
+			if delta := math.Abs(next - lambda[i]); delta > maxDelta {
+				maxDelta = delta
+			}
+			lambda[i] = next
+			if next > maxLambda {
+				maxLambda = next
+			}
+		}
+		if maxLambda > 1e12 {
+			return nil, ErrInfeasible
+		}
+		if maxDelta < opt.Tol*(1+maxLambda) {
+			break
+		}
+	}
+	// Recover the primal: x = x0 - Q⁻¹ Gᵀ λ.
+	x := x0.Clone()
+	for i := 0; i < m; i++ {
+		if lambda[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			x[j] -= g[i][j] * lambda[i] / q[j]
+		}
+	}
+	// Hildreth's primal iterate can sit a hair outside the feasible set
+	// when the optimum lies on the boundary (which it almost always does
+	// here). Restore feasibility with cyclic projections; each pass
+	// moves x by at most the current violation, so optimality degrades
+	// only by the same tiny amount.
+	for pass := 0; pass < 200; pass++ {
+		worst := 0.0
+		for i := 0; i < m; i++ {
+			viol := g[i].Dot(x) - h[i]
+			if viol <= 0 {
+				continue
+			}
+			if viol > worst {
+				worst = viol
+			}
+			nn := g[i].Dot(g[i])
+			if nn < 1e-15 {
+				continue
+			}
+			step := (viol + 1e-13) / nn
+			for j := 0; j < n; j++ {
+				x[j] -= step * g[i][j]
+			}
+		}
+		if worst == 0 {
+			break
+		}
+	}
+	// On an infeasible system Hildreth's multipliers diverge and the
+	// primal never becomes feasible; surface that instead of returning a
+	// violating point.
+	for i := 0; i < m; i++ {
+		if g[i].Dot(x) > h[i]+1e-6*(1+math.Abs(h[i])) {
+			return nil, ErrInfeasible
+		}
+	}
+	return x, nil
+}
+
+// MinSquaredNorm minimizes Σ x[j]^2 subject to G x <= h. This is the
+// paper's "manufacturing cost proportional to summed squares" model.
+func MinSquaredNorm(n int, g []vec.Vector, h vec.Vector, opt Options) (vec.Vector, error) {
+	q := vec.New(n)
+	for j := range q {
+		q[j] = 2
+	}
+	return SolveDiagonal(q, vec.New(n), g, h, opt)
+}
+
+// NearestPoint minimizes ||x - target||^2 subject to G x <= h: the
+// paper's minimum-modification-cost enhancement of an existing option.
+func NearestPoint(target vec.Vector, g []vec.Vector, h vec.Vector, opt Options) (vec.Vector, error) {
+	n := len(target)
+	q := vec.New(n)
+	c := vec.New(n)
+	for j := range q {
+		q[j] = 2
+		c[j] = -2 * target[j]
+	}
+	return SolveDiagonal(q, c, g, h, opt)
+}

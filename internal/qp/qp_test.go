@@ -1,0 +1,195 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+func TestUnconstrainedMinimizer(t *testing.T) {
+	// min ½(2x² + 2y²) + (-2x - 4y): minimizer (1, 2).
+	x, err := SolveDiagonal(vec.Of(2, 2), vec.Of(-2, -4), nil, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(vec.Of(1, 2), 1e-9) {
+		t.Errorf("x = %v, want (1,2)", x)
+	}
+}
+
+func TestProjectionOntoHalfplane(t *testing.T) {
+	// Nearest point to (1,1) with x + y <= 1: projection (0.5, 0.5).
+	x, err := NearestPoint(vec.Of(1, 1),
+		[]vec.Vector{vec.Of(1, 1)}, vec.Of(1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(vec.Of(0.5, 0.5), 1e-8) {
+		t.Errorf("x = %v, want (0.5,0.5)", x)
+	}
+}
+
+func TestInactiveConstraint(t *testing.T) {
+	// Constraint far away: solution is the unconstrained projection.
+	x, err := NearestPoint(vec.Of(0.3, 0.4),
+		[]vec.Vector{vec.Of(1, 1)}, vec.Of(10), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(vec.Of(0.3, 0.4), 1e-8) {
+		t.Errorf("x = %v, want target itself", x)
+	}
+}
+
+func TestMinSquaredNormOverPolytope(t *testing.T) {
+	// min x² + y² with x + y >= 1 (as -x - y <= -1): optimum (0.5, 0.5).
+	x, err := MinSquaredNorm(2,
+		[]vec.Vector{vec.Of(-1, -1)}, vec.Of(-1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(vec.Of(0.5, 0.5), 1e-8) {
+		t.Errorf("x = %v, want (0.5,0.5)", x)
+	}
+}
+
+func TestMultipleActiveConstraints(t *testing.T) {
+	// min ||x - (2,2)||² with x <= 1, y <= 1: optimum (1,1).
+	x, err := NearestPoint(vec.Of(2, 2),
+		[]vec.Vector{vec.Of(1, 0), vec.Of(0, 1)}, vec.Of(1, 1), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(vec.Of(1, 1), 1e-7) {
+		t.Errorf("x = %v, want (1,1)", x)
+	}
+}
+
+func TestRejectsNonPositiveQ(t *testing.T) {
+	if _, err := SolveDiagonal(vec.Of(0, 1), vec.Of(0, 0), nil, nil, Options{}); err == nil {
+		t.Error("expected error for q with zero entry")
+	}
+	if _, err := SolveDiagonal(vec.Of(1), vec.Of(0), []vec.Vector{vec.Of(1)}, vec.Of(1, 2), Options{}); err == nil {
+		t.Error("expected error for G/h mismatch")
+	}
+}
+
+// TestKKTResiduals verifies first-order optimality on random projection
+// problems: the solution must be feasible, and the gradient must be a
+// nonnegative combination of active constraint normals. We check the
+// practical consequence: the solution matches a projected-gradient
+// reference run to convergence.
+func TestKKTResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 50; iter++ {
+		n := 2 + rng.Intn(3)
+		m := 1 + rng.Intn(4)
+		g := make([]vec.Vector, m)
+		h := vec.New(m)
+		for i := range g {
+			g[i] = vec.New(n)
+			for j := range g[i] {
+				g[i][j] = rng.NormFloat64()
+			}
+			h[i] = rng.Float64() // origin always feasible
+		}
+		target := vec.New(n)
+		for j := range target {
+			target[j] = rng.NormFloat64() * 2
+		}
+		x, err := NearestPoint(target, g, h, Options{})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		// Feasibility.
+		for i := range g {
+			if g[i].Dot(x) > h[i]+1e-6 {
+				t.Fatalf("iter %d: solution infeasible by %v", iter, g[i].Dot(x)-h[i])
+			}
+		}
+		// Optimality versus a fine projected search: no feasible point in
+		// a small neighborhood may be closer to the target.
+		dBest := x.Dist(target)
+		for probe := 0; probe < 300; probe++ {
+			dir := vec.New(n)
+			for j := range dir {
+				dir[j] = rng.NormFloat64()
+			}
+			y := x.AddScaled(0.01, dir)
+			feas := true
+			for i := range g {
+				if g[i].Dot(y) > h[i]+1e-9 {
+					feas = false
+					break
+				}
+			}
+			if feas && y.Dist(target) < dBest-1e-5 {
+				t.Fatalf("iter %d: found feasible improvement, not optimal", iter)
+			}
+		}
+	}
+}
+
+func TestInfeasibleDetected(t *testing.T) {
+	// x <= -1 and -x <= -2 (i.e. x >= 2): contradictory.
+	_, err := MinSquaredNorm(1,
+		[]vec.Vector{vec.Of(1), vec.Of(-1)}, vec.Of(-1, -2), Options{MaxSweeps: 2000000})
+	if err == nil {
+		t.Error("expected infeasibility error")
+	}
+}
+
+func TestProjectionIdempotent(t *testing.T) {
+	// Projecting a feasible point returns the point itself.
+	g := []vec.Vector{vec.Of(1, 1)}
+	h := vec.Of(2)
+	x, err := NearestPoint(vec.Of(0.5, 0.5), g, h, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.Equal(vec.Of(0.5, 0.5), 1e-9) {
+		t.Errorf("projection moved a feasible point: %v", x)
+	}
+}
+
+func TestContractionProperty(t *testing.T) {
+	// Projections onto a convex set are 1-Lipschitz:
+	// ||P(a)-P(b)|| <= ||a-b||.
+	rng := rand.New(rand.NewSource(13))
+	g := []vec.Vector{vec.Of(1, 0.5), vec.Of(-0.5, 1), vec.Of(0, -1)}
+	h := vec.Of(1, 1, 0.2)
+	for iter := 0; iter < 100; iter++ {
+		a := vec.Of(rng.NormFloat64()*3, rng.NormFloat64()*3)
+		b := vec.Of(rng.NormFloat64()*3, rng.NormFloat64()*3)
+		pa, err1 := NearestPoint(a, g, h, Options{})
+		pb, err2 := NearestPoint(b, g, h, Options{})
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if pa.Dist(pb) > a.Dist(b)+1e-6 {
+			t.Fatalf("projection expanded distances: %v > %v", pa.Dist(pb), a.Dist(b))
+		}
+	}
+}
+
+func TestCostMonotoneInConstraintTightness(t *testing.T) {
+	// min Σx² with Σx >= c is (c/n,...): cost c²/n increases with c.
+	var prev float64 = -1
+	for _, c := range []float64{0.2, 0.5, 1.0, 1.5} {
+		x, err := MinSquaredNorm(3, []vec.Vector{vec.Of(-1, -1, -1)}, vec.Of(-c), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := x.Dot(x)
+		want := c * c / 3
+		if math.Abs(cost-want) > 1e-7 {
+			t.Errorf("c=%v: cost = %v, want %v", c, cost, want)
+		}
+		if cost <= prev {
+			t.Errorf("cost should increase with tightness")
+		}
+		prev = cost
+	}
+}

@@ -1,0 +1,240 @@
+// Package skyband implements the fast pre-filters the paper surveys in
+// Section 6.3 for discarding options that can never appear in a top-k
+// result for any preference in the target region wR:
+//
+//   - the k-skyband (dominated by fewer than k options) [34],
+//   - k-onion layers (the first k convex-hull layers) [11], and
+//   - the r-skyband (r-dominated w.r.t. wR by fewer than k options) [14],
+//     which the paper selects as the filter of choice (Figure 8).
+//
+// The fourth alternative of Section 6.3, the exact UTK filter, needs the
+// preference-space partitioning machinery and therefore lives in
+// internal/core.
+//
+// All filters return a superset of the options that can appear in a
+// top-k result, which is the only property TopRR correctness needs;
+// tolerance choices below are deliberately conservative (an uncertain
+// dominance relation keeps the option).
+package skyband
+
+import (
+	"sort"
+
+	"toprr/internal/lp"
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// domEps is the strictness margin for (r-)dominance: a pair closer than
+// this is treated as incomparable, which can only enlarge the filter
+// output (safe direction).
+const domEps = 1e-12
+
+// Dominates reports whether p dominates q: p is no smaller in every
+// attribute and strictly larger in at least one.
+func Dominates(p, q vec.Vector) bool {
+	strict := false
+	for j, x := range p {
+		if x < q[j]-domEps {
+			return false
+		}
+		if x > q[j]+domEps {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// RDom decides r-dominance with respect to a preference region wR: p
+// r-dominates q when S_w(p) >= S_w(q) for every w in wR, strictly for
+// some w (Section 6.3, after [14]). Since scores are linear in w, the
+// extreme score difference over a convex wR is attained at a vertex, so
+// the test needs only wR's defining vertices; for an axis-aligned box it
+// is evaluated analytically in O(d).
+type RDom struct {
+	verts  []vec.Vector // general polytope: vertex set of wR
+	lo, hi vec.Vector   // box fast path (set when verts == nil)
+}
+
+// NewRDomBox builds an r-dominance tester for the axis-aligned box
+// [lo, hi] in preference space.
+func NewRDomBox(lo, hi vec.Vector) *RDom { return &RDom{lo: lo, hi: hi} }
+
+// NewRDomVerts builds an r-dominance tester for a general convex wR
+// given its defining vertices.
+func NewRDomVerts(verts []vec.Vector) *RDom { return &RDom{verts: verts} }
+
+// diffRange returns the minimum and maximum of S_w(p) - S_w(q) over wR.
+func (r *RDom) diffRange(p, q vec.Vector) (min, max float64) {
+	m := len(p) - 1
+	c0 := p[m] - q[m]
+	if r.verts == nil {
+		min, max = c0, c0
+		for j := 0; j < m; j++ {
+			cj := (p[j] - p[m]) - (q[j] - q[m])
+			a, b := cj*r.lo[j], cj*r.hi[j]
+			if a > b {
+				a, b = b, a
+			}
+			min += a
+			max += b
+		}
+		return min, max
+	}
+	first := true
+	for _, v := range r.verts {
+		d := topk.ScorePoint(v, p) - topk.ScorePoint(v, q)
+		if first {
+			min, max = d, d
+			first = false
+			continue
+		}
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return min, max
+}
+
+// RDominates reports whether p r-dominates q over wR. The test demands
+// a strictly positive margin everywhere, so boundary ties count as
+// incomparable — the conservative (superset-safe) direction.
+func (r *RDom) RDominates(p, q vec.Vector) bool {
+	min, _ := r.diffRange(p, q)
+	return min >= domEps
+}
+
+// CentroidScore returns S_c(p) at the centroid of wR, the sort key that
+// makes the r-skyband sweep correct: every r-dominator of p scores
+// strictly higher at the centroid.
+func (r *RDom) CentroidScore(p vec.Vector) float64 {
+	if r.verts != nil {
+		return topk.ScorePoint(vec.Centroid(r.verts), p)
+	}
+	m := len(p) - 1
+	c := vec.New(m)
+	for j := 0; j < m; j++ {
+		c[j] = (r.lo[j] + r.hi[j]) / 2
+	}
+	return topk.ScorePoint(c, p)
+}
+
+// bandSweep runs the sort-filter-skyline style sweep shared by KSkyband
+// and RSkyband: options are processed in decreasing order of sortKey and
+// kept while fewer than k already-kept options dominate them. Keeping
+// the window restricted to kept options is exact because both dominance
+// relations are transitive strict partial orders, and every dominator of
+// an option sorts strictly before it.
+func bandSweep(pts []vec.Vector, k int, sortKey func(vec.Vector) float64, dom func(p, q vec.Vector) bool) []int {
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	keys := make([]float64, len(pts))
+	for i, p := range pts {
+		keys[i] = sortKey(p)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if keys[order[a]] != keys[order[b]] {
+			return keys[order[a]] > keys[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	var kept []int
+	for _, idx := range order {
+		count := 0
+		for _, kidx := range kept {
+			if dom(pts[kidx], pts[idx]) {
+				count++
+				if count >= k {
+					break
+				}
+			}
+		}
+		if count < k {
+			kept = append(kept, idx)
+		}
+	}
+	sort.Ints(kept)
+	return kept
+}
+
+// KSkyband returns the indices of options dominated by fewer than k
+// others — a superset of every possible top-k result for any weight
+// vector in the whole preference space.
+func KSkyband(pts []vec.Vector, k int) []int {
+	return bandSweep(pts, k, func(p vec.Vector) float64 { return p.Sum() }, Dominates)
+}
+
+// RSkyband returns the indices of options r-dominated (w.r.t. wR) by
+// fewer than k others — a superset of every possible top-k result for
+// any w in wR. This is the paper's filter of choice (Figure 8).
+func RSkyband(pts []vec.Vector, k int, rd *RDom) []int {
+	return bandSweep(pts, k, rd.CentroidScore, rd.RDominates)
+}
+
+// OnionLayers returns the indices of options on the first k layers of
+// the convex hull of the dataset (the onion technique [11]). A point is
+// on the hull of the remaining set iff it cannot be written as a convex
+// combination of the other remaining points, which is decided by an LP
+// feasibility probe. Cost grows as O(k · n · LP(n)); the filter is
+// included for the Figure 8 comparison, where the paper likewise finds
+// it uncompetitive.
+func OnionLayers(pts []vec.Vector, k int) []int {
+	d := pts[0].Dim()
+	remaining := make([]int, len(pts))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var result []int
+	for layer := 0; layer < k && len(remaining) > 0; layer++ {
+		var hull, rest []int
+		for _, i := range remaining {
+			if isHullVertex(pts, remaining, i, d) {
+				hull = append(hull, i)
+			} else {
+				rest = append(rest, i)
+			}
+		}
+		if len(hull) == 0 { // numeric degeneracy: keep everything left
+			hull, rest = remaining, nil
+		}
+		result = append(result, hull...)
+		remaining = rest
+	}
+	sort.Ints(result)
+	return result
+}
+
+// isHullVertex reports whether pts[self] lies outside the convex hull of
+// the other points in set, i.e. whether the system
+// Σ λ_i q_i = p, Σ λ_i = 1, λ >= 0 is infeasible.
+func isHullVertex(pts []vec.Vector, set []int, self, d int) bool {
+	others := make([]int, 0, len(set)-1)
+	for _, i := range set {
+		if i != self {
+			others = append(others, i)
+		}
+	}
+	if len(others) <= d { // too few points to contain anything
+		return true
+	}
+	cons := make([]lp.Constraint, 0, d+1)
+	for j := 0; j < d; j++ {
+		a := vec.New(len(others))
+		for t, i := range others {
+			a[t] = pts[i][j]
+		}
+		cons = append(cons, lp.Constraint{A: a, Rel: lp.EQ, B: pts[self][j]})
+	}
+	ones := vec.New(len(others))
+	for t := range ones {
+		ones[t] = 1
+	}
+	cons = append(cons, lp.Constraint{A: ones, Rel: lp.EQ, B: 1})
+	_, feasible := lp.Feasible(len(others), cons)
+	return !feasible
+}

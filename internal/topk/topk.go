@@ -1,0 +1,241 @@
+// Package topk implements linear top-k queries over an option dataset,
+// following the scoring model of the paper (Section 3.1): options are
+// points in [0,1]^d, a preference is a normalized weight vector, and the
+// score of option p under weights w is S_w(p) = Σ_j w[j]·p[j].
+//
+// Because Σ_j w[j] = 1, the last weight is derived and preferences live
+// in the (d-1)-dimensional *preference space* W. All functions in this
+// package take such reduced weight vectors.
+package topk
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"toprr/internal/vec"
+)
+
+// Scorer evaluates linear scores of a fixed dataset under reduced
+// weight vectors. It is safe for concurrent use.
+type Scorer struct {
+	pts []vec.Vector
+	d   int // option-space dimensionality
+}
+
+// NewScorer wraps a dataset of d-dimensional options.
+func NewScorer(pts []vec.Vector) *Scorer {
+	if len(pts) == 0 {
+		panic("topk: empty dataset")
+	}
+	return &Scorer{pts: pts, d: pts[0].Dim()}
+}
+
+// Dim returns the option-space dimensionality d.
+func (s *Scorer) Dim() int { return s.d }
+
+// PrefDim returns the preference-space dimensionality d-1.
+func (s *Scorer) PrefDim() int { return s.d - 1 }
+
+// Len returns the number of options.
+func (s *Scorer) Len() int { return len(s.pts) }
+
+// Point returns option i.
+func (s *Scorer) Point(i int) vec.Vector { return s.pts[i] }
+
+// FullWeight expands a reduced weight vector w in W to the full
+// d-dimensional weight vector, deriving the last component as
+// 1 - Σ w[j].
+func (s *Scorer) FullWeight(w vec.Vector) vec.Vector {
+	if len(w) != s.d-1 {
+		panic(fmt.Sprintf("topk: reduced weight dim %d, want %d", len(w), s.d-1))
+	}
+	full := vec.New(s.d)
+	copy(full, w)
+	full[s.d-1] = 1 - w.Sum()
+	return full
+}
+
+// Score returns S_w(p_i) for reduced weight vector w.
+func (s *Scorer) Score(w vec.Vector, i int) float64 {
+	return ScorePoint(w, s.pts[i])
+}
+
+// ScorePoint returns the score of an arbitrary point p (not necessarily
+// in the dataset) under reduced weight vector w.
+func ScorePoint(w vec.Vector, p vec.Vector) float64 {
+	m := len(w)
+	last := p[m]
+	score := last // weight of last attribute starts at 1
+	for j, wj := range w {
+		score += wj * (p[j] - last)
+	}
+	return score
+}
+
+// Result is the outcome of a top-k query: the k best option indices in
+// score order (ties broken by ascending index for determinism), the k-th
+// score, and canonical identities for set and order comparison. The
+// identities are precomputed at construction so a Result is immutable
+// and safe to share across the parallel solver's workers.
+type Result struct {
+	Ordered  []int   // option indices, best first
+	KthScore float64 // score of Ordered[len-1], i.e. TopK(w) in the paper
+	setKey   string
+	orderKey string
+}
+
+// Kth returns the index of the top-k-th option.
+func (r *Result) Kth() int { return r.Ordered[len(r.Ordered)-1] }
+
+// SetKey returns a canonical identity of the (order-insensitive) top-k
+// set.
+func (r *Result) SetKey() string { return r.setKey }
+
+// OrderKey returns a canonical identity of the score-ordered top-k
+// result.
+func (r *Result) OrderKey() string { return r.orderKey }
+
+// SameSet reports whether two results contain the same top-k set.
+func (r *Result) SameSet(o *Result) bool { return r.SetKey() == o.SetKey() }
+
+// SameKth reports whether two results share the top-k-th option.
+func (r *Result) SameKth(o *Result) bool { return r.Kth() == o.Kth() }
+
+// Contains reports whether option i belongs to the top-k set.
+func (r *Result) Contains(i int) bool {
+	for _, x := range r.Ordered {
+		if x == i {
+			return true
+		}
+	}
+	return false
+}
+
+func joinInts(ix []int) string {
+	var b strings.Builder
+	for _, x := range ix {
+		b.WriteString(strconv.Itoa(x))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// TopK runs a top-k query at reduced weight vector w over the options
+// listed in active (indices into the dataset). When active is nil the
+// whole dataset is considered. It panics if fewer than k options are
+// available.
+func (s *Scorer) TopK(w vec.Vector, k int, active []int) *Result {
+	n := len(active)
+	useAll := active == nil
+	if useAll {
+		n = len(s.pts)
+	}
+	if k <= 0 || k > n {
+		panic(fmt.Sprintf("topk: k=%d out of range for %d options", k, n))
+	}
+	type scored struct {
+		idx   int
+		score float64
+	}
+	all := make([]scored, n)
+	for i := 0; i < n; i++ {
+		idx := i
+		if !useAll {
+			idx = active[i]
+		}
+		all[i] = scored{idx: idx, score: ScorePoint(w, s.pts[idx])}
+	}
+	// The filtered candidate sets TopRR works on are small (tens to a
+	// few hundred options), so a full sort is both simple and fast; ties
+	// break by ascending index so results are deterministic.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].idx < all[j].idx
+	})
+	ordered := make([]int, k)
+	for i := 0; i < k; i++ {
+		ordered[i] = all[i].idx
+	}
+	sorted := append([]int(nil), ordered...)
+	sort.Ints(sorted)
+	return &Result{
+		Ordered:  ordered,
+		KthScore: all[k-1].score,
+		setKey:   joinInts(sorted),
+		orderKey: joinInts(ordered),
+	}
+}
+
+// Cache memoizes top-k results per vertex of the preference space.
+// Splitting reuses parent vertices heavily, so TAS hits the cache on the
+// majority of its queries. A Cache is bound to one (dataset subset, k)
+// configuration; the TopRR recursion creates a fresh cache whenever
+// Lemma 5 changes the active set or k. It is safe for concurrent use —
+// the parallel solver shares one cache across its workers.
+type Cache struct {
+	scorer *Scorer
+	k      int
+	active []int
+	mu     sync.Mutex
+	m      map[string]*Result
+	hits   int
+	misses int
+}
+
+// NewCache builds a cache for top-k queries with the given parameters.
+func NewCache(scorer *Scorer, k int, active []int) *Cache {
+	return &Cache{scorer: scorer, k: k, active: active, m: make(map[string]*Result)}
+}
+
+// NewPassthroughCache builds a Cache that never memoizes — every Get
+// recomputes. It exists for the cache-effectiveness ablation benchmarks.
+func NewPassthroughCache(scorer *Scorer, k int, active []int) *Cache {
+	return &Cache{scorer: scorer, k: k, active: active}
+}
+
+// K returns the cache's k parameter.
+func (c *Cache) K() int { return c.k }
+
+// Active returns the active option subset (nil means all).
+func (c *Cache) Active() []int { return c.active }
+
+// Scorer returns the underlying scorer.
+func (c *Cache) Scorer() *Scorer { return c.scorer }
+
+// Get returns the top-k result at vertex w, computing it on a miss.
+func (c *Cache) Get(w vec.Vector) *Result {
+	if c.m == nil { // pass-through mode
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return c.scorer.TopK(w, c.k, c.active)
+	}
+	key := w.Key(1e-10)
+	c.mu.Lock()
+	if r, ok := c.m[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return r
+	}
+	c.mu.Unlock()
+	// Compute outside the lock; a racing duplicate computation is
+	// harmless (results are identical and idempotent to store).
+	r := c.scorer.TopK(w, c.k, c.active)
+	c.mu.Lock()
+	c.m[key] = r
+	c.misses++
+	c.mu.Unlock()
+	return r
+}
+
+// Stats reports cache hits and misses (total queries = hits + misses).
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

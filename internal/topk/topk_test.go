@@ -1,0 +1,215 @@
+package topk
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+// paperDataset is the 2-D laptop dataset of Figure 1 in the paper.
+func paperDataset() []vec.Vector {
+	return []vec.Vector{
+		vec.Of(0.9, 0.4), // p1
+		vec.Of(0.7, 0.9), // p2
+		vec.Of(0.6, 0.2), // p3
+		vec.Of(0.3, 0.8), // p4
+		vec.Of(0.2, 0.3), // p5
+		vec.Of(0.1, 0.1), // p6
+	}
+}
+
+func TestScoreMatchesFullWeight(t *testing.T) {
+	s := NewScorer(paperDataset())
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 100; iter++ {
+		w := vec.Of(rng.Float64())
+		full := s.FullWeight(w)
+		for i := 0; i < s.Len(); i++ {
+			want := full.Dot(s.Point(i))
+			if got := s.Score(w, i); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("score mismatch at option %d: %v vs %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestFullWeightNormalization(t *testing.T) {
+	s := NewScorer([]vec.Vector{vec.Of(1, 2, 3)})
+	full := s.FullWeight(vec.Of(0.2, 0.3))
+	if math.Abs(full.Sum()-1) > 1e-12 {
+		t.Errorf("full weight sums to %v", full.Sum())
+	}
+	if !full.Equal(vec.Of(0.2, 0.3, 0.5), 1e-12) {
+		t.Errorf("full weight = %v", full)
+	}
+}
+
+// TestPaperRunningExample reproduces the top-3 structure of Figure 1(d):
+// kIPR boundaries at w=0.4 and w=0.67 within wR=[0.2, 0.8].
+func TestPaperRunningExample(t *testing.T) {
+	s := NewScorer(paperDataset())
+	cases := []struct {
+		w       float64
+		wantSet []int // option indices (0-based: p1=0 ... p6=5)
+		wantKth int
+	}{
+		{0.25, []int{0, 1, 3}, 0}, // region [0.2,0.4]: {p1,p2,p4}, 3rd is p1
+		{0.5, []int{0, 1, 3}, 3},  // region [0.4,0.67]: {p1,p2,p4}, 3rd is p4
+		{0.7, []int{0, 1, 2}, 2},  // region [0.67,0.8]: {p1,p2,p3}, 3rd is p3
+	}
+	for _, c := range cases {
+		r := s.TopK(vec.Of(c.w), 3, nil)
+		got := append([]int(nil), r.Ordered...)
+		sort.Ints(got)
+		want := append([]int(nil), c.wantSet...)
+		sort.Ints(want)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("w=%v: top-3 set %v, want %v", c.w, got, want)
+			}
+		}
+		if r.Kth() != c.wantKth {
+			t.Errorf("w=%v: kth = p%d, want p%d", c.w, r.Kth()+1, c.wantKth+1)
+		}
+	}
+}
+
+func TestTopKOrderAndKthScore(t *testing.T) {
+	s := NewScorer(paperDataset())
+	r := s.TopK(vec.Of(0.8), 3, nil)
+	// At w=0.8: scores p1=0.8, p2=0.74, p3=0.52, p4=0.4, p5=0.22, p6=0.1.
+	if r.Ordered[0] != 0 || r.Ordered[1] != 1 || r.Ordered[2] != 2 {
+		t.Errorf("order = %v, want [0 1 2]", r.Ordered)
+	}
+	if math.Abs(r.KthScore-0.52) > 1e-12 {
+		t.Errorf("KthScore = %v, want 0.52", r.KthScore)
+	}
+}
+
+func TestTopKActiveSubset(t *testing.T) {
+	s := NewScorer(paperDataset())
+	// Exclude p1 and p2: top-1 at w=0.8 among the rest is p3.
+	r := s.TopK(vec.Of(0.8), 1, []int{2, 3, 4, 5})
+	if r.Ordered[0] != 2 {
+		t.Errorf("top-1 of subset = %d, want 2", r.Ordered[0])
+	}
+}
+
+func TestTopKDeterministicTieBreak(t *testing.T) {
+	s := NewScorer([]vec.Vector{vec.Of(0.5, 0.5), vec.Of(0.5, 0.5), vec.Of(0.1, 0.1)})
+	r := s.TopK(vec.Of(0.4), 2, nil)
+	if r.Ordered[0] != 0 || r.Ordered[1] != 1 {
+		t.Errorf("ties must break by index: %v", r.Ordered)
+	}
+}
+
+func TestTopKPanics(t *testing.T) {
+	s := NewScorer(paperDataset())
+	for _, k := range []int{0, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d should panic", k)
+				}
+			}()
+			s.TopK(vec.Of(0.5), k, nil)
+		}()
+	}
+}
+
+func TestResultKeysAndComparison(t *testing.T) {
+	s := NewScorer(paperDataset())
+	a := s.TopK(vec.Of(0.25), 3, nil)
+	b := s.TopK(vec.Of(0.3), 3, nil)  // same kIPR as 0.25
+	c := s.TopK(vec.Of(0.75), 3, nil) // different region
+	if !a.SameSet(b) || !a.SameKth(b) {
+		t.Error("results within a kIPR must agree")
+	}
+	if a.SameSet(c) {
+		t.Error("different regions should differ in set")
+	}
+	d := s.TopK(vec.Of(0.5), 3, nil) // same set as a, different kth
+	if !a.SameSet(d) {
+		t.Error("sets at 0.25 and 0.5 should agree")
+	}
+	if a.SameKth(d) {
+		t.Error("kth at 0.25 and 0.5 should differ")
+	}
+	if !a.Contains(3) || a.Contains(5) {
+		t.Error("Contains wrong")
+	}
+	if a.OrderKey() == d.OrderKey() {
+		t.Error("order keys should differ when kth differs")
+	}
+}
+
+func TestCacheHitsAndCorrectness(t *testing.T) {
+	s := NewScorer(paperDataset())
+	c := NewCache(s, 3, nil)
+	w := vec.Of(0.33)
+	r1 := c.Get(w)
+	r2 := c.Get(w.Clone())
+	if r1 != r2 {
+		t.Error("cache should return the identical result pointer")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = (%d,%d), want (1,1)", hits, misses)
+	}
+	direct := s.TopK(w, 3, nil)
+	if r1.OrderKey() != direct.OrderKey() {
+		t.Error("cached result differs from direct computation")
+	}
+	if c.K() != 3 || c.Active() != nil || c.Scorer() != s {
+		t.Error("accessor plumbing wrong")
+	}
+}
+
+func TestScorePointArbitrary(t *testing.T) {
+	p := vec.Of(0.2, 0.9)
+	w := vec.Of(0.3)
+	want := 0.3*0.2 + 0.7*0.9
+	if got := ScorePoint(w, p); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ScorePoint = %v, want %v", got, want)
+	}
+}
+
+func TestHighDimScoring(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := 8
+	pts := make([]vec.Vector, 50)
+	for i := range pts {
+		pts[i] = vec.New(d)
+		for j := range pts[i] {
+			pts[i][j] = rng.Float64()
+		}
+	}
+	s := NewScorer(pts)
+	w := vec.New(d - 1)
+	for j := range w {
+		w[j] = rng.Float64() / float64(d)
+	}
+	full := s.FullWeight(w)
+	r := s.TopK(w, 10, nil)
+	// Verify against brute force.
+	best := make([]float64, 0, len(pts))
+	for _, p := range pts {
+		best = append(best, full.Dot(p))
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(best)))
+	if math.Abs(r.KthScore-best[9]) > 1e-12 {
+		t.Errorf("KthScore = %v, want %v", r.KthScore, best[9])
+	}
+}
+
+func TestNewScorerPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScorer(nil)
+}

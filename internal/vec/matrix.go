@@ -1,0 +1,197 @@
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero rows x cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix whose rows are the given vectors.
+func MatrixFromRows(rows []Vector) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("vec: ragged rows in MatrixFromRows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a vector view (not a copy).
+func (m *Matrix) Row(i int) Vector { return Vector(m.Data[i*m.Cols : (i+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m * x.
+func (m *Matrix) MulVec(x Vector) Vector {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("vec: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	y := New(m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		y[i] = m.Row(i).Dot(x)
+	}
+	return y
+}
+
+// Rank returns the numeric rank of the matrix using Gaussian elimination
+// with partial pivoting and tolerance tol.
+func (m *Matrix) Rank(tol float64) int {
+	a := m.Clone()
+	rank := 0
+	for col := 0; col < a.Cols && rank < a.Rows; col++ {
+		// Find the pivot row for this column.
+		pivot, best := -1, tol
+		for r := rank; r < a.Rows; r++ {
+			if abs := math.Abs(a.At(r, col)); abs > best {
+				pivot, best = r, abs
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		a.swapRows(pivot, rank)
+		pv := a.At(rank, col)
+		for r := rank + 1; r < a.Rows; r++ {
+			f := a.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < a.Cols; c++ {
+				a.Set(r, c, a.At(r, c)-f*a.At(rank, c))
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+func (m *Matrix) swapRows(i, j int) {
+	if i == j {
+		return
+	}
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for c := range ri {
+		ri[c], rj[c] = rj[c], ri[c]
+	}
+}
+
+// SolveSquare solves the square linear system a*x = b by Gaussian
+// elimination with partial pivoting. It returns false if the system is
+// singular within tolerance tol.
+func SolveSquare(a *Matrix, b Vector, tol float64) (Vector, bool) {
+	n := a.Rows
+	if a.Cols != n || len(b) != n {
+		panic("vec: SolveSquare requires a square system")
+	}
+	aa := a.Clone()
+	bb := b.Clone()
+	for col := 0; col < n; col++ {
+		pivot, best := -1, tol
+		for r := col; r < n; r++ {
+			if abs := math.Abs(aa.At(r, col)); abs > best {
+				pivot, best = r, abs
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		aa.swapRows(pivot, col)
+		bb[pivot], bb[col] = bb[col], bb[pivot]
+		pv := aa.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aa.At(r, col) / pv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				aa.Set(r, c, aa.At(r, c)-f*aa.At(col, c))
+			}
+			bb[r] -= f * bb[col]
+		}
+	}
+	x := New(n)
+	for i := n - 1; i >= 0; i-- {
+		s := bb[i]
+		for j := i + 1; j < n; j++ {
+			s -= aa.At(i, j) * x[j]
+		}
+		x[i] = s / aa.At(i, i)
+	}
+	return x, true
+}
+
+// AffinelyIndependent reports whether the given points are affinely
+// independent, i.e. whether they span a simplex of dimension len(pts)-1.
+func AffinelyIndependent(pts []Vector, tol float64) bool {
+	if len(pts) <= 1 {
+		return true
+	}
+	rows := make([]Vector, 0, len(pts)-1)
+	for _, p := range pts[1:] {
+		rows = append(rows, p.Sub(pts[0]))
+	}
+	return MatrixFromRows(rows).Rank(tol) == len(pts)-1
+}
+
+// OrthonormalBasisOrthogonalTo returns d-1 orthonormal vectors spanning
+// the hyperplane orthogonal to the (nonzero) d-dimensional vector a.
+// Used to express polytope facets in their own coordinate system when
+// computing exact volumes.
+func OrthonormalBasisOrthogonalTo(a Vector, tol float64) []Vector {
+	d := len(a)
+	n := a.Scale(1 / a.Norm())
+	basis := make([]Vector, 0, d-1)
+	for axis := 0; axis < d && len(basis) < d-1; axis++ {
+		e := New(d)
+		e[axis] = 1
+		// Project out the normal and the basis collected so far.
+		e = e.AddScaled(-e.Dot(n), n)
+		for _, b := range basis {
+			e = e.AddScaled(-e.Dot(b), b)
+		}
+		if norm := e.Norm(); norm > tol {
+			basis = append(basis, e.Scale(1/norm))
+		}
+	}
+	if len(basis) != d-1 {
+		panic("vec: failed to build orthonormal basis (zero normal?)")
+	}
+	return basis
+}
+
+// ProjectToBasis expresses point p in the coordinate system given by the
+// basis vectors (each of p's dimension), returning a len(basis)-vector.
+func ProjectToBasis(p Vector, basis []Vector) Vector {
+	out := New(len(basis))
+	for i, b := range basis {
+		out[i] = p.Dot(b)
+	}
+	return out
+}

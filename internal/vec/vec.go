@@ -1,0 +1,185 @@
+// Package vec provides small dense vector and matrix primitives used by
+// the geometry, linear-programming and core TopRR packages.
+//
+// All computations are on float64 with a shared tolerance (Eps). The
+// package is deliberately minimal: the polytopes handled by TopRR live
+// in at most a dozen dimensions, so simple O(n^3) dense algorithms
+// (Gaussian elimination, rank) are both adequate and easy to audit.
+package vec
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Eps is the global numeric tolerance used across geometric predicates.
+const Eps = 1e-9
+
+// Vector is a point or direction in d-dimensional space.
+type Vector []float64
+
+// New returns a zero vector of dimension d.
+func New(d int) Vector { return make(Vector, d) }
+
+// Of builds a vector from its components.
+func Of(xs ...float64) Vector { return Vector(xs) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Dim returns the dimensionality of v.
+func (v Vector) Dim() int { return len(v) }
+
+// Dot returns the inner product of v and u. It panics if dimensions differ.
+func (v Vector) Dot(u Vector) float64 {
+	if len(v) != len(u) {
+		panic(fmt.Sprintf("vec: dot of mismatched dimensions %d and %d", len(v), len(u)))
+	}
+	var s float64
+	for i, x := range v {
+		s += x * u[i]
+	}
+	return s
+}
+
+// Add returns v + u as a new vector.
+func (v Vector) Add(u Vector) Vector {
+	c := v.Clone()
+	for i := range c {
+		c[i] += u[i]
+	}
+	return c
+}
+
+// Sub returns v - u as a new vector.
+func (v Vector) Sub(u Vector) Vector {
+	c := v.Clone()
+	for i := range c {
+		c[i] -= u[i]
+	}
+	return c
+}
+
+// Scale returns a*v as a new vector.
+func (v Vector) Scale(a float64) Vector {
+	c := v.Clone()
+	for i := range c {
+		c[i] *= a
+	}
+	return c
+}
+
+// AddScaled returns v + a*u as a new vector.
+func (v Vector) AddScaled(a float64, u Vector) Vector {
+	c := v.Clone()
+	for i := range c {
+		c[i] += a * u[i]
+	}
+	return c
+}
+
+// Lerp returns (1-t)*v + t*u, the point at parameter t on segment [v,u].
+func (v Vector) Lerp(u Vector, t float64) Vector {
+	c := make(Vector, len(v))
+	for i := range c {
+		c[i] = (1-t)*v[i] + t*u[i]
+	}
+	return c
+}
+
+// Norm returns the Euclidean norm of v.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Norm1 returns the L1 norm of v.
+func (v Vector) Norm1() float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// NormInf returns the L-infinity norm of v.
+func (v Vector) NormInf() float64 {
+	var s float64
+	for _, x := range v {
+		if a := math.Abs(x); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Dist returns the Euclidean distance between v and u.
+func (v Vector) Dist(u Vector) float64 { return v.Sub(u).Norm() }
+
+// Sum returns the sum of the components of v.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Equal reports whether v and u agree component-wise within tol.
+func (v Vector) Equal(u Vector, tol float64) bool {
+	if len(v) != len(u) {
+		return false
+	}
+	for i, x := range v {
+		if math.Abs(x-u[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders v with a fixed short precision, for logs and tests.
+func (v Vector) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.6g", x)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Key quantizes v to a hashable string identity. Two vectors within
+// roughly quantum of each other in every coordinate map to the same key,
+// which is how the geometry engine deduplicates vertices. The encoding
+// is binary (8 bytes per coordinate) because key construction sits on
+// the hot path of polytope construction and top-k caching.
+func (v Vector) Key(quantum float64) string {
+	b := make([]byte, 0, 8*len(v))
+	for _, x := range v {
+		q := int64(math.Round(x / quantum))
+		b = append(b,
+			byte(q), byte(q>>8), byte(q>>16), byte(q>>24),
+			byte(q>>32), byte(q>>40), byte(q>>48), byte(q>>56))
+	}
+	return string(b)
+}
+
+// Centroid returns the arithmetic mean of the given points. It panics on
+// an empty input.
+func Centroid(pts []Vector) Vector {
+	if len(pts) == 0 {
+		panic("vec: centroid of empty point set")
+	}
+	c := New(len(pts[0]))
+	for _, p := range pts {
+		for i := range c {
+			c[i] += p[i]
+		}
+	}
+	inv := 1 / float64(len(pts))
+	for i := range c {
+		c[i] *= inv
+	}
+	return c
+}

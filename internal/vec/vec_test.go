@@ -1,0 +1,271 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDot(t *testing.T) {
+	v := Of(1, 2, 3)
+	u := Of(4, 5, 6)
+	if got := v.Dot(u); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched dimensions")
+		}
+	}()
+	Of(1, 2).Dot(Of(1, 2, 3))
+}
+
+func TestAddSubScale(t *testing.T) {
+	v := Of(1, 2)
+	u := Of(3, -4)
+	if got := v.Add(u); !got.Equal(Of(4, -2), 0) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(u); !got.Equal(Of(-2, 6), 0) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); !got.Equal(Of(2, 4), 0) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.AddScaled(2, u); !got.Equal(Of(7, -6), 0) {
+		t.Errorf("AddScaled = %v", got)
+	}
+	// Originals untouched.
+	if !v.Equal(Of(1, 2), 0) || !u.Equal(Of(3, -4), 0) {
+		t.Error("operations mutated inputs")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	v := Of(0, 0)
+	u := Of(2, 4)
+	if got := v.Lerp(u, 0.5); !got.Equal(Of(1, 2), Eps) {
+		t.Errorf("Lerp midpoint = %v", got)
+	}
+	if got := v.Lerp(u, 0); !got.Equal(v, Eps) {
+		t.Errorf("Lerp at 0 = %v", got)
+	}
+	if got := v.Lerp(u, 1); !got.Equal(u, Eps) {
+		t.Errorf("Lerp at 1 = %v", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	v := Of(3, -4)
+	if got := v.Norm(); math.Abs(got-5) > Eps {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := v.Norm1(); math.Abs(got-7) > Eps {
+		t.Errorf("Norm1 = %v, want 7", got)
+	}
+	if got := v.NormInf(); math.Abs(got-4) > Eps {
+		t.Errorf("NormInf = %v, want 4", got)
+	}
+	if got := v.Dist(Of(0, 0)); math.Abs(got-5) > Eps {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestSumCentroid(t *testing.T) {
+	if got := Of(1, 2, 3).Sum(); got != 6 {
+		t.Errorf("Sum = %v", got)
+	}
+	c := Centroid([]Vector{Of(0, 0), Of(2, 0), Of(1, 3)})
+	if !c.Equal(Of(1, 1), Eps) {
+		t.Errorf("Centroid = %v", c)
+	}
+}
+
+func TestCentroidPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Centroid(nil)
+}
+
+func TestKeyQuantization(t *testing.T) {
+	a := Of(0.1234567, 0.9999999)
+	b := Of(0.1234568, 1.0000000)
+	if a.Key(1e-6) != b.Key(1e-6) {
+		t.Error("nearby vectors should share a key at coarse quantum")
+	}
+	c := Of(0.2, 0.5)
+	if a.Key(1e-6) == c.Key(1e-6) {
+		t.Error("distinct vectors should have distinct keys")
+	}
+	// -0 and +0 must agree.
+	if Of(0.0).Key(1e-6) != Of(-1e-12).Key(1e-6) {
+		t.Error("negative zero key mismatch")
+	}
+}
+
+func TestDimStringEqual(t *testing.T) {
+	v := Of(1.5, -2)
+	if v.Dim() != 2 {
+		t.Errorf("Dim = %d", v.Dim())
+	}
+	if s := v.String(); s != "(1.5, -2)" {
+		t.Errorf("String = %q", s)
+	}
+	if v.Equal(Of(1.5), 1) {
+		t.Error("Equal must reject mismatched dimensions")
+	}
+	if !v.Equal(Of(1.5+1e-12, -2), 1e-9) {
+		t.Error("Equal within tolerance failed")
+	}
+}
+
+func TestMatrixFromRowsRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged rows")
+		}
+	}()
+	MatrixFromRows([]Vector{Of(1, 2), Of(1)})
+}
+
+func TestMatrixFromRowsEmpty(t *testing.T) {
+	m := MatrixFromRows(nil)
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Errorf("empty matrix shape %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestMulVecMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MatrixFromRows([]Vector{Of(1, 2)}).MulVec(Of(1))
+}
+
+func TestMatrixRank(t *testing.T) {
+	cases := []struct {
+		rows []Vector
+		want int
+	}{
+		{[]Vector{Of(1, 0), Of(0, 1)}, 2},
+		{[]Vector{Of(1, 2), Of(2, 4)}, 1},
+		{[]Vector{Of(0, 0), Of(0, 0)}, 0},
+		{[]Vector{Of(1, 2, 3), Of(4, 5, 6), Of(7, 8, 9)}, 2},
+		{[]Vector{Of(1, 0, 0), Of(0, 1, 0), Of(0, 0, 1)}, 3},
+	}
+	for i, c := range cases {
+		if got := MatrixFromRows(c.rows).Rank(Eps); got != c.want {
+			t.Errorf("case %d: rank = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestSolveSquare(t *testing.T) {
+	a := MatrixFromRows([]Vector{Of(2, 1), Of(1, 3)})
+	b := Of(5, 10)
+	x, ok := SolveSquare(a, b, Eps)
+	if !ok {
+		t.Fatal("solve failed")
+	}
+	if !a.MulVec(x).Equal(b, 1e-8) {
+		t.Errorf("residual too large: ax=%v b=%v", a.MulVec(x), b)
+	}
+}
+
+func TestSolveSquareSingular(t *testing.T) {
+	a := MatrixFromRows([]Vector{Of(1, 2), Of(2, 4)})
+	if _, ok := SolveSquare(a, Of(1, 1), Eps); ok {
+		t.Fatal("expected singular system to fail")
+	}
+}
+
+func TestSolveSquareRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(6)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		want := New(n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want)
+		x, ok := SolveSquare(a, b, 1e-12)
+		if !ok {
+			continue // singular draw, fine
+		}
+		if !a.MulVec(x).Equal(b, 1e-6) {
+			t.Fatalf("iter %d: bad solve", iter)
+		}
+	}
+}
+
+func TestAffinelyIndependent(t *testing.T) {
+	if !AffinelyIndependent([]Vector{Of(0, 0), Of(1, 0), Of(0, 1)}, Eps) {
+		t.Error("triangle should be affinely independent")
+	}
+	if AffinelyIndependent([]Vector{Of(0, 0), Of(1, 1), Of(2, 2)}, Eps) {
+		t.Error("collinear points should not be affinely independent")
+	}
+	if !AffinelyIndependent([]Vector{Of(5, 5)}, Eps) {
+		t.Error("single point is trivially independent")
+	}
+}
+
+// bounded maps an arbitrary float64 into [-1, 1] so property tests stay
+// clear of overflow and catastrophic cancellation at the float64 extremes.
+func bounded(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Tanh(x / 1e3)
+}
+
+func boundedVec(a []float64) Vector {
+	v := make(Vector, len(a))
+	for i, x := range a {
+		v[i] = bounded(x)
+	}
+	return v
+}
+
+func TestDotCommutative(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		v, u := boundedVec(a[:]), boundedVec(b[:])
+		return math.Abs(v.Dot(u)-u.Dot(v)) < Eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormTriangleInequality(t *testing.T) {
+	f := func(a, b [5]float64) bool {
+		v, u := boundedVec(a[:]), boundedVec(b[:])
+		return v.Add(u).Norm() <= v.Norm()+u.Norm()+Eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCauchySchwarz(t *testing.T) {
+	f := func(a, b [3]float64) bool {
+		v, u := boundedVec(a[:]), boundedVec(b[:])
+		return math.Abs(v.Dot(u)) <= v.Norm()*u.Norm()+Eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
