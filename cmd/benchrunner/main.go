@@ -1,24 +1,65 @@
 // Command benchrunner regenerates the tables and figures of the paper's
 // evaluation (Section 6). Each experiment prints rows mirroring the
 // series the paper plots; see EXPERIMENTS.md for the paper-vs-measured
-// comparison.
+// comparison. Alongside the human-readable tables, each experiment
+// writes a machine-readable BENCH_<id>.json (wall time, regions
+// processed, LP/QP call counts, and the table cells) so the performance
+// trajectory can be tracked across changes.
 //
 // Usage:
 //
 //	benchrunner -exp all                  # everything, default scale
 //	benchrunner -exp fig9a,fig13          # selected experiments
 //	benchrunner -exp fig9c -scale 1 -queries 50   # paper-scale run
+//	benchrunner -exp fig9a -jsondir ./out # JSON records to ./out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"toprr/internal/bench"
+	"toprr/pkg/toprr"
 )
+
+// record is the machine-readable result of one experiment run.
+type record struct {
+	ID               string    `json:"id"`
+	Caption          string    `json:"caption"`
+	Scale            float64   `json:"scale"`
+	Queries          int       `json:"queries"`
+	WallSeconds      float64   `json:"wall_seconds"`
+	RegionsProcessed int64     `json:"regions_processed"`
+	LPCalls          int64     `json:"lp_calls"`
+	QPCalls          int64     `json:"qp_calls"`
+	Tables           []tableJS `json:"tables"`
+}
+
+type tableJS struct {
+	ID      string     `json:"id"`
+	Caption string     `json:"caption"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+}
+
+func writeRecord(dir string, r record) error {
+	f, err := os.Create(filepath.Join(dir, "BENCH_"+r.ID+".json"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	var (
@@ -28,6 +69,7 @@ func main() {
 		queries = flag.Int("queries", bench.DefaultScale.Queries, "wR regions averaged per data point (paper: 50)")
 		budget  = flag.Int("maxregions", bench.DefaultScale.MaxRegions, "per-query recursion budget (0 = solver default)")
 		timeout = flag.Duration("timeout", bench.DefaultScale.Timeout, "per-query wall-clock budget (0 = unlimited)")
+		jsonDir = flag.String("jsondir", ".", "directory for BENCH_<id>.json records ('' = disable)")
 	)
 	flag.Parse()
 
@@ -56,9 +98,35 @@ func main() {
 	fmt.Printf("# TopRR experiment runner — scale=%.3g queries=%d timeout=%v\n\n", s.N, s.Queries, s.Timeout)
 	for _, e := range selected {
 		start := time.Now()
-		for _, table := range e.Run(s) {
+		before := toprr.ReadCounters()
+		tables := e.Run(s)
+		delta := toprr.ReadCounters().Sub(before)
+		wall := time.Since(start)
+
+		for _, table := range tables {
 			fmt.Println(table.String())
 		}
-		fmt.Printf("(%s finished in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		fmt.Printf("(%s finished in %.1fs; %d regions, %d LP calls, %d QP calls)\n\n",
+			e.ID, wall.Seconds(), delta.RegionsProcessed, delta.LPSolves, delta.QPSolves)
+
+		if *jsonDir != "" {
+			r := record{
+				ID:               e.ID,
+				Caption:          e.Caption,
+				Scale:            s.N,
+				Queries:          s.Queries,
+				WallSeconds:      wall.Seconds(),
+				RegionsProcessed: delta.RegionsProcessed,
+				LPCalls:          delta.LPSolves,
+				QPCalls:          delta.QPSolves,
+			}
+			for _, t := range tables {
+				r.Tables = append(r.Tables, tableJS{ID: t.ID, Caption: t.Caption, Header: t.Header, Rows: t.Rows})
+			}
+			if err := writeRecord(*jsonDir, r); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: writing JSON record: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	}
 }

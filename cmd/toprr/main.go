@@ -11,15 +11,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
-	"toprr/internal/core"
 	"toprr/internal/dataset"
 	"toprr/internal/vec"
+	"toprr/pkg/toprr"
 )
 
 func parseVec(s string) (vec.Vector, error) {
@@ -57,8 +60,15 @@ func main() {
 		place   = flag.Bool("place", false, "report the cost-optimal new option (min sum of squares)")
 		enhance = flag.String("enhance", "", "existing option to enhance at minimum cost, comma-separated")
 		verbose = flag.Bool("v", false, "print oR vertices")
+		workers = flag.Int("workers", 1, "parallel region-processing workers")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the query (0 = unlimited)")
 	)
 	flag.Parse()
+
+	// The query is cancellable: Ctrl-C (and -timeout) propagate through
+	// the context into the solver pipeline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var ds *dataset.Dataset
 	if *data != "" {
@@ -91,22 +101,30 @@ func main() {
 		fatal(fmt.Errorf("wR needs %d components (d-1), got %d/%d", ds.Dim()-1, len(lo), len(hi)))
 	}
 
-	var alg core.Algorithm
+	var alg toprr.Algorithm
 	switch strings.ToUpper(*algS) {
 	case "PAC":
-		alg = core.PAC
+		alg = toprr.PAC
 	case "TAS":
-		alg = core.TAS
+		alg = toprr.TAS
 	case "TAS*", "TASSTAR", "TAS-STAR":
-		alg = core.TASStar
+		alg = toprr.TASStar
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algS))
 	}
 
-	prob := core.NewProblem(ds.Pts, *k, core.PrefBox(lo, hi))
-	res, err := core.Solve(prob, core.Options{Alg: alg})
+	prob := toprr.NewProblem(ds.Pts, *k, toprr.PrefBox(lo, hi))
+	// The -timeout budget covers the query itself, not dataset loading.
+	solveCtx := ctx
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		solveCtx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := toprr.Solve(solveCtx, prob, toprr.Options{Alg: alg, Workers: *workers})
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("%w (after %v)", err, time.Since(start).Round(time.Millisecond)))
 	}
 	st := res.Stats
 	fmt.Printf("dataset: %s (%d options, %d attributes)\n", ds.Name, ds.Len(), ds.Dim())

@@ -10,12 +10,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"toprr/internal/core"
 	"toprr/internal/vec"
+	"toprr/pkg/toprr"
 )
 
 func main() {
@@ -29,13 +30,14 @@ func main() {
 	}
 	p4 := laptops[3]
 
-	prob := core.NewProblem(laptops, 3, core.PrefBox(vec.Of(0.2), vec.Of(0.8)))
-	res, err := core.Solve(prob, core.Options{Alg: core.TASStar})
+	ctx := context.Background()
+	prob := toprr.NewProblem(laptops, 3, toprr.PrefBox(vec.Of(0.2), vec.Of(0.8)))
+	res, err := toprr.Solve(ctx, prob, toprr.Options{Alg: toprr.TASStar})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	place, cost, err := core.Enhance(res.OR, p4)
+	place, cost, err := toprr.Enhance(res.OR, p4)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +47,7 @@ func main() {
 
 	// Independent validation with the brute-force rank oracle.
 	rng := rand.New(rand.NewSource(1))
-	if w := core.VerifyTopRanking(prob, place, 2000, rng); w != nil {
+	if w := toprr.VerifyTopRanking(prob, place, 2000, rng); w != nil {
 		log.Fatalf("BUG: p4' not top-3 at w=%v", w)
 	}
 	fmt.Println("verified: p4' ranks in the top-3 at 2000 sampled preferences of wR")
@@ -53,11 +55,11 @@ func main() {
 	// The cheapest redesign for progressively stronger guarantees.
 	fmt.Println("\nguarantee vs cost (oR shrinks as k drops):")
 	for k := 4; k >= 1; k-- {
-		r, err := core.Solve(core.NewProblem(laptops, k, prob.WR), core.Options{Alg: core.TASStar})
+		r, err := toprr.Solve(ctx, toprr.NewProblem(laptops, k, prob.WR), toprr.Options{Alg: toprr.TASStar})
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, c, err := core.Enhance(r.OR, p4)
+		_, c, err := toprr.Enhance(r.OR, p4)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -15,12 +15,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"toprr/internal/core"
 	"toprr/internal/dataset"
 	"toprr/internal/vec"
+	"toprr/pkg/toprr"
 )
 
 func main() {
@@ -35,13 +36,21 @@ func main() {
 		{"business travellers (battery-leaning)", 0.1, 0.2},
 	}
 
-	for _, sc := range scenarios {
+	// One engine serves both clienteles, sharing the dataset's interned
+	// hyperplanes and top-k caches across the queries.
+	engine := toprr.NewEngine(market.Pts)
+	queries := make([]toprr.Query, len(scenarios))
+	for i, sc := range scenarios {
+		queries[i] = toprr.Query{K: 3, WR: toprr.PrefBox(vec.Of(sc.lo), vec.Of(sc.hi))}
+	}
+	resultsBatch, err := engine.SolveBatch(context.Background(), queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for i, sc := range scenarios {
 		fmt.Printf("=== target clientele: %s, wR=[%.1f, %.1f], k=3 ===\n", sc.who, sc.lo, sc.hi)
-		prob := core.NewProblem(market.Pts, 3, core.PrefBox(vec.Of(sc.lo), vec.Of(sc.hi)))
-		res, err := core.Solve(prob, core.Options{Alg: core.TASStar})
-		if err != nil {
-			log.Fatal(err)
-		}
+		res := resultsBatch[i]
 		fmt.Printf("oR: %d vertices; solve took %v (|D'|=%d, |Vall|=%d)\n",
 			res.OR.NumVertices(), res.Stats.Elapsed, res.Stats.FilteredOptions, res.Stats.VallSize)
 

@@ -11,23 +11,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"toprr/internal/core"
 	"toprr/internal/dataset"
 	"toprr/internal/vec"
+	"toprr/pkg/toprr"
 )
 
 func main() {
+	ctx := context.Background()
 	market := dataset.Laptops()
 	// A mid-market model to upgrade.
 	target := vec.Of(0.55, 0.6)
-	wr := core.PrefBox(vec.Of(0.4), vec.Of(0.6)) // balanced customers
+	wr := toprr.PrefBox(vec.Of(0.4), vec.Of(0.6)) // balanced customers
 
 	fmt.Printf("upgrading option %v for clientele wR=[0.4, 0.6] (%d rivals)\n\n", target, market.Len())
 	for _, budget := range []float64{0.05, 0.15, 0.30, 0.60} {
-		res, err := core.MarketImpact(market.Pts, wr, target, budget, 10, core.Options{Alg: core.TASStar})
+		res, err := toprr.MarketImpact(ctx, market.Pts, wr, target, budget, 10, toprr.Options{Alg: toprr.TASStar})
 		if err != nil {
 			fmt.Printf("budget %.2f: %v\n", budget, err)
 			continue
@@ -36,15 +38,17 @@ func main() {
 			budget, res.K, res.Placement, res.Cost)
 	}
 
-	// Sanity check the monotonicity claim underlying the search.
+	// Sanity check the monotonicity claim underlying the search. The
+	// engine's cross-query caches amortize the ten related solves.
 	fmt.Println("\nper-k optimal upgrade costs:")
+	engine := toprr.NewEngine(market.Pts)
 	prev := -1.0
 	for k := 10; k >= 1; k-- {
-		sol, err := core.Solve(core.NewProblem(market.Pts, k, wr), core.Options{Alg: core.TASStar})
+		sol, err := engine.Solve(ctx, toprr.Query{K: k, WR: wr})
 		if err != nil {
 			log.Fatal(err)
 		}
-		_, cost, err := core.Enhance(sol.OR, target)
+		_, cost, err := toprr.Enhance(sol.OR, target)
 		if err != nil {
 			log.Fatal(err)
 		}

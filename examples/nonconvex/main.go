@@ -12,24 +12,25 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"toprr/internal/core"
 	"toprr/internal/dataset"
 	"toprr/internal/geom"
 	"toprr/internal/vec"
+	"toprr/pkg/toprr"
 )
 
 func main() {
 	market := dataset.Laptops()
 	pieces := []*geom.Polytope{
-		core.PrefBox(vec.Of(0.15), vec.Of(0.25)), // battery-leaning segment
-		core.PrefBox(vec.Of(0.65), vec.Of(0.75)), // performance-leaning segment
+		toprr.PrefBox(vec.Of(0.15), vec.Of(0.25)), // battery-leaning segment
+		toprr.PrefBox(vec.Of(0.65), vec.Of(0.75)), // performance-leaning segment
 	}
 	k := 5
 
-	region, results, err := core.SolveUnion(market.Pts, k, pieces, core.Options{Alg: core.TASStar})
+	region, results, err := toprr.SolveUnion(context.Background(), market.Pts, k, pieces, toprr.Options{Alg: toprr.TASStar})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,11 +9,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"toprr/internal/core"
 	"toprr/internal/vec"
+	"toprr/pkg/toprr"
 )
 
 func main() {
@@ -28,8 +29,8 @@ func main() {
 	}
 
 	// Target user type: speed weight anywhere in [0.2, 0.8]; k = 3.
-	prob := core.NewProblem(laptops, 3, core.PrefBox(vec.Of(0.2), vec.Of(0.8)))
-	res, err := core.Solve(prob, core.Options{Alg: core.TASStar})
+	prob := toprr.NewProblem(laptops, 3, toprr.PrefBox(vec.Of(0.2), vec.Of(0.8)))
+	res, err := toprr.Solve(context.Background(), prob, toprr.Options{Alg: toprr.TASStar})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,11 +11,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"toprr/internal/core"
 	"toprr/internal/vec"
+	"toprr/pkg/toprr"
 )
 
 func main() {
@@ -27,13 +28,13 @@ func main() {
 		vec.Of(0.2, 0.3), // p5
 		vec.Of(0.1, 0.1), // p6
 	}
-	wr := core.PrefBox(vec.Of(0.2), vec.Of(0.8))
+	wr := toprr.PrefBox(vec.Of(0.2), vec.Of(0.8))
 	k := 3
 
 	fmt.Printf("impact regions within wR=[0.2, 0.8] for k=%d\n", k)
 	fmt.Println("(the share of the targeted clientele that already ranks each laptop top-3)")
 	for pi := range laptops {
-		regions, err := core.ReverseTopK(laptops, k, wr, pi, core.Options{})
+		regions, err := toprr.ReverseTopK(context.Background(), laptops, k, wr, pi, toprr.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,3 @@
+module toprr
+
+go 1.21

@@ -12,16 +12,17 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"strings"
 	"time"
 
-	"toprr/internal/core"
 	"toprr/internal/dataset"
 	"toprr/internal/geom"
 	"toprr/internal/vec"
+	"toprr/pkg/toprr"
 )
 
 // Defaults of the paper's Table 5 (bold values).
@@ -133,7 +134,7 @@ func RandomRegion(prefDim int, sigma, gamma float64, rng *rand.Rand) *geom.Polyt
 			break
 		}
 		if sum <= 1 { // region entirely inside the weight simplex
-			return core.PrefBox(lo, hi)
+			return toprr.PrefBox(lo, hi)
 		}
 	}
 	// Fall back to a corner-anchored region (guaranteed feasible for the
@@ -147,12 +148,12 @@ func RandomRegion(prefDim int, sigma, gamma float64, rng *rand.Rand) *geom.Polyt
 		lo[j] = 0.02
 		hi[j] = 0.02 + s
 	}
-	return core.PrefBox(lo, hi)
+	return toprr.PrefBox(lo, hi)
 }
 
 // Measurement aggregates solver runs over several query regions.
 type Measurement struct {
-	Alg         core.Algorithm
+	Alg         toprr.Algorithm
 	Time        time.Duration // mean per query
 	Filtered    float64       // mean |D'|
 	Vall        float64       // mean |Vall|
@@ -163,12 +164,12 @@ type Measurement struct {
 }
 
 // RunAlg solves the same queries with one algorithm and averages stats.
-func RunAlg(pts []vec.Vector, k int, regions []*geom.Polytope, opt core.Options) Measurement {
+func RunAlg(pts []vec.Vector, k int, regions []*geom.Polytope, opt toprr.Options) Measurement {
 	m := Measurement{Alg: opt.Alg}
 	var total time.Duration
 	n := 0
 	for _, wr := range regions {
-		res, err := core.Solve(core.NewProblem(pts, k, wr), opt)
+		res, err := toprr.Solve(context.Background(), toprr.NewProblem(pts, k, wr), opt)
 		if err != nil {
 			m.Failed++
 			continue

@@ -6,8 +6,8 @@ import (
 	"testing"
 	"time"
 
-	"toprr/internal/core"
 	"toprr/internal/dataset"
+	"toprr/pkg/toprr"
 )
 
 func TestRandomRegionInsideSimplex(t *testing.T) {
@@ -73,7 +73,7 @@ func TestRunAlgAggregates(t *testing.T) {
 	ds := dataset.Generate(dataset.Independent, 2000, 3, 5)
 	s := Scale{N: 1, Queries: 2}
 	regions := s.Regions(2, 0.02, 1, 9)
-	m := RunAlg(ds.Pts, 3, regions, core.Options{Alg: core.TASStar})
+	m := RunAlg(ds.Pts, 3, regions, toprr.Options{Alg: toprr.TASStar})
 	if m.Failed != 0 {
 		t.Fatalf("unexpected failures: %d", m.Failed)
 	}
@@ -86,7 +86,7 @@ func TestRunAlgReportsFailures(t *testing.T) {
 	ds := dataset.Generate(dataset.Anticorrelated, 3000, 4, 5)
 	s := Scale{N: 1, Queries: 1}
 	regions := s.Regions(3, 0.1, 1, 9)
-	m := RunAlg(ds.Pts, 10, regions, core.Options{Alg: core.TAS, MaxRegions: 1})
+	m := RunAlg(ds.Pts, 10, regions, toprr.Options{Alg: toprr.TAS, MaxRegions: 1})
 	if m.Failed != 1 {
 		t.Errorf("expected the MaxRegions valve to trip, got %+v", m)
 	}

@@ -1,15 +1,16 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
-	"toprr/internal/core"
 	"toprr/internal/dataset"
 	"toprr/internal/geom"
 	"toprr/internal/skyband"
 	"toprr/internal/vec"
+	"toprr/pkg/toprr"
 )
 
 // humanN renders a dataset size compactly (250k, 1.6M).
@@ -28,7 +29,7 @@ var (
 	GridD     = []int{2, 4, 6, 8, 10, 12}
 	GridGamma = []float64{0.25, 0.5, 1, 2, 4}
 	AllDists  = []dataset.Distribution{dataset.Correlated, dataset.Independent, dataset.Anticorrelated}
-	AllAlgs   = []core.Algorithm{core.PAC, core.TAS, core.TASStar}
+	AllAlgs   = []toprr.Algorithm{toprr.PAC, toprr.TAS, toprr.TASStar}
 )
 
 // Experiment is a named driver that produces one or more tables.
@@ -63,8 +64,8 @@ func All() []Experiment {
 
 // options builds solver options carrying the scale's recursion and time
 // budgets.
-func (s Scale) options(alg core.Algorithm) core.Options {
-	return core.Options{Alg: alg, MaxRegions: s.MaxRegions, Timeout: s.Timeout}
+func (s Scale) options(alg toprr.Algorithm) toprr.Options {
+	return toprr.Options{Alg: alg, MaxRegions: s.MaxRegions, Timeout: s.Timeout}
 }
 
 // cell renders a measurement's mean time, annotating budget-exceeded
@@ -105,8 +106,8 @@ func Fig7(s Scale) []*Table {
 		Header:  []string{"wR", "|oR verts|", "optimal placement", "cost", "savings vs in-region rivals"},
 	}
 	for _, wr := range []struct{ lo, hi float64 }{{0.7, 0.8}, {0.1, 0.2}} {
-		prob := core.NewProblem(lap.Pts, 3, core.PrefBox(vec.Of(wr.lo), vec.Of(wr.hi)))
-		res, err := core.Solve(prob, core.Options{Alg: core.TASStar})
+		prob := toprr.NewProblem(lap.Pts, 3, toprr.PrefBox(vec.Of(wr.lo), vec.Of(wr.hi)))
+		res, err := toprr.Solve(context.Background(), prob, toprr.Options{Alg: toprr.TASStar})
 		if err != nil {
 			t.Rows = append(t.Rows, []string{fmt.Sprintf("[%.1f,%.1f]", wr.lo, wr.hi), "error: " + err.Error(), "", "", ""})
 			continue
@@ -174,7 +175,7 @@ func Fig8(s Scale) []*Table {
 			// UTK pre-filters with the r-skyband internally, so it runs
 			// on the full dataset; its time is r-skyband's plus the kIPR
 			// partitioning — the paper's "optimal size, twice the time".
-			out, err := core.UTKFilter(full.Pts, DefaultK, wr)
+			out, err := toprr.UTKFilter(context.Background(), full.Pts, DefaultK, wr)
 			if err != nil {
 				return -1
 			}
@@ -286,7 +287,7 @@ func distSweep(s Scale, id, caption, varName string, labels []string, build func
 		row := []string{label}
 		for _, dist := range AllDists {
 			pts, k, regions := build(dist, i)
-			m := RunAlg(pts, k, regions, s.options(core.TASStar))
+			m := RunAlg(pts, k, regions, s.options(toprr.TASStar))
 			row = append(row, s.cell(m, len(regions)))
 		}
 		t.Rows = append(t.Rows, row)
@@ -378,7 +379,7 @@ func Fig11a(s Scale) []*Table {
 	for i, k := range GridK {
 		row := []string{fmt.Sprintf("%d", k)}
 		for _, ds := range sets {
-			m := RunAlg(ds.Pts, k, s.Regions(ds.Dim()-1, DefaultSigma, 1, int64(900+i)), s.options(core.TASStar))
+			m := RunAlg(ds.Pts, k, s.Regions(ds.Dim()-1, DefaultSigma, 1, int64(900+i)), s.options(toprr.TASStar))
 			row = append(row, fmtDur(m.Time))
 		}
 		t.Rows = append(t.Rows, row)
@@ -394,7 +395,7 @@ func Fig11b(s Scale) []*Table {
 	for i, sg := range GridSigma {
 		row := []string{fmt.Sprintf("%.1f%%", sg*100)}
 		for _, ds := range sets {
-			m := RunAlg(ds.Pts, DefaultK, s.Regions(ds.Dim()-1, sg, 1, int64(1000+i)), s.options(core.TASStar))
+			m := RunAlg(ds.Pts, DefaultK, s.Regions(ds.Dim()-1, sg, 1, int64(1000+i)), s.options(toprr.TASStar))
 			row = append(row, fmtDur(m.Time))
 		}
 		t.Rows = append(t.Rows, row)
@@ -415,10 +416,10 @@ func Table6(s Scale) []*Table {
 		regions := s.Regions(d-1, DefaultSigma, 1, int64(1100+i))
 		for _, dist := range AllDists {
 			syn := dataset.Generate(dist, n, d, 7)
-			m := RunAlg(syn.Pts, DefaultK, regions, s.options(core.TASStar))
+			m := RunAlg(syn.Pts, DefaultK, regions, s.options(toprr.TASStar))
 			row = append(row, fmtDur(m.Time))
 		}
-		m := RunAlg(real.Pts, DefaultK, regions, s.options(core.TASStar))
+		m := RunAlg(real.Pts, DefaultK, regions, s.options(toprr.TASStar))
 		row = append(row, fmtDur(m.Time))
 		t.Rows = append(t.Rows, row)
 	}
@@ -435,7 +436,7 @@ func Table7(s Scale) []*Table {
 	for i, g := range GridGamma {
 		row := []string{fmt.Sprintf("%.2f", g)}
 		for _, ds := range sets {
-			m := RunAlg(ds.Pts, DefaultK, s.Regions(ds.Dim()-1, DefaultSigma, g, int64(1200+i)), s.options(core.TASStar))
+			m := RunAlg(ds.Pts, DefaultK, s.Regions(ds.Dim()-1, DefaultSigma, g, int64(1200+i)), s.options(toprr.TASStar))
 			row = append(row, fmtDur(m.Time))
 		}
 		t.Rows = append(t.Rows, row)
@@ -454,7 +455,7 @@ func Fig12(s Scale) []*Table {
 		var r, l float64
 		regions := s.Regions(DefaultD-1, DefaultSigma, 1, int64(1300+i))
 		for _, wr := range regions {
-			a, b := core.FilterSizes(core.NewProblem(ds.Pts, k, wr))
+			a, b := toprr.FilterSizes(toprr.NewProblem(ds.Pts, k, wr))
 			r += float64(a)
 			l += float64(b)
 		}
@@ -467,7 +468,7 @@ func Fig12(s Scale) []*Table {
 		var r, l float64
 		regions := s.Regions(DefaultD-1, sg, 1, int64(1400+i))
 		for _, wr := range regions {
-			a, b := core.FilterSizes(core.NewProblem(ds.Pts, DefaultK, wr))
+			a, b := toprr.FilterSizes(toprr.NewProblem(ds.Pts, DefaultK, wr))
 			r += float64(a)
 			l += float64(b)
 		}
@@ -479,10 +480,10 @@ func Fig12(s Scale) []*Table {
 
 // ablationVall builds the Figures 13/14 tables: |Vall| with one TAS*
 // optimization toggled.
-func ablationVall(s Scale, id, caption, optName string, disable func(*core.Options)) []*Table {
+func ablationVall(s Scale, id, caption, optName string, disable func(*toprr.Options)) []*Table {
 	ds := s.data(dataset.Independent, DefaultN, DefaultD)
 	run := func(k int, sigma float64, seed int64, off bool) float64 {
-		opt := s.options(core.TASStar)
+		opt := s.options(toprr.TASStar)
 		if off {
 			disable(&opt)
 		}
@@ -509,11 +510,11 @@ func ablationVall(s Scale, id, caption, optName string, disable func(*core.Optio
 // Fig13: |Vall| with Lemma 7 enabled/disabled.
 func Fig13(s Scale) []*Table {
 	return ablationVall(s, "Fig13", "|Vall| with/without Lemma 7", "Lemma 7",
-		func(o *core.Options) { o.DisableLemma7 = true })
+		func(o *toprr.Options) { o.DisableLemma7 = true })
 }
 
 // Fig14: |Vall| with the k-switch strategy enabled/disabled.
 func Fig14(s Scale) []*Table {
 	return ablationVall(s, "Fig14", "|Vall| with/without k-switch", "k-switch",
-		func(o *core.Options) { o.DisableKSwitch = true })
+		func(o *toprr.Options) { o.DisableKSwitch = true })
 }

@@ -1,26 +1,49 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"toprr/internal/geom"
-	"toprr/internal/skyband"
 	"toprr/internal/topk"
 	"toprr/internal/vec"
 )
 
+// regionsProcessedTotal counts regions examined by process() since
+// process start, across all solves. Benchmark instrumentation.
+var regionsProcessedTotal atomic.Int64
+
+// RegionsProcessed returns the process-wide count of regions examined.
+func RegionsProcessed() int64 { return regionsProcessedTotal.Load() }
+
 // Solve runs the selected TopRR algorithm and returns the maximal
-// top-ranking region oR together with instrumentation. The pipeline is
-// the paper's: r-skyband pre-filtering (Section 6.3), recursive
-// partitioning of wR (Sections 4-5), and assembly of oR from the impact
-// halfspaces at the collected vertices (Theorem 1).
+// top-ranking region oR together with instrumentation. It is
+// SolveContext with a background context.
 func Solve(p Problem, o Options) (*Result, error) {
+	return SolveContext(context.Background(), p, o)
+}
+
+// SolveContext runs the TopRR pipeline — prefilter, partition, assemble
+// — honoring cancellation and deadlines on ctx. The pipeline is the
+// paper's: r-skyband pre-filtering (Section 6.3), recursive
+// partitioning of wR (Sections 4-5), and assembly of oR from the impact
+// halfspaces at the collected vertices (Theorem 1); each stage is
+// replaceable via Options.
+func SolveContext(ctx context.Context, p Problem, o Options) (*Result, error) {
 	start := time.Now()
 	o = o.withDefaults()
+	// The Timeout budget also rides on the context so that every stage
+	// — including a prefilter doing its own partitioning — is bounded.
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, start.Add(o.Timeout))
+		defer cancel()
+	}
 	s := &solver{
 		prob: p,
 		opt:  o,
@@ -29,24 +52,51 @@ func Solve(p Problem, o Options) (*Result, error) {
 	}
 	s.stats.InputOptions = p.Scorer.Len()
 
-	// Fast filtering: discard options that can never rank among the
-	// top-k anywhere in wR.
-	pts := s.points()
-	rd := skyband.NewRDomVerts(p.WR.VertexPoints())
-	active := skyband.RSkyband(pts, p.K, rd)
+	// Stage 1 — prefilter: discard options that can never rank among
+	// the top-k anywhere in wR.
+	pf := o.Prefilter
+	if pf == nil {
+		pf = SkybandPrefilter{}
+	}
+	// A UTK prefilter without its own budget inherits the solve's, so
+	// MaxRegions bounds stage 1's internal partitioning too.
+	if u, ok := pf.(UTKPrefilter); ok && u.MaxRegions <= 0 {
+		u.MaxRegions = o.MaxRegions
+		pf = u
+	}
+	active, err := pf.Filter(ctx, p)
+	if err != nil {
+		return nil, err
+	}
 	s.stats.FilteredOptions = len(active)
 	s.stats.ProcessedMin = len(active)
 
-	root := regionCtx{region: p.WR, cache: s.newCache(p.K, active)}
-	if err := s.drive(root, start); err != nil {
+	// Stage 2 — partition: recursively split wR until every region
+	// passes the test, collecting impact vertices into Vall. The root
+	// cache is the only one worth interning cross-query: its (k,
+	// active-set) configuration is determined by (wR, k) alone, while
+	// Lemma-5-derived configurations are region-specific.
+	root := regionCtx{region: p.WR, cache: s.newCacheShared(p.K, active)}
+	if err := s.drive(ctx, root, start); err != nil {
 		return nil, err
 	}
 
-	constraints, or := s.assembleOR(o.ORVertexBudget)
-	s.stats.VallSize = len(s.vall)
+	// Stage 3 — assemble: intersect the impact halfspaces (Theorem 1).
+	// Cancellation between the stages is still honored: a large Vall
+	// makes assembly itself nontrivial work.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	asm := o.Assembler
+	if asm == nil {
+		asm = ClipAssembler{}
+	}
+	vall := s.sortedVall()
+	ao := asm.Assemble(p.Scorer, vall, o.ORVertexBudget)
+	s.stats.ImpactClips = ao.Clips
+	s.stats.VallSize = len(vall)
 	s.stats.Elapsed = time.Since(start)
-	res := &Result{OR: or, ORConstraints: constraints, Vall: s.sortedVall(), Stats: s.stats, Problem: p}
-	return res, nil
+	return &Result{OR: ao.OR, ORConstraints: ao.Constraints, Vall: vall, Stats: s.stats, Problem: p}, nil
 }
 
 // solver carries the state of one Solve call. The mutex guards every
@@ -60,6 +110,7 @@ type solver struct {
 	vall        map[string]ImpactVertex
 	stats       Stats
 	collectSets map[int]bool // non-nil when the UTK filter wants top-k set members
+	onAccept    func(region *geom.Polytope, cache *topk.Cache)
 }
 
 // addStats applies a mutation to the stats under the solver lock.
@@ -84,7 +135,8 @@ type regionCtx struct {
 	cache  *topk.Cache
 }
 
-// newCache builds a top-k cache honoring the DisableTopKCache ablation.
+// newCache builds a solve-local top-k cache honoring the
+// DisableTopKCache ablation.
 func (s *solver) newCache(k int, active []int) *topk.Cache {
 	if s.opt.DisableTopKCache {
 		return topk.NewPassthroughCache(s.prob.Scorer, k, active)
@@ -92,100 +144,22 @@ func (s *solver) newCache(k int, active []int) *topk.Cache {
 	return topk.NewCache(s.prob.Scorer, k, active)
 }
 
-func (s *solver) points() []vec.Vector {
-	pts := make([]vec.Vector, s.prob.Scorer.Len())
-	for i := range pts {
-		pts[i] = s.prob.Scorer.Point(i)
+// newCacheShared is newCache but interns the cache in the cross-query
+// registry when one bound to this dataset is supplied. Only root
+// (prefilter-level) configurations go through here: they repeat across
+// queries, whereas Lemma-5-derived sets are region-specific and would
+// bloat the registry without reuse.
+func (s *solver) newCacheShared(k int, active []int) *topk.Cache {
+	if reg := s.opt.TopKCaches; reg != nil && !s.opt.DisableTopKCache && reg.Scorer() == s.prob.Scorer {
+		return reg.Get(k, active)
 	}
-	return pts
-}
-
-// drive processes the region tree from root until exhaustion, honoring
-// the recursion and wall-clock budgets, sequentially or with a worker
-// pool when Options.Workers > 1 (the parallelism direction of the
-// paper's future-work section; results are identical, traversal order
-// and the Seed-dependent split choices may differ).
-func (s *solver) drive(root regionCtx, start time.Time) error {
-	if s.opt.Workers <= 1 {
-		stack := []regionCtx{root}
-		for len(stack) > 0 {
-			rc := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if err := s.checkBudget(start); err != nil {
-				return err
-			}
-			children, err := s.process(rc)
-			if err != nil {
-				return err
-			}
-			stack = append(stack, children...)
-		}
-		return nil
-	}
-	var (
-		qmu      sync.Mutex
-		cond     = sync.NewCond(&qmu)
-		queue    = []regionCtx{root}
-		inflight int
-		firstErr error
-	)
-	worker := func() {
-		for {
-			qmu.Lock()
-			for len(queue) == 0 && inflight > 0 && firstErr == nil {
-				cond.Wait()
-			}
-			if firstErr != nil || (len(queue) == 0 && inflight == 0) {
-				qmu.Unlock()
-				cond.Broadcast()
-				return
-			}
-			rc := queue[len(queue)-1]
-			queue = queue[:len(queue)-1]
-			inflight++
-			qmu.Unlock()
-
-			children, err := s.process(rc)
-			if err == nil {
-				err = s.checkBudget(start)
-			}
-
-			qmu.Lock()
-			inflight--
-			if err != nil && firstErr == nil {
-				firstErr = err
-			}
-			queue = append(queue, children...)
-			cond.Broadcast()
-			qmu.Unlock()
-		}
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < s.opt.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			worker()
-		}()
-	}
-	wg.Wait()
-	return firstErr
-}
-
-// checkBudget enforces MaxRegions and Timeout.
-func (s *solver) checkBudget(start time.Time) error {
-	if s.budgetUsed() > s.opt.MaxRegions {
-		return fmt.Errorf("core: exceeded MaxRegions=%d (k=%d)", s.opt.MaxRegions, s.prob.K)
-	}
-	if s.opt.Timeout > 0 && time.Since(start) > s.opt.Timeout {
-		return fmt.Errorf("core: exceeded timeout %v (k=%d)", s.opt.Timeout, s.prob.K)
-	}
-	return nil
+	return s.newCache(k, active)
 }
 
 // process tests one region and either accepts it (recording its vertices
 // in Vall) or splits it, returning the children to process.
 func (s *solver) process(rc regionCtx) ([]regionCtx, error) {
+	regionsProcessedTotal.Add(1)
 	cache := rc.cache
 	verts := rc.region.VertexPoints()
 
@@ -201,18 +175,22 @@ func (s *solver) process(rc regionCtx) ([]regionCtx, error) {
 	}
 
 	results := make([]*topk.Result, len(verts))
+	miss := 0
 	for i, v := range verts {
-		results[i] = cache.Get(v)
+		var hit bool
+		results[i], hit = cache.Lookup(v)
+		if !hit {
+			miss++
+		}
 	}
-	_, misses := cache.Stats()
 	s.addStats(func(st *Stats) {
 		st.TopKQueries += len(verts)
-		st.TopKMisses = misses // per-cache running total; coarse but indicative
+		st.TopKMisses += miss
 	})
 
 	va, vb := s.firstViolation(results)
 	if va < 0 { // region passes the test
-		s.accept(verts, results)
+		s.accept(rc.region, cache, verts, results)
 		return nil, nil
 	}
 
@@ -221,7 +199,7 @@ func (s *solver) process(rc regionCtx) ([]regionCtx, error) {
 	// TopRR solution; no further splitting is needed.
 	if s.opt.Alg == TASStar && !s.opt.DisableLemma7 && s.sameTopKm1(results) {
 		s.addStats(func(st *Stats) { st.Lemma7Accepts++ })
-		s.accept(verts, results)
+		s.accept(rc.region, cache, verts, results)
 		return nil, nil
 	}
 
@@ -246,7 +224,7 @@ func (s *solver) process(rc regionCtx) ([]regionCtx, error) {
 		return children, nil
 	}
 	s.addStats(func(st *Stats) { st.DegenerateStops++ })
-	s.accept(verts, results)
+	s.accept(rc.region, cache, verts, results)
 	return nil, nil
 }
 
@@ -398,10 +376,18 @@ func (s *solver) lemma5(verts []vec.Vector, cache *topk.Cache) *topk.Cache {
 		return cache
 	}
 	results := make([]*topk.Result, len(verts))
+	miss := 0
 	for i, v := range verts {
-		results[i] = cache.Get(v)
+		var hit bool
+		results[i], hit = cache.Lookup(v)
+		if !hit {
+			miss++
+		}
 	}
-	s.addStats(func(st *Stats) { st.TopKQueries += len(verts) })
+	s.addStats(func(st *Stats) {
+		st.TopKQueries += len(verts)
+		st.TopKMisses += miss
+	})
 	lambda := 0
 	for l := k - 1; l >= 1; l-- {
 		base := prefixSetKey(results[0], l)
@@ -446,10 +432,10 @@ func (s *solver) lemma5(verts []vec.Vector, cache *topk.Cache) *topk.Cache {
 
 // accept records a confirmed region: its defining vertices (with their
 // TopK scores) join Vall, and — when the UTK filter is collecting — the
-// region's top-k set members are recorded.
-func (s *solver) accept(verts []vec.Vector, results []*topk.Result) {
+// region's top-k set members are recorded. The onAccept hook (used by
+// reverse top-k) observes the region with its final top-k context.
+func (s *solver) accept(region *geom.Polytope, cache *topk.Cache, verts []vec.Vector, results []*topk.Result) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.stats.Regions++
 	for i, v := range verts {
 		key := v.Key(1e-10)
@@ -463,6 +449,10 @@ func (s *solver) accept(verts []vec.Vector, results []*topk.Result) {
 				s.collectSets[idx] = true
 			}
 		}
+	}
+	s.mu.Unlock()
+	if s.onAccept != nil {
+		s.onAccept(region, cache)
 	}
 }
 
@@ -575,9 +565,27 @@ func (s *solver) kSwitchPair(va, vb vec.Vector, ra, rb *topk.Result) ([2]int, bo
 // splitHyperplane builds the preference-space hyperplane
 // wHP(p_i, p_j) = {w : S_w(p_i) = S_w(p_j)} as a halfspace whose >= side
 // is S_w(p_i) >= S_w(p_j). It reports false for (numerically) parallel
-// score functions, which cannot cut any region.
+// score functions, which cannot cut any region. When a cross-query
+// cache is supplied, each pair is computed at most once per engine.
 func (s *solver) splitHyperplane(i, j int) (geom.Halfspace, bool) {
-	sc := s.prob.Scorer
+	c := s.opt.Hyperplanes
+	if c != nil && c.scorer != s.prob.Scorer {
+		c = nil // cache bound to a different dataset: ignore
+	}
+	if c != nil {
+		if e, ok := c.lookup(i, j); ok {
+			return e.hs, e.ok
+		}
+	}
+	hs, ok := computeSplitHyperplane(s.prob.Scorer, i, j)
+	if c != nil {
+		c.store(i, j, hpEntry{hs: hs, ok: ok})
+	}
+	return hs, ok
+}
+
+// computeSplitHyperplane does the actual wHP(p_i, p_j) construction.
+func computeSplitHyperplane(sc *topk.Scorer, i, j int) (geom.Halfspace, bool) {
 	p, q := sc.Point(i), sc.Point(j)
 	m := sc.PrefDim()
 	a := vec.New(m)
@@ -590,129 +598,45 @@ func (s *solver) splitHyperplane(i, j int) (geom.Halfspace, bool) {
 	return geom.NewHalfspace(a, -(p[m] - q[m])), true
 }
 
-// assembleOR applies Theorem 1: oR is the intersection of the option
-// box with the impact halfspaces of every vertex in Vall.
-//
-// It always returns the exact H-representation (box constraints plus the
-// deduplicated impact halfspaces). The explicit polytope is built by
-// incremental clipping — halfspaces already satisfied by every current
-// vertex are skipped, and deeper cuts are applied first so most later
-// halfspaces hit that fast path — but with a small preference region the
-// impact halfspaces are nearly parallel, and in high dimensions their
-// intersection can have intractably many vertices; if the enumeration
-// exceeds vertexBudget the polytope is abandoned (nil) while the
-// H-representation stays exact.
-func (s *solver) assembleOR(vertexBudget int) ([]geom.Halfspace, *geom.Polytope) {
-	d := s.prob.Scorer.Dim()
-	lo, hi := vec.New(d), vec.New(d)
-	for j := range hi {
-		hi[j] = 1
-	}
-	box := geom.NewBox(lo, hi)
-
-	// Deduplicate impact halfspaces on a quantized grid and order them
-	// deepest-cut first (higher threshold binds more of the box), with a
-	// deterministic tie-break so runs are reproducible.
-	type keyed struct {
-		h   geom.Halfspace
-		key string
-	}
-	seen := make(map[string]bool, len(s.vall))
-	impactKeyed := make([]keyed, 0, len(s.vall))
-	for _, iv := range s.vall {
-		h := iv.ImpactHalfspace(s.prob.Scorer)
-		key := append(h.A.Clone(), h.B).Key(1e-9)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		impactKeyed = append(impactKeyed, keyed{h: h, key: key})
-	}
-	sort.Slice(impactKeyed, func(i, j int) bool {
-		if impactKeyed[i].h.B != impactKeyed[j].h.B {
-			return impactKeyed[i].h.B > impactKeyed[j].h.B
-		}
-		return impactKeyed[i].key < impactKeyed[j].key
-	})
-	impact := make([]geom.Halfspace, len(impactKeyed))
-	for i, k := range impactKeyed {
-		impact[i] = k.h
-	}
-
-	constraints := append(append([]geom.Halfspace(nil), box.HS...), impact...)
-
-	or := box
-	for _, h := range impact {
-		next := or.Clip(h)
-		if next != or {
-			s.stats.ImpactClips++
-		}
-		or = next
-		if or.NumVertices() > vertexBudget {
-			return constraints, nil
-		}
-	}
-	return constraints, or
-}
-
-// sortedVall returns Vall in a deterministic order.
-func (s *solver) sortedVall() []ImpactVertex {
-	keys := make([]string, 0, len(s.vall))
-	for k := range s.vall {
-		keys = append(keys, k)
-	}
-	// Insertion sort keeps this dependency-free; |Vall| is modest.
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
-	out := make([]ImpactVertex, len(keys))
-	for i, k := range keys {
-		out[i] = s.vall[k]
-	}
-	return out
-}
-
 // UTKFilter computes exactly the options that appear in the top-k result
 // of at least one weight vector in wR — the fourth filtering alternative
 // of Section 6.3 (after [30]). It partitions wR into kIPRs with plain
 // TAS and unions the (constant) top-k set of each partition.
 func UTKFilter(pts []vec.Vector, k int, wr *geom.Polytope) ([]int, error) {
-	p := NewProblem(pts, k, wr)
+	return UTKFilterContext(context.Background(), pts, k, wr)
+}
+
+// UTKFilterContext is UTKFilter honoring cancellation on ctx.
+func UTKFilterContext(ctx context.Context, pts []vec.Vector, k int, wr *geom.Polytope) ([]int, error) {
+	return utkFilter(ctx, NewProblem(pts, k, wr), Options{Alg: TAS})
+}
+
+// utkFilter runs the kIPR partitioning with top-k set collection.
+func utkFilter(ctx context.Context, p Problem, opt Options) ([]int, error) {
+	opt.Alg = TAS
+	opt.Workers = 0 // filtering runs sequentially inside one solve
+	opt = opt.withDefaults()
 	s := &solver{
 		prob:        p,
-		opt:         Options{Alg: TAS}.withDefaults(),
+		opt:         opt,
 		rng:         rand.New(rand.NewSource(1)),
 		vall:        make(map[string]ImpactVertex),
 		collectSets: make(map[int]bool),
 	}
 	s.stats.InputOptions = p.Scorer.Len()
-	rd := skyband.NewRDomVerts(p.WR.VertexPoints())
-	active := skyband.RSkyband(s.points(), p.K, rd)
+	active, err := SkybandPrefilter{}.Filter(ctx, p)
+	if err != nil {
+		return nil, err
+	}
 	s.stats.FilteredOptions = len(active)
-	stack := []regionCtx{{region: p.WR, cache: s.newCache(p.K, active)}}
-	for len(stack) > 0 {
-		rc := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if s.stats.Regions+s.stats.Splits > s.opt.MaxRegions {
-			return nil, fmt.Errorf("core: UTK filter exceeded MaxRegions")
-		}
-		children, err := s.process(rc)
-		if err != nil {
-			return nil, err
-		}
-		stack = append(stack, children...)
+	root := regionCtx{region: p.WR, cache: s.newCache(p.K, active)}
+	if err := s.drive(ctx, root, time.Now()); err != nil {
+		return nil, fmt.Errorf("core: UTK filter: %w", err)
 	}
 	out := make([]int, 0, len(s.collectSets))
 	for idx := range s.collectSets {
 		out = append(out, idx)
 	}
-	// Small insertion sort for determinism.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Ints(out)
 	return out, nil
 }

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sort"
+
+	"toprr/internal/geom"
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// Assembler is the final pipeline stage of a TopRR solve: given the
+// collected impact vertices Vall, it produces oR per Theorem 1 — the
+// intersection of the option box with the impact halfspaces of every
+// vertex. Implementations must be deterministic for a given Vall.
+type Assembler interface {
+	// Name identifies the assembler in stats and logs.
+	Name() string
+	// Assemble returns the exact H-representation of oR and, when it
+	// fits within vertexBudget, its explicit geometry.
+	Assemble(scorer *topk.Scorer, vall []ImpactVertex, vertexBudget int) AssembleOutput
+}
+
+// AssembleOutput is the result of the assemble stage.
+type AssembleOutput struct {
+	Constraints []geom.Halfspace // exact H-representation (always set)
+	OR          *geom.Polytope   // explicit geometry, nil if over budget
+	Clips       int              // halfspaces that actually cut during enumeration
+}
+
+// ClipAssembler is the default assembler: incremental halfspace
+// clipping of the option box.
+//
+// It always returns the exact H-representation (box constraints plus
+// the deduplicated impact halfspaces). The explicit polytope is built
+// by incremental clipping — halfspaces already satisfied by every
+// current vertex are skipped, and deeper cuts are applied first so most
+// later halfspaces hit that fast path — but with a small preference
+// region the impact halfspaces are nearly parallel, and in high
+// dimensions their intersection can have intractably many vertices; if
+// the enumeration exceeds vertexBudget the polytope is abandoned (nil)
+// while the H-representation stays exact.
+type ClipAssembler struct{}
+
+// Name implements Assembler.
+func (ClipAssembler) Name() string { return "clip" }
+
+// Assemble implements Assembler.
+func (ClipAssembler) Assemble(scorer *topk.Scorer, vall []ImpactVertex, vertexBudget int) AssembleOutput {
+	d := scorer.Dim()
+	lo, hi := vec.New(d), vec.New(d)
+	for j := range hi {
+		hi[j] = 1
+	}
+	box := geom.NewBox(lo, hi)
+
+	// Deduplicate impact halfspaces on a quantized grid and order them
+	// deepest-cut first (higher threshold binds more of the box), with a
+	// deterministic tie-break so runs are reproducible.
+	type keyed struct {
+		h   geom.Halfspace
+		key string
+	}
+	seen := make(map[string]bool, len(vall))
+	impactKeyed := make([]keyed, 0, len(vall))
+	for _, iv := range vall {
+		h := iv.ImpactHalfspace(scorer)
+		key := append(h.A.Clone(), h.B).Key(1e-9)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		impactKeyed = append(impactKeyed, keyed{h: h, key: key})
+	}
+	sort.Slice(impactKeyed, func(i, j int) bool {
+		if impactKeyed[i].h.B != impactKeyed[j].h.B {
+			return impactKeyed[i].h.B > impactKeyed[j].h.B
+		}
+		return impactKeyed[i].key < impactKeyed[j].key
+	})
+	impact := make([]geom.Halfspace, len(impactKeyed))
+	for i, k := range impactKeyed {
+		impact[i] = k.h
+	}
+
+	out := AssembleOutput{
+		Constraints: append(append([]geom.Halfspace(nil), box.HS...), impact...),
+	}
+
+	or := box
+	for _, h := range impact {
+		next := or.Clip(h)
+		if next != or {
+			out.Clips++
+		}
+		or = next
+		if or.NumVertices() > vertexBudget {
+			return out
+		}
+	}
+	out.OR = or
+	return out
+}
+
+// sortedVall returns Vall in a deterministic order.
+func (s *solver) sortedVall() []ImpactVertex {
+	keys := make([]string, 0, len(s.vall))
+	for k := range s.vall {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ImpactVertex, len(keys))
+	for i, k := range keys {
+		out[i] = s.vall[k]
+	}
+	return out
+}

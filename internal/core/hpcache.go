@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sync"
+
+	"toprr/internal/geom"
+	"toprr/internal/topk"
+)
+
+// HyperplaneCache interns the splitting hyperplanes wHP(p_i, p_j) of
+// one dataset across queries. The hyperplane depends only on the option
+// pair — not on the query region or k — so an engine serving many
+// queries over the same dataset recomputes each pair at most once.
+// The cache is bound to its dataset at construction; solves over a
+// different dataset ignore it rather than read wrong geometry. Safe for
+// concurrent use.
+type HyperplaneCache struct {
+	scorer *topk.Scorer
+	mu     sync.RWMutex
+	m      map[int64]hpEntry
+}
+
+type hpEntry struct {
+	hs geom.Halfspace
+	ok bool // false: score functions (numerically) parallel, no cut
+}
+
+// hyperplaneCacheLimit bounds interned pairs so a long-lived engine's
+// memory does not grow with query diversity (up to O(|D'|^2) pairs
+// exist); beyond the limit, hyperplanes are recomputed on demand.
+const hyperplaneCacheLimit = 1 << 20
+
+// NewHyperplaneCache builds an empty cache bound to one dataset.
+func NewHyperplaneCache(scorer *topk.Scorer) *HyperplaneCache {
+	return &HyperplaneCache{scorer: scorer, m: make(map[int64]hpEntry)}
+}
+
+// pairKey packs an ordered option pair (the hyperplane's halfspace
+// orientation depends on the order).
+func pairKey(i, j int) int64 { return int64(i)<<32 | int64(uint32(j)) }
+
+// lookup returns the cached hyperplane for the ordered pair (i, j).
+func (c *HyperplaneCache) lookup(i, j int) (hpEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.m[pairKey(i, j)]
+	c.mu.RUnlock()
+	return e, ok
+}
+
+// store records the hyperplane for the ordered pair (i, j), unless the
+// cache is full.
+func (c *HyperplaneCache) store(i, j int, e hpEntry) {
+	c.mu.Lock()
+	if len(c.m) < hyperplaneCacheLimit {
+		c.m[pairKey(i, j)] = e
+	}
+	c.mu.Unlock()
+}
+
+// Len reports the number of interned hyperplanes.
+func (c *HyperplaneCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// cancellingPrefilter runs the real skyband prefilter, then cancels the
+// solve's context — so the partition stage deterministically starts
+// with a cancelled context, exercising the driver's abort path.
+type cancellingPrefilter struct{ cancel context.CancelFunc }
+
+func (cancellingPrefilter) Name() string { return "cancelling" }
+
+func (c cancellingPrefilter) Filter(ctx context.Context, p Problem) ([]int, error) {
+	active, err := SkybandPrefilter{}.Filter(ctx, p)
+	c.cancel()
+	return active, err
+}
+
+// TestSolveContextPreCancelled: a cancelled context aborts before any
+// work is done.
+func TestSolveContextPreCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	prob := randomProblem(rng, 120, 3, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveContext(ctx, prob, Options{Alg: TASStar}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSolveContextCancelDuringPartition cancels between the prefilter
+// and partition stages, for both the sequential and the channel-based
+// parallel driver.
+func TestSolveContextCancelDuringPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	prob := randomProblem(rng, 150, 3, 5)
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		opt := Options{Alg: TASStar, Workers: workers, Prefilter: cancellingPrefilter{cancel: cancel}}
+		_, err := SolveContext(ctx, prob, opt)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// TestSolveContextDeadline: an already-expired deadline surfaces as
+// DeadlineExceeded through the pipeline.
+func TestSolveContextDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	prob := randomProblem(rng, 120, 3, 4)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := SolveContext(ctx, prob, Options{Alg: TAS, Workers: 3}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestSolveContextMidFlightCancel starts a solve, waits for the
+// partition stage to make real progress, cancels, and requires the
+// solve to return promptly with the cancellation error.
+func TestSolveContextMidFlightCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	prob := randomProblem(rng, 500, 4, 12)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	before := RegionsProcessed()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := SolveContext(ctx, prob, Options{Alg: TAS, Workers: 4})
+		done <- outcome{res, err}
+	}()
+	// Wait until the partition stage has processed some regions, then
+	// cancel. If the solve beats the cancel it must still be correct,
+	// so either outcome is legal — but a cancelled solve must report
+	// context.Canceled and must not hang.
+	for RegionsProcessed()-before < 8 {
+		select {
+		case o := <-done:
+			if o.err != nil {
+				t.Fatalf("solve failed before cancellation: %v", o.err)
+			}
+			return // finished legitimately before we could cancel
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	cancel()
+	select {
+	case o := <-done:
+		if o.err != nil && !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled or nil", o.err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("solve did not return after cancellation")
+	}
+}
+
+// TestTraversalOrdersAgree: DFS, BFS and priority-driven partitioning
+// confirm the same oR (membership-compared).
+func TestTraversalOrdersAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for iter := 0; iter < 4; iter++ {
+		d := 2 + iter%3
+		prob := randomProblem(rng, 120, d, 2+rng.Intn(5))
+		base, err := Solve(prob, Options{Alg: TASStar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range []Traversal{BreadthFirst, PriorityOrder} {
+			res, err := Solve(prob, Options{Alg: TASStar, Traversal: tr})
+			if err != nil {
+				t.Fatalf("%v: %v", tr, err)
+			}
+			for probe := 0; probe < 300; probe++ {
+				o := vec.New(d)
+				for j := range o {
+					o[j] = rng.Float64()
+				}
+				if base.IsTopRanking(o) != res.IsTopRanking(o) {
+					t.Fatalf("iter %d: %v traversal differs at %v", iter, tr, o)
+				}
+			}
+			if res.Stats.Regions == 0 {
+				t.Fatalf("%v: stats not populated", tr)
+			}
+		}
+	}
+}
+
+// TestSharedCachesMatch: solving with engine-style shared caches
+// (hyperplane interning + top-k registry) is an optimization only — the
+// results must be identical to isolated solves, and repeated solves
+// must actually hit the shared state.
+func TestSharedCachesMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	prob := randomProblem(rng, 150, 3, 4)
+	hp := NewHyperplaneCache(prob.Scorer)
+	reg := topk.NewRegistry(prob.Scorer)
+	shared := Options{Alg: TASStar, Hyperplanes: hp, TopKCaches: reg}
+
+	base, err := Solve(prob, Options{Alg: TASStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Solve(prob, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Len() == 0 && first.Stats.Splits > 0 {
+		t.Error("hyperplane cache not populated by a splitting solve")
+	}
+	if reg.Len() == 0 {
+		t.Error("top-k registry not populated")
+	}
+	hpAfterFirst := hp.Len()
+	second, err := Solve(prob, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp.Len() != hpAfterFirst {
+		t.Errorf("identical repeat solve grew the hyperplane cache: %d -> %d", hpAfterFirst, hp.Len())
+	}
+	hits, _ := reg.Stats()
+	if hits == 0 {
+		t.Error("repeat solve produced no top-k cache hits")
+	}
+	for probe := 0; probe < 400; probe++ {
+		o := vec.Of(rng.Float64(), rng.Float64(), rng.Float64())
+		if base.IsTopRanking(o) != first.IsTopRanking(o) || base.IsTopRanking(o) != second.IsTopRanking(o) {
+			t.Fatalf("shared-cache solve differs at %v", o)
+		}
+	}
+}
+
+// TestNoPrefilterMatches: disabling the prefilter changes cost, never
+// the answer.
+func TestNoPrefilterMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	prob := randomProblem(rng, 90, 3, 3)
+	base, err := Solve(prob, Options{Alg: TASStar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(prob, Options{Alg: TASStar, Prefilter: NoPrefilter{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FilteredOptions != prob.Scorer.Len() {
+		t.Errorf("NoPrefilter kept %d of %d options", res.Stats.FilteredOptions, prob.Scorer.Len())
+	}
+	for probe := 0; probe < 300; probe++ {
+		o := vec.Of(rng.Float64(), rng.Float64(), rng.Float64())
+		if base.IsTopRanking(o) != res.IsTopRanking(o) {
+			t.Fatalf("NoPrefilter solve differs at %v", o)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -96,9 +97,15 @@ type MarketImpactResult struct {
 // non-increasing in k) and returns the best achievable guarantee. maxK
 // bounds the search; solve runs one TopRR instance (typically TAS*).
 func MarketImpact(pts []vec.Vector, wr *geom.Polytope, p vec.Vector, budget float64, maxK int, opt Options) (*MarketImpactResult, error) {
+	return MarketImpactContext(context.Background(), pts, wr, p, budget, maxK, opt)
+}
+
+// MarketImpactContext is MarketImpact honoring cancellation and
+// deadlines on ctx.
+func MarketImpactContext(ctx context.Context, pts []vec.Vector, wr *geom.Polytope, p vec.Vector, budget float64, maxK int, opt Options) (*MarketImpactResult, error) {
 	var best *MarketImpactResult
 	for k := maxK; k >= 1; k-- {
-		res, err := Solve(NewProblem(pts, k, wr), opt)
+		res, err := SolveContext(ctx, NewProblem(pts, k, wr), opt)
 		if err != nil {
 			return nil, err
 		}

@@ -96,6 +96,13 @@ func PrefBox(lo, hi vec.Vector) *geom.Polytope {
 
 // Options tunes a Solve call. The Disable* switches exist for the
 // paper's ablation study (Section 6.5) and only affect TAS*.
+//
+// The pipeline-stage fields (Prefilter, Traversal, Assembler) select
+// alternative strategies for the three solve stages; their zero values
+// are the paper's defaults (r-skyband, depth-first, incremental
+// clipping). Hyperplanes and TopKCaches accept engine-owned cross-query
+// caches so batches of solves over one dataset amortize geometric and
+// scoring work; both must be bound to the problem's dataset.
 type Options struct {
 	Alg              Algorithm
 	DisableLemma5    bool          // TAS*: skip consistent top-λ pruning (Section 5.1)
@@ -107,6 +114,12 @@ type Options struct {
 	ORVertexBudget   int           // vertex cap for enumerating oR's geometry (default 5,000)
 	Timeout          time.Duration // wall-clock budget for one solve (0 = unlimited)
 	Seed             int64         // seed for the random pair choices of PAC/TAS
+
+	Prefilter   Prefilter        // candidate filtering stage (nil = SkybandPrefilter)
+	Traversal   Traversal        // region scheduling order (default DepthFirst)
+	Assembler   Assembler        // oR assembly stage (nil = ClipAssembler)
+	Hyperplanes *HyperplaneCache // optional cross-query split-hyperplane interning
+	TopKCaches  *topk.Registry   // optional cross-query top-k memoization
 }
 
 func (o Options) withDefaults() Options {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"toprr/internal/geom"
@@ -101,6 +102,12 @@ func (g Region) Polytope(vertexBudget int) *geom.Polytope {
 // pieces are independent problems and are solved concurrently (the
 // parallelism direction of the paper's future-work section).
 func SolveUnion(pts []vec.Vector, k int, pieces []*geom.Polytope, opt Options) (Region, []*Result, error) {
+	return SolveUnionContext(context.Background(), pts, k, pieces, opt)
+}
+
+// SolveUnionContext is SolveUnion honoring cancellation and deadlines
+// on ctx.
+func SolveUnionContext(ctx context.Context, pts []vec.Vector, k int, pieces []*geom.Polytope, opt Options) (Region, []*Result, error) {
 	if len(pieces) == 0 {
 		panic("core: SolveUnion needs at least one region")
 	}
@@ -111,7 +118,7 @@ func SolveUnion(pts []vec.Vector, k int, pieces []*geom.Polytope, opt Options) (
 		wg.Add(1)
 		go func(i int, wr *geom.Polytope) {
 			defer wg.Done()
-			results[i], errs[i] = Solve(NewProblem(pts, k, wr), opt)
+			results[i], errs[i] = SolveContext(ctx, NewProblem(pts, k, wr), opt)
 		}(i, wr)
 	}
 	wg.Wait()

@@ -1,11 +1,13 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
+	"sync"
+	"time"
 
 	"toprr/internal/geom"
-	"toprr/internal/skyband"
+	"toprr/internal/topk"
 	"toprr/internal/vec"
 )
 
@@ -20,6 +22,12 @@ import (
 // The returned polytopes are disjoint up to shared boundaries and their
 // union is exactly {w in wR : pi in top-k at w}.
 func ReverseTopK(pts []vec.Vector, k int, wr *geom.Polytope, pi int, opt Options) ([]*geom.Polytope, error) {
+	return ReverseTopKContext(context.Background(), pts, k, wr, pi, opt)
+}
+
+// ReverseTopKContext is ReverseTopK honoring cancellation and deadlines
+// on ctx.
+func ReverseTopKContext(ctx context.Context, pts []vec.Vector, k int, wr *geom.Polytope, pi int, opt Options) ([]*geom.Polytope, error) {
 	p := NewProblem(pts, k, wr)
 	opt.Alg = TAS // kIPR partitioning without Lemma 5/7 shortcuts, which
 	// could otherwise accept regions where pi drifts in and out of the
@@ -32,9 +40,10 @@ func ReverseTopK(pts []vec.Vector, k int, wr *geom.Polytope, pi int, opt Options
 		vall: make(map[string]ImpactVertex),
 	}
 	s.stats.InputOptions = p.Scorer.Len()
-	ptsAll := s.points()
-	rd := skyband.NewRDomVerts(wr.VertexPoints())
-	active := skyband.RSkyband(ptsAll, k, rd)
+	active, err := SkybandPrefilter{}.Filter(ctx, p)
+	if err != nil {
+		return nil, err
+	}
 	// pi itself must stay in the candidate set even if the filter would
 	// drop it (its membership is the question being answered).
 	hasPi := false
@@ -49,30 +58,25 @@ func ReverseTopK(pts []vec.Vector, k int, wr *geom.Polytope, pi int, opt Options
 	}
 	s.stats.FilteredOptions = len(active)
 
-	var out []*geom.Polytope
-	stack := []regionCtx{{region: wr, cache: s.newCache(k, active)}}
-	for len(stack) > 0 {
-		rc := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if s.stats.Regions+s.stats.Splits > opt.MaxRegions {
-			return nil, fmt.Errorf("core: reverse top-k exceeded region budget %d", opt.MaxRegions)
+	// Collect confirmed regions through the accept hook. Membership is
+	// decided at the centroid, a strictly interior point: region
+	// vertices sit on score-tie hyperplanes by construction, where the
+	// deterministic tie-break could misstate pi's (interior) membership.
+	var (
+		outMu sync.Mutex
+		out   []*geom.Polytope
+	)
+	s.onAccept = func(region *geom.Polytope, cache *topk.Cache) {
+		r := p.Scorer.TopK(region.Centroid(), cache.K(), cache.Active())
+		if r.Contains(pi) {
+			outMu.Lock()
+			out = append(out, region)
+			outMu.Unlock()
 		}
-		before := s.stats.Regions
-		children, err := s.process(rc)
-		if err != nil {
-			return nil, err
-		}
-		if len(children) == 0 && s.stats.Regions > before {
-			// Region confirmed. Membership is decided at the centroid, a
-			// strictly interior point: region vertices sit on score-tie
-			// hyperplanes by construction, where the deterministic
-			// tie-break could misstate pi's (interior) membership.
-			r := p.Scorer.TopK(rc.region.Centroid(), rc.cache.K(), rc.cache.Active())
-			if r.Contains(pi) {
-				out = append(out, rc.region)
-			}
-		}
-		stack = append(stack, children...)
+	}
+	root := regionCtx{region: wr, cache: s.newCache(k, active)}
+	if err := s.drive(ctx, root, time.Now()); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"toprr/internal/geom"
+	"toprr/internal/vec"
+)
+
+// figure1Market is the running example of the paper (Figure 1).
+func figure1Market() []vec.Vector {
+	return []vec.Vector{
+		vec.Of(0.9, 0.4), // p1
+		vec.Of(0.7, 0.9), // p2
+		vec.Of(0.6, 0.2), // p3
+		vec.Of(0.3, 0.8), // p4
+		vec.Of(0.2, 0.3), // p5
+		vec.Of(0.1, 0.1), // p6
+	}
+}
+
+// TestReverseTopKSpans reproduces the quantitative shares of the
+// Figure 1 market: p2 is top-3 everywhere in wR (full span), p6
+// nowhere.
+func TestReverseTopKSpans(t *testing.T) {
+	pts := figure1Market()
+	wr := PrefBox(vec.Of(0.2), vec.Of(0.8))
+	span := func(pi int) float64 {
+		regions, err := ReverseTopK(pts, 3, wr, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, r := range regions {
+			lo, hi := r.BoundingBox()
+			total += hi[0] - lo[0]
+		}
+		return total
+	}
+	if s := span(1); math.Abs(s-0.6) > 1e-6 { // p2 spans all of wR
+		t.Errorf("p2 span = %v, want 0.6", s)
+	}
+	if s := span(5); s > 1e-9 { // p6 is never top-3
+		t.Errorf("p6 span = %v, want 0", s)
+	}
+}
+
+// TestReverseTopKParallelMatches: the reverse query through the
+// worker-pool driver covers the same preference span as the sequential
+// one (region decompositions may differ; the covered set may not).
+func TestReverseTopKParallelMatches(t *testing.T) {
+	pts := figure1Market()
+	wr := PrefBox(vec.Of(0.2), vec.Of(0.8))
+	span := func(regions []*geom.Polytope) float64 {
+		total := 0.0
+		for _, r := range regions {
+			lo, hi := r.BoundingBox()
+			total += hi[0] - lo[0]
+		}
+		return total
+	}
+	for pi := range pts {
+		seq, err := ReverseTopK(pts, 3, wr, pi, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := ReverseTopK(pts, 3, wr, pi, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s, p := span(seq), span(par); math.Abs(s-p) > 1e-9 {
+			t.Errorf("p%d: sequential span %v != parallel span %v", pi+1, s, p)
+		}
+	}
+}
+
+// TestReverseTopKContextCancelled: reverse top-k honors cancellation.
+func TestReverseTopKContextCancelled(t *testing.T) {
+	pts := figure1Market()
+	wr := PrefBox(vec.Of(0.2), vec.Of(0.8))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ReverseTopKContext(ctx, pts, 3, wr, 0, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -19,12 +19,21 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"toprr/internal/vec"
 )
 
 // Eps is the pivoting and feasibility tolerance.
 const Eps = 1e-9
+
+// solves counts simplex invocations since process start. Every public
+// entry point funnels through solve(), so the counter is a faithful
+// process-wide LP call count for benchmark instrumentation.
+var solves atomic.Int64
+
+// Solves returns the number of LP solves performed so far.
+func Solves() int64 { return solves.Load() }
 
 // Rel is a constraint relation.
 type Rel int
@@ -146,6 +155,7 @@ func (t *tableau) add(i, j int, v float64) { t.data[i*t.n+j] += v }
 
 // solve maximizes c·x. feasOnly skips phase 2.
 func solve(c vec.Vector, cons []Constraint, feasOnly bool) Result {
+	solves.Add(1)
 	nVars := len(c)
 	// Count auxiliary columns.
 	nSlack, nArt := 0, 0

@@ -21,9 +21,18 @@ package qp
 import (
 	"errors"
 	"math"
+	"sync/atomic"
 
 	"toprr/internal/vec"
 )
+
+// solves counts quadratic-program solves since process start (one per
+// SolveDiagonal call; the lazy constraint-generation inner iterations
+// are not counted separately). Used for benchmark instrumentation.
+var solves atomic.Int64
+
+// Solves returns the number of QP solves performed so far.
+func Solves() int64 { return solves.Load() }
 
 // Options tunes the Hildreth iteration.
 type Options struct {
@@ -58,6 +67,7 @@ const lazyThreshold = 64
 // which is exact because a solution of the relaxation that satisfies all
 // constraints is optimal for the full problem.
 func SolveDiagonal(q, c vec.Vector, g []vec.Vector, h vec.Vector, opt Options) (vec.Vector, error) {
+	solves.Add(1)
 	if len(g) > lazyThreshold {
 		return solveLazy(q, c, g, h, opt)
 	}

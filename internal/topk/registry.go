@@ -1,0 +1,89 @@
+package topk
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Registry interns top-k caches of one dataset by their (k, active-set)
+// configuration, so that queries sharing a dataset also share memoized
+// per-vertex top-k results. The TopRR recursion derives its cache
+// configurations deterministically from the query region (the r-skyband
+// active set, then Lemma 5 reductions), so batches of queries over
+// nearby regions converge on the same configurations and amortize the
+// scoring work. A Registry is safe for concurrent use.
+type Registry struct {
+	scorer *Scorer
+	mu     sync.Mutex
+	m      map[string]*Cache
+	limit  int
+}
+
+// registryLimit caps the interned configurations and cacheEntryLimit
+// caps each interned cache's memoized vertices. Beyond the limits, Get
+// hands out unregistered caches and full caches stop storing: a
+// long-lived engine keeps its hottest configurations and vertices
+// without growing without bound.
+const (
+	registryLimit   = 512
+	cacheEntryLimit = 1 << 18
+)
+
+// NewRegistry builds an empty cache registry bound to one dataset.
+func NewRegistry(scorer *Scorer) *Registry {
+	return &Registry{scorer: scorer, m: make(map[string]*Cache), limit: registryLimit}
+}
+
+// Scorer returns the dataset the registry is bound to. Callers must
+// verify identity before handing the registry results for a different
+// dataset.
+func (r *Registry) Scorer() *Scorer { return r.scorer }
+
+// configKey canonicalizes a cache configuration: the active set is
+// keyed order-insensitively so permutations of the same subset share.
+func configKey(k int, active []int) string {
+	if active == nil {
+		return strconv.Itoa(k) + "|*"
+	}
+	ix := append([]int(nil), active...)
+	sort.Ints(ix)
+	return strconv.Itoa(k) + "|" + joinInts(ix)
+}
+
+// Get returns the shared cache for (k, active), creating it on first
+// use. The returned cache memoizes across every query that requests the
+// same configuration. Once the registry is full, unseen configurations
+// receive fresh unregistered caches instead of growing the registry.
+func (r *Registry) Get(k int, active []int) *Cache {
+	key := configKey(k, active)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.m[key]; ok {
+		return c
+	}
+	c := NewBoundedCache(r.scorer, k, active, cacheEntryLimit)
+	if len(r.m) < r.limit {
+		r.m[key] = c
+	}
+	return c
+}
+
+// Len reports the number of interned cache configurations.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}
+
+// Stats sums hits and misses over every interned cache.
+func (r *Registry) Stats() (hits, misses int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.m {
+		h, m := c.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses
+}

@@ -181,6 +181,7 @@ type Cache struct {
 	scorer *Scorer
 	k      int
 	active []int
+	limit  int // max memoized vertices (0 = unlimited)
 	mu     sync.Mutex
 	m      map[string]*Result
 	hits   int
@@ -190,6 +191,15 @@ type Cache struct {
 // NewCache builds a cache for top-k queries with the given parameters.
 func NewCache(scorer *Scorer, k int, active []int) *Cache {
 	return &Cache{scorer: scorer, k: k, active: active, m: make(map[string]*Result)}
+}
+
+// NewBoundedCache is NewCache with a cap on memoized vertices; past the
+// cap, lookups of unseen vertices compute without storing. Registry
+// uses it so engine-shared caches stay bounded across query streams.
+func NewBoundedCache(scorer *Scorer, k int, active []int, limit int) *Cache {
+	c := NewCache(scorer, k, active)
+	c.limit = limit
+	return c
 }
 
 // NewPassthroughCache builds a Cache that never memoizes — every Get
@@ -209,28 +219,38 @@ func (c *Cache) Scorer() *Scorer { return c.scorer }
 
 // Get returns the top-k result at vertex w, computing it on a miss.
 func (c *Cache) Get(w vec.Vector) *Result {
+	r, _ := c.Lookup(w)
+	return r
+}
+
+// Lookup is Get, additionally reporting whether the result was served
+// from the cache — so callers sharing a cache can attribute misses to
+// their own queries.
+func (c *Cache) Lookup(w vec.Vector) (*Result, bool) {
 	if c.m == nil { // pass-through mode
 		c.mu.Lock()
 		c.misses++
 		c.mu.Unlock()
-		return c.scorer.TopK(w, c.k, c.active)
+		return c.scorer.TopK(w, c.k, c.active), false
 	}
 	key := w.Key(1e-10)
 	c.mu.Lock()
 	if r, ok := c.m[key]; ok {
 		c.hits++
 		c.mu.Unlock()
-		return r
+		return r, true
 	}
 	c.mu.Unlock()
 	// Compute outside the lock; a racing duplicate computation is
 	// harmless (results are identical and idempotent to store).
 	r := c.scorer.TopK(w, c.k, c.active)
 	c.mu.Lock()
-	c.m[key] = r
+	if c.limit <= 0 || len(c.m) < c.limit {
+		c.m[key] = r
+	}
 	c.misses++
 	c.mu.Unlock()
-	return r
+	return r, false
 }
 
 // Stats reports cache hits and misses (total queries = hits + misses).

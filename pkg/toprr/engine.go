@@ -1,0 +1,197 @@
+package toprr
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"toprr/internal/core"
+	"toprr/internal/geom"
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// Engine serves TopRR queries over one fixed dataset. Unlike the
+// package-level Solve, an Engine keeps reusable per-dataset state and
+// shares it across queries:
+//
+//   - the scorer (the dataset is validated and wrapped once),
+//   - interned splitting hyperplanes wHP(p_i, p_j), which depend only
+//     on the option pair, and
+//   - memoized top-k results keyed by (k, candidate-set) configuration,
+//     so queries over nearby regions reuse each other's scoring work.
+//
+// An Engine is safe for concurrent use; Solve and SolveBatch may be
+// called from many goroutines at once.
+type Engine struct {
+	scorer       *topk.Scorer
+	defaults     Options
+	hyperplanes  *core.HyperplaneCache
+	caches       *topk.Registry
+	batchWorkers int
+}
+
+// EngineOption configures a new Engine.
+type EngineOption func(*Engine)
+
+// WithDefaults sets the Options applied to queries that do not carry
+// their own.
+func WithDefaults(o Options) EngineOption {
+	return func(e *Engine) { e.defaults = o }
+}
+
+// WithBatchWorkers bounds the number of queries SolveBatch runs
+// concurrently (default: GOMAXPROCS).
+func WithBatchWorkers(n int) EngineOption {
+	return func(e *Engine) { e.batchWorkers = n }
+}
+
+// NewEngine builds an engine over a dataset of options in [0,1]^d.
+func NewEngine(pts []vec.Vector, opts ...EngineOption) *Engine {
+	e := &Engine{
+		scorer:   topk.NewScorer(pts),
+		defaults: Options{Alg: TASStar},
+	}
+	e.hyperplanes = core.NewHyperplaneCache(e.scorer)
+	e.caches = topk.NewRegistry(e.scorer)
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Scorer exposes the engine's dataset wrapper (for oracles and rank
+// probes).
+func (e *Engine) Scorer() *topk.Scorer { return e.scorer }
+
+// Query is one TopRR request against an engine's dataset.
+type Query struct {
+	K       int            // rank threshold
+	WR      *geom.Polytope // convex preference region
+	Options *Options       // nil = the engine's defaults
+}
+
+// problem validates a query and binds it to the engine's dataset
+// without re-wrapping the points.
+func (e *Engine) problem(q Query) (Problem, error) {
+	if q.WR == nil {
+		return Problem{}, fmt.Errorf("toprr: query has no preference region")
+	}
+	if q.WR.Dim != e.scorer.PrefDim() {
+		return Problem{}, fmt.Errorf("toprr: wR dimension %d, want %d", q.WR.Dim, e.scorer.PrefDim())
+	}
+	if q.K <= 0 || q.K > e.scorer.Len() {
+		return Problem{}, fmt.Errorf("toprr: k=%d out of range for %d options", q.K, e.scorer.Len())
+	}
+	return Problem{Scorer: e.scorer, K: q.K, WR: q.WR}, nil
+}
+
+// options resolves a query's options and injects the engine's shared
+// caches.
+func (e *Engine) options(q Query) Options {
+	opt := e.defaults
+	if q.Options != nil {
+		opt = *q.Options
+	}
+	opt.Hyperplanes = e.hyperplanes
+	opt.TopKCaches = e.caches
+	return opt
+}
+
+// Solve answers one query, honoring cancellation and deadlines on ctx.
+func (e *Engine) Solve(ctx context.Context, q Query) (*Result, error) {
+	p, err := e.problem(q)
+	if err != nil {
+		return nil, err
+	}
+	return core.SolveContext(ctx, p, e.options(q))
+}
+
+// SolveBatch answers a batch of queries concurrently (bounded by the
+// engine's batch-worker count), amortizing the shared per-dataset
+// caches across them. Results align with qs. On the first error the
+// remaining queries are cancelled; the partial results computed so far
+// are returned alongside the error (failed or cancelled slots are nil).
+func (e *Engine) SolveBatch(ctx context.Context, qs []Query) ([]*Result, error) {
+	results := make([]*Result, len(qs))
+	if len(qs) == 0 {
+		return results, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := e.batchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				res, err := e.Solve(ctx, qs[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr, firstIdx = err, i
+					}
+					mu.Unlock()
+					cancel() // fail fast: stop dispatch and running solves
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+dispatch:
+	for i := range qs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	if firstErr != nil {
+		return results, fmt.Errorf("toprr: batch query %d: %w", firstIdx, firstErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// CacheStats reports the engine's cross-query cache occupancy: interned
+// split hyperplanes, interned top-k cache configurations, and the
+// cumulative top-k hit/miss totals across them.
+type CacheStats struct {
+	Hyperplanes int
+	TopKConfigs int
+	TopKHits    int
+	TopKMisses  int
+}
+
+// CacheStats snapshots the engine's shared-cache occupancy.
+func (e *Engine) CacheStats() CacheStats {
+	hits, misses := e.caches.Stats()
+	return CacheStats{
+		Hyperplanes: e.hyperplanes.Len(),
+		TopKConfigs: e.caches.Len(),
+		TopKHits:    hits,
+		TopKMisses:  misses,
+	}
+}

@@ -1,0 +1,161 @@
+package toprr_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/vec"
+	"toprr/pkg/toprr"
+)
+
+// randomMarket builds a dataset of n random options in [0,1]^d.
+func randomMarket(rng *rand.Rand, n, d int) []vec.Vector {
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		pts[i] = vec.New(d)
+		for j := range pts[i] {
+			pts[i][j] = rng.Float64()
+		}
+	}
+	return pts
+}
+
+// randomQuery draws a feasible query region in the (d-1)-dim preference
+// space.
+func randomQuery(rng *rand.Rand, d, k int) toprr.Query {
+	m := d - 1
+	lo, hi := vec.New(m), vec.New(m)
+	for j := 0; j < m; j++ {
+		lo[j] = (0.1 + 0.5*rng.Float64()) * 0.8 / float64(m)
+		hi[j] = lo[j] + 0.05/float64(m)
+	}
+	return toprr.Query{K: k, WR: toprr.PrefBox(lo, hi)}
+}
+
+// TestEngineMatchesPackageSolve: the engine's shared caches must not
+// change any answer relative to one-shot solves.
+func TestEngineMatchesPackageSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ctx := context.Background()
+	pts := randomMarket(rng, 150, 3)
+	engine := toprr.NewEngine(pts)
+	for iter := 0; iter < 5; iter++ {
+		q := randomQuery(rng, 3, 2+rng.Intn(4))
+		got, err := engine.Solve(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := toprr.Solve(ctx, toprr.NewProblem(pts, q.K, q.WR), toprr.Options{Alg: toprr.TASStar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 300; probe++ {
+			o := vec.Of(rng.Float64(), rng.Float64(), rng.Float64())
+			if got.IsTopRanking(o) != want.IsTopRanking(o) {
+				t.Fatalf("iter %d: engine solve differs at %v", iter, o)
+			}
+		}
+	}
+	cs := engine.CacheStats()
+	if cs.TopKConfigs == 0 {
+		t.Error("engine served queries without interning any top-k cache")
+	}
+}
+
+// TestEngineSolveBatch: batch results align with their queries and
+// match sequential engine solves; the shared caches see reuse.
+func TestEngineSolveBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ctx := context.Background()
+	pts := randomMarket(rng, 150, 3)
+	engine := toprr.NewEngine(pts, toprr.WithBatchWorkers(4))
+
+	queries := make([]toprr.Query, 8)
+	for i := range queries {
+		queries[i] = randomQuery(rng, 3, 2+i%3)
+	}
+	// Repeat one region so the batch provably shares top-k state.
+	queries[7] = queries[0]
+
+	results, err := engine.SolveBatch(ctx, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(results), len(queries))
+	}
+	reference := toprr.NewEngine(pts)
+	for i, q := range queries {
+		if results[i] == nil {
+			t.Fatalf("missing result %d", i)
+		}
+		want, err := reference.Solve(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 200; probe++ {
+			o := vec.Of(rng.Float64(), rng.Float64(), rng.Float64())
+			if results[i].IsTopRanking(o) != want.IsTopRanking(o) {
+				t.Fatalf("query %d: batch result differs at %v", i, o)
+			}
+		}
+	}
+	cs := engine.CacheStats()
+	if cs.TopKHits == 0 {
+		t.Error("batch with a repeated query produced no top-k cache hits")
+	}
+}
+
+// TestEngineSolveBatchCancelled: a cancelled context aborts the batch
+// with the context error.
+func TestEngineSolveBatchCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomMarket(rng, 120, 3)
+	engine := toprr.NewEngine(pts)
+	queries := []toprr.Query{randomQuery(rng, 3, 3), randomQuery(rng, 3, 3)}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := engine.SolveBatch(ctx, queries); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEngineRejectsBadQueries: invalid queries error instead of
+// panicking, and a bad query fails the whole batch while leaving valid
+// slots either solved or nil.
+func TestEngineRejectsBadQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ctx := context.Background()
+	pts := randomMarket(rng, 50, 3)
+	engine := toprr.NewEngine(pts)
+
+	if _, err := engine.Solve(ctx, toprr.Query{K: 3}); err == nil {
+		t.Error("nil wR should error")
+	}
+	if _, err := engine.Solve(ctx, randomQuery(rng, 3, 0)); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := engine.Solve(ctx, randomQuery(rng, 3, 51)); err == nil {
+		t.Error("k>n should error")
+	}
+	bad := randomQuery(rng, 3, 0)
+	if _, err := engine.SolveBatch(ctx, []toprr.Query{randomQuery(rng, 3, 2), bad}); err == nil {
+		t.Error("batch with a bad query should error")
+	}
+}
+
+// TestEngineQueryOptionsOverride: per-query options replace the engine
+// defaults.
+func TestEngineQueryOptionsOverride(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ctx := context.Background()
+	pts := randomMarket(rng, 100, 3)
+	engine := toprr.NewEngine(pts, toprr.WithDefaults(toprr.Options{Alg: toprr.TASStar}))
+	q := randomQuery(rng, 3, 3)
+	q.Options = &toprr.Options{Alg: toprr.TAS, MaxRegions: 1}
+	if _, err := engine.Solve(ctx, q); err == nil {
+		t.Skip("instance trivially solvable within one region; override not observable")
+	}
+}

@@ -1,0 +1,179 @@
+// Package toprr is the public API of the TopRR engine: exact maximal
+// top-ranking regions (Tang et al., PVLDB 2019) over linear top-k
+// preference queries, plus the downstream placement tools.
+//
+// The package is a stable facade over the internal pipeline
+// (prefilter → partition → assemble). One-shot queries go through
+// Solve; services that answer many queries over the same dataset
+// should build an Engine, which reuses per-dataset state (interned
+// split hyperplanes, memoized top-k results) across queries and
+// batches.
+//
+//	prob := toprr.NewProblem(points, k, toprr.PrefBox(lo, hi))
+//	res, err := toprr.Solve(ctx, prob, toprr.Options{Alg: toprr.TASStar})
+//
+// All entry points honor context cancellation and deadlines.
+package toprr
+
+import (
+	"context"
+	"math/rand"
+
+	"toprr/internal/core"
+	"toprr/internal/geom"
+	"toprr/internal/lp"
+	"toprr/internal/qp"
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// Core vocabulary, re-exported so callers never import internal/core.
+type (
+	// Problem is a TopRR instance: a dataset, a rank threshold k and a
+	// convex preference region wR.
+	Problem = core.Problem
+	// Options tunes a solve; the zero value runs the paper's defaults.
+	Options = core.Options
+	// Result is the output of a TopRR solve.
+	Result = core.Result
+	// Stats is solver instrumentation.
+	Stats = core.Stats
+	// Algorithm selects a TopRR solver (PAC, TAS or TASStar).
+	Algorithm = core.Algorithm
+	// ImpactVertex is an element of Vall.
+	ImpactVertex = core.ImpactVertex
+	// Region is oR in H-representation, for downstream constraining.
+	Region = core.Region
+	// MarketImpactResult is the outcome of the budgeted market-impact
+	// search.
+	MarketImpactResult = core.MarketImpactResult
+	// Prefilter is the candidate-filtering pipeline stage.
+	Prefilter = core.Prefilter
+	// Assembler is the oR-assembly pipeline stage.
+	Assembler = core.Assembler
+	// Traversal selects the region scheduling order of the partition
+	// stage.
+	Traversal = core.Traversal
+)
+
+// The three TopRR algorithms of the paper.
+const (
+	PAC     = core.PAC
+	TAS     = core.TAS
+	TASStar = core.TASStar
+)
+
+// Region traversal orders for Options.Traversal.
+const (
+	DepthFirst    = core.DepthFirst
+	BreadthFirst  = core.BreadthFirst
+	PriorityOrder = core.PriorityOrder
+)
+
+// Pipeline stage strategies for Options.Prefilter.
+type (
+	// SkybandPrefilter is the default r-skyband candidate filter.
+	SkybandPrefilter = core.SkybandPrefilter
+	// UTKPrefilter computes the minimal candidate set via kIPR
+	// partitioning (slower, smallest |D'|).
+	UTKPrefilter = core.UTKPrefilter
+	// NoPrefilter keeps every option active.
+	NoPrefilter = core.NoPrefilter
+	// ClipAssembler is the default incremental-clipping assembler.
+	ClipAssembler = core.ClipAssembler
+)
+
+// NewProblem assembles a TopRR instance over the given options.
+func NewProblem(pts []vec.Vector, k int, wr *geom.Polytope) Problem {
+	return core.NewProblem(pts, k, wr)
+}
+
+// PrefBox builds a preference region wR as the axis-aligned box
+// [lo, hi] in W, intersected with the validity constraints of the
+// preference space.
+func PrefBox(lo, hi vec.Vector) *geom.Polytope { return core.PrefBox(lo, hi) }
+
+// Solve runs one TopRR query through the full pipeline, honoring
+// cancellation and deadlines on ctx.
+func Solve(ctx context.Context, p Problem, o Options) (*Result, error) {
+	return core.SolveContext(ctx, p, o)
+}
+
+// SolveUnion solves TopRR for a non-convex clientele given as a union
+// of convex preference regions: each piece is solved concurrently and
+// the option regions are intersected (Section 3.1 of the paper).
+func SolveUnion(ctx context.Context, pts []vec.Vector, k int, pieces []*geom.Polytope, opt Options) (Region, []*Result, error) {
+	return core.SolveUnionContext(ctx, pts, k, pieces, opt)
+}
+
+// ReverseTopK computes the monochromatic reverse top-k of option pi
+// over wR: the maximal subregions of wR where pi ranks among the top-k.
+func ReverseTopK(ctx context.Context, pts []vec.Vector, k int, wr *geom.Polytope, pi int, opt Options) ([]*geom.Polytope, error) {
+	return core.ReverseTopKContext(ctx, pts, k, wr, pi, opt)
+}
+
+// MarketImpact solves the budgeted market-impact search of Section 3.1:
+// the smallest k such that option p can be upgraded within budget to
+// rank among the top-k everywhere in wR.
+func MarketImpact(ctx context.Context, pts []vec.Vector, wr *geom.Polytope, p vec.Vector, budget float64, maxK int, opt Options) (*MarketImpactResult, error) {
+	return core.MarketImpactContext(ctx, pts, wr, p, budget, maxK, opt)
+}
+
+// UTKFilter computes exactly the options appearing in at least one
+// top-k result over wR (the fourth filtering alternative of Section
+// 6.3).
+func UTKFilter(ctx context.Context, pts []vec.Vector, k int, wr *geom.Polytope) ([]int, error) {
+	return core.UTKFilterContext(ctx, pts, k, wr)
+}
+
+// FilterSizes reports the candidate-set sizes behind Figure 12: |D'|
+// after the r-skyband filter alone, and after root-level Lemma 5.
+func FilterSizes(p Problem) (rSkyband, withLemma5 int) { return core.FilterSizes(p) }
+
+// CostOptimalNew returns the cheapest placement in oR under the
+// quadratic manufacturing-cost model.
+func CostOptimalNew(or *geom.Polytope) (vec.Vector, error) { return core.CostOptimalNew(or) }
+
+// Enhance returns the minimum-modification upgrade of an existing
+// option p into oR.
+func Enhance(or *geom.Polytope, p vec.Vector) (vec.Vector, float64, error) {
+	return core.Enhance(or, p)
+}
+
+// Rank returns the rank a new option placed at o would attain under
+// reduced weight vector w — the brute-force oracle for validation.
+func Rank(scorer *topk.Scorer, w, o vec.Vector) int { return core.Rank(scorer, w, o) }
+
+// VerifyTopRanking samples the preference region and checks that o
+// ranks within the top k at every sample; it returns the first
+// violating weight vector, or nil when all samples pass.
+func VerifyTopRanking(p Problem, o vec.Vector, samples int, rng *rand.Rand) vec.Vector {
+	return core.VerifyTopRanking(p, o, samples, rng)
+}
+
+// Counters is a snapshot of process-wide work counters, for benchmark
+// and service instrumentation.
+type Counters struct {
+	RegionsProcessed int64 // regions examined by the partition stage
+	LPSolves         int64 // simplex invocations
+	QPSolves         int64 // quadratic-program solves
+}
+
+// ReadCounters snapshots the process-wide work counters. Deltas between
+// two snapshots attribute work to the interval.
+func ReadCounters() Counters {
+	return Counters{
+		RegionsProcessed: core.RegionsProcessed(),
+		LPSolves:         lp.Solves(),
+		QPSolves:         qp.Solves(),
+	}
+}
+
+// Sub returns the counter delta c - prev.
+func (c Counters) Sub(prev Counters) Counters {
+	return Counters{
+		RegionsProcessed: c.RegionsProcessed - prev.RegionsProcessed,
+		LPSolves:         c.LPSolves - prev.LPSolves,
+		QPSolves:         c.QPSolves - prev.QPSolves,
+	}
+}
