@@ -18,6 +18,14 @@ import (
 	"toprr/internal/dataset"
 )
 
+// usageError reports a flag-validation failure alongside the usage text
+// and exits with the conventional usage status.
+func usageError(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	flag.Usage()
+	os.Exit(2)
+}
+
 func main() {
 	var (
 		dist = flag.String("dist", "IND", "distribution: IND, COR or ANTI")
@@ -34,8 +42,15 @@ func main() {
 	case "":
 		dd, err := dataset.ParseDistribution(*dist)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			usageError(err)
+		}
+		// Validate before generating: a non-positive -n or -d would
+		// silently emit an empty or degenerate CSV.
+		if *n <= 0 {
+			usageError(fmt.Errorf("-n must be > 0, got %d", *n))
+		}
+		if *d < 1 {
+			usageError(fmt.Errorf("-d must be >= 1, got %d", *d))
 		}
 		ds = dataset.Generate(dd, *n, *d, *seed)
 	case "hotel":
@@ -47,8 +62,7 @@ func main() {
 	case "laptops":
 		ds = dataset.Laptops()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown real dataset %q\n", *real)
-		os.Exit(2)
+		usageError(fmt.Errorf("unknown real dataset %q (want hotel, house, nba or laptops)", *real))
 	}
 
 	var w io.Writer = os.Stdout

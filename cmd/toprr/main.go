@@ -100,6 +100,9 @@ func main() {
 	if len(lo) != ds.Dim()-1 || len(hi) != ds.Dim()-1 {
 		fatal(fmt.Errorf("wR needs %d components (d-1), got %d/%d", ds.Dim()-1, len(lo), len(hi)))
 	}
+	if *k <= 0 || *k > ds.Len() {
+		fatal(fmt.Errorf("-k=%d out of range for %d options", *k, ds.Len()))
+	}
 
 	var alg toprr.Algorithm
 	switch strings.ToUpper(*algS) {

@@ -1,0 +1,110 @@
+// Command toprrd is the TopRR serving daemon: it loads (or generates) a
+// dataset, builds an engine over the versioned store, and serves a JSON
+// HTTP API until interrupted, then drains in-flight requests and exits.
+//
+//	toprrd -data laptops.csv -addr :8080
+//	toprrd -dist ANTI -n 50000 -d 4 -req-timeout 10s
+//
+// Endpoints:
+//
+//	POST /v1/solve   one TopRR query            {"k":3,"lo":[..],"hi":[..]}
+//	POST /v1/batch   many queries, one snapshot {"queries":[{...},...]}
+//	POST /v1/ops     dataset mutations          {"ops":[{"op":"insert","point":[..]},...]}
+//	GET  /v1/ops     applied-ops log            ?since=<seq>
+//	GET  /v1/stats   generation, cache and work counters
+//
+// Every query pins the dataset generation current at arrival; mutations
+// publish new generations without disturbing in-flight solves.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"toprr/internal/dataset"
+	"toprr/pkg/toprr"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "toprrd:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		data       = flag.String("data", "", "CSV dataset file (default: generate synthetic)")
+		dist       = flag.String("dist", "IND", "synthetic distribution when -data is absent")
+		n          = flag.Int("n", 100000, "synthetic dataset size")
+		d          = flag.Int("d", 4, "synthetic dimensionality")
+		seed       = flag.Int64("seed", 7, "synthetic generator seed")
+		reqTimeout = flag.Duration("req-timeout", 30*time.Second, "per-request deadline (0 = none)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	var ds *dataset.Dataset
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			fatal(err)
+		}
+		ds, err = dataset.ReadCSV(f, *data)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		dd, err := dataset.ParseDistribution(*dist)
+		if err != nil {
+			fatal(err)
+		}
+		if *n <= 0 || *d < 2 {
+			fatal(fmt.Errorf("need -n > 0 and -d >= 2, got -n=%d -d=%d", *n, *d))
+		}
+		ds = dataset.Generate(dd, *n, *d, *seed)
+	}
+
+	engine := toprr.NewEngine(ds.Pts)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(engine, *reqTimeout),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "toprrd: serving %s (%d options x %d attributes, generation %d) on %s\n",
+		ds.Name, ds.Len(), ds.Dim(), engine.Generation(), ln.Addr())
+	if err := run(ctx, srv, ln, *drain); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "toprrd: drained, bye")
+}
+
+// run serves until the listener fails or ctx is cancelled, then shuts
+// down gracefully: the listener closes, in-flight requests get the drain
+// budget to finish.
+func run(ctx context.Context, srv *http.Server, ln net.Listener, drain time.Duration) error {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+}

@@ -1,0 +1,409 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"toprr/internal/geom"
+	"toprr/internal/vec"
+	"toprr/pkg/toprr"
+)
+
+// server is the HTTP front end over one engine. Every request runs
+// under a per-request deadline; queries pin the dataset generation
+// current when they arrive, so a request is never torn across an
+// Apply landing mid-solve.
+type server struct {
+	engine  *toprr.Engine
+	timeout time.Duration // per-request deadline (0 = none)
+	start   time.Time
+}
+
+// newServer wires the /v1 API over an engine.
+func newServer(engine *toprr.Engine, timeout time.Duration) http.Handler {
+	s := &server{engine: engine, timeout: timeout, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/ops", s.handleOps)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	return mux
+}
+
+// requestCtx derives the request context bounded by the server's
+// per-request deadline.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// maxBodyBytes caps request bodies so one oversized POST cannot buffer
+// the daemon into the ground; decode failures past the cap surface as
+// ordinary 400s.
+const maxBodyBytes = 32 << 20
+
+// decodeBody decodes a JSON request body under the size cap.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v)
+}
+
+// errorJSON is every error response's body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorJSON{Error: err.Error()})
+}
+
+// solveStatus maps a solve error to an HTTP status: request deadlines
+// become 504, client disconnects 503, everything else a server error.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// queryJSON is the wire form of one TopRR query: rank threshold k and
+// the preference box [lo, hi] in the (d-1)-dimensional preference
+// space.
+type queryJSON struct {
+	K       int       `json:"k"`
+	Lo      []float64 `json:"lo"`
+	Hi      []float64 `json:"hi"`
+	Alg     string    `json:"alg,omitempty"`
+	Workers int       `json:"workers,omitempty"`
+}
+
+// parseAlg maps the wire algorithm name to the solver constant.
+func parseAlg(name string) (toprr.Algorithm, error) {
+	switch strings.ToUpper(name) {
+	case "", "TAS*", "TASSTAR", "TAS-STAR":
+		return toprr.TASStar, nil
+	case "TAS":
+		return toprr.TAS, nil
+	case "PAC":
+		return toprr.PAC, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// prefBox builds the preference region, converting PrefBox's panic on an
+// empty region into an error.
+func prefBox(lo, hi []float64) (p *geom.Polytope, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("invalid preference box: %v", r)
+		}
+	}()
+	return toprr.PrefBox(vec.Vector(lo), vec.Vector(hi)), nil
+}
+
+// buildQuery validates a wire query against a pinned snapshot.
+func buildQuery(snap toprr.Snapshot, qj queryJSON) (toprr.Query, error) {
+	m := snap.Scorer.PrefDim()
+	if len(qj.Lo) != m || len(qj.Hi) != m {
+		return toprr.Query{}, fmt.Errorf("lo/hi need %d components (d-1), got %d/%d", m, len(qj.Lo), len(qj.Hi))
+	}
+	if qj.K <= 0 || qj.K > snap.Scorer.Len() {
+		return toprr.Query{}, fmt.Errorf("k=%d out of range for %d options", qj.K, snap.Scorer.Len())
+	}
+	wr, err := prefBox(qj.Lo, qj.Hi)
+	if err != nil {
+		return toprr.Query{}, err
+	}
+	q := toprr.Query{K: qj.K, WR: wr}
+	if qj.Alg != "" || qj.Workers > 0 {
+		alg, err := parseAlg(qj.Alg)
+		if err != nil {
+			return toprr.Query{}, err
+		}
+		q.Options = &toprr.Options{Alg: alg, Workers: qj.Workers}
+	}
+	return q, nil
+}
+
+// constraintJSON is one halfspace a·o >= b of oR's H-representation.
+type constraintJSON struct {
+	A []float64 `json:"a"`
+	B float64   `json:"b"`
+}
+
+// resultJSON is the wire form of one TopRR result: the exact
+// H-representation of oR, its explicit vertices when enumerated within
+// budget, and the solve instrumentation.
+type resultJSON struct {
+	Constraints []constraintJSON `json:"constraints"`
+	Vertices    [][]float64      `json:"vertices,omitempty"`
+	Stats       solveStatsJSON   `json:"stats"`
+}
+
+type solveStatsJSON struct {
+	InputOptions    int     `json:"input_options"`
+	FilteredOptions int     `json:"filtered_options"`
+	Regions         int     `json:"regions"`
+	Splits          int     `json:"splits"`
+	VallSize        int     `json:"vall_size"`
+	TopKQueries     int     `json:"topk_queries"`
+	TopKMisses      int     `json:"topk_misses"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
+}
+
+func resultToJSON(res *toprr.Result) resultJSON {
+	out := resultJSON{
+		Constraints: make([]constraintJSON, len(res.ORConstraints)),
+		Stats: solveStatsJSON{
+			InputOptions:    res.Stats.InputOptions,
+			FilteredOptions: res.Stats.FilteredOptions,
+			Regions:         res.Stats.Regions,
+			Splits:          res.Stats.Splits,
+			VallSize:        res.Stats.VallSize,
+			TopKQueries:     res.Stats.TopKQueries,
+			TopKMisses:      res.Stats.TopKMisses,
+			ElapsedMS:       float64(res.Stats.Elapsed) / float64(time.Millisecond),
+		},
+	}
+	for i, h := range res.ORConstraints {
+		out.Constraints[i] = constraintJSON{A: h.A, B: h.B}
+	}
+	if res.OR != nil {
+		for _, v := range res.OR.VertexPoints() {
+			out.Vertices = append(out.Vertices, v)
+		}
+	}
+	return out
+}
+
+// handleSolve answers POST /v1/solve: one query against the generation
+// current at arrival.
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var qj queryJSON
+	if err := decodeBody(w, r, &qj); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	snap := s.engine.Snapshot()
+	q, err := buildQuery(snap, qj)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	res, err := s.engine.SolveAt(ctx, snap, q)
+	if err != nil {
+		writeErr(w, solveStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Generation uint64     `json:"generation"`
+		Result     resultJSON `json:"result"`
+	}{uint64(snap.Gen), resultToJSON(res)})
+}
+
+// handleBatch answers POST /v1/batch: every query of the batch runs
+// against one pinned generation.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req struct {
+		Queries []queryJSON `json:"queries"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	snap := s.engine.Snapshot()
+	qs := make([]toprr.Query, len(req.Queries))
+	for i, qj := range req.Queries {
+		q, err := buildQuery(snap, qj)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		qs[i] = q
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	results, err := s.engine.SolveBatchAt(ctx, snap, qs)
+	if err != nil {
+		writeErr(w, solveStatus(err), err)
+		return
+	}
+	out := make([]resultJSON, len(results))
+	for i, res := range results {
+		out[i] = resultToJSON(res)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Generation uint64       `json:"generation"`
+		Results    []resultJSON `json:"results"`
+	}{uint64(snap.Gen), out})
+}
+
+// opJSON is the wire form of one dataset mutation.
+type opJSON struct {
+	Op    string    `json:"op"` // "insert", "delete" or "update"
+	Index int       `json:"index,omitempty"`
+	Point []float64 `json:"point,omitempty"`
+}
+
+func (oj opJSON) toOp() (toprr.Op, error) {
+	switch strings.ToLower(oj.Op) {
+	case "insert":
+		return toprr.Insert(vec.Vector(oj.Point)), nil
+	case "delete":
+		return toprr.Delete(oj.Index), nil
+	case "update":
+		return toprr.Update(oj.Index, vec.Vector(oj.Point)), nil
+	default:
+		return toprr.Op{}, fmt.Errorf("unknown op %q (want insert, delete or update)", oj.Op)
+	}
+}
+
+// appliedOpJSON is one op-log entry on the wire.
+type appliedOpJSON struct {
+	Seq        uint64    `json:"seq"`
+	Generation uint64    `json:"generation"`
+	Op         string    `json:"op"`
+	Index      int       `json:"index"`
+	Point      []float64 `json:"point,omitempty"`
+	Moved      int       `json:"moved"` // delete: former index of the swapped-in option, -1 otherwise
+}
+
+// handleOps mutates the dataset (POST) or reads the applied-ops log
+// (GET ?since=<seq>).
+func (s *server) handleOps(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var req struct {
+			Ops []opJSON `json:"ops"`
+		}
+		if err := decodeBody(w, r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+			return
+		}
+		if len(req.Ops) == 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("empty ops batch"))
+			return
+		}
+		ops := make([]toprr.Op, len(req.Ops))
+		for i, oj := range req.Ops {
+			op, err := oj.toOp()
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("op %d: %w", i, err))
+				return
+			}
+			ops[i] = op
+		}
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		gen, err := s.engine.Apply(ctx, ops)
+		if err != nil {
+			// Validation failures reject the whole batch atomically with
+			// 400; a cancelled or timed-out request is not the batch's
+			// fault and maps like the solve path.
+			code := http.StatusBadRequest
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				code = solveStatus(err)
+			}
+			writeErr(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Generation uint64 `json:"generation"`
+			Applied    int    `json:"applied"`
+		}{uint64(gen), len(ops)})
+	case http.MethodGet:
+		var since uint64
+		if v := r.URL.Query().Get("since"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("since: %w", err))
+				return
+			}
+			since = n
+		}
+		log := s.engine.Log(since)
+		out := make([]appliedOpJSON, len(log))
+		for i, e := range log {
+			out[i] = appliedOpJSON{
+				Seq:        e.Seq,
+				Generation: uint64(e.Gen),
+				Op:         e.Op.Kind.String(),
+				Index:      e.Op.Index,
+				Point:      e.Op.Point,
+				Moved:      e.Moved,
+			}
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Generation uint64          `json:"generation"`
+			Ops        []appliedOpJSON `json:"ops"`
+		}{uint64(s.engine.Generation()), out})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST or GET"))
+	}
+}
+
+// handleStats answers GET /v1/stats: dataset shape, generation, shared
+// cache occupancy and process-wide work counters.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	cs := s.engine.CacheStats()
+	ctr := toprr.ReadCounters()
+	writeJSON(w, http.StatusOK, struct {
+		Generation  uint64  `json:"generation"`
+		Options     int     `json:"options"`
+		Dim         int     `json:"dim"`
+		UptimeMS    float64 `json:"uptime_ms"`
+		Hyperplanes int     `json:"cache_hyperplanes"`
+		TopKConfigs int     `json:"cache_topk_configs"`
+		TopKHits    int     `json:"cache_topk_hits"`
+		TopKMisses  int     `json:"cache_topk_misses"`
+		Evictions   int     `json:"cache_evictions"`
+		Regions     int64   `json:"regions_processed"`
+		LPSolves    int64   `json:"lp_solves"`
+		QPSolves    int64   `json:"qp_solves"`
+	}{
+		Generation:  uint64(cs.Generation),
+		Options:     s.engine.Len(),
+		Dim:         s.engine.Dim(),
+		UptimeMS:    float64(time.Since(s.start)) / float64(time.Millisecond),
+		Hyperplanes: cs.Hyperplanes,
+		TopKConfigs: cs.TopKConfigs,
+		TopKHits:    cs.TopKHits,
+		TopKMisses:  cs.TopKMisses,
+		Evictions:   cs.Evictions,
+		Regions:     ctr.RegionsProcessed,
+		LPSolves:    ctr.LPSolves,
+		QPSolves:    ctr.QPSolves,
+	})
+}

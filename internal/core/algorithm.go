@@ -145,13 +145,17 @@ func (s *solver) newCache(k int, active []int) *topk.Cache {
 }
 
 // newCacheShared is newCache but interns the cache in the cross-query
-// registry when one bound to this dataset is supplied. Only root
+// registry when one serving this solve's dataset generation is supplied
+// (GetFor refuses scorers of other generations, so a solve pinned to an
+// older snapshot falls back to a solve-local cache). Only root
 // (prefilter-level) configurations go through here: they repeat across
 // queries, whereas Lemma-5-derived sets are region-specific and would
 // bloat the registry without reuse.
 func (s *solver) newCacheShared(k int, active []int) *topk.Cache {
-	if reg := s.opt.TopKCaches; reg != nil && !s.opt.DisableTopKCache && reg.Scorer() == s.prob.Scorer {
-		return reg.Get(k, active)
+	if reg := s.opt.TopKCaches; reg != nil && !s.opt.DisableTopKCache {
+		if c := reg.GetFor(s.prob.Scorer, k, active); c != nil {
+			return c
+		}
 	}
 	return s.newCache(k, active)
 }
@@ -566,20 +570,20 @@ func (s *solver) kSwitchPair(va, vb vec.Vector, ra, rb *topk.Result) ([2]int, bo
 // wHP(p_i, p_j) = {w : S_w(p_i) = S_w(p_j)} as a halfspace whose >= side
 // is S_w(p_i) >= S_w(p_j). It reports false for (numerically) parallel
 // score functions, which cannot cut any region. When a cross-query
-// cache is supplied, each pair is computed at most once per engine.
+// cache is supplied, each pair is computed at most once per engine and
+// dataset generation; the cache verifies the solve's pinned scorer on
+// every access, so a solve racing a dataset mutation neither reads nor
+// writes geometry of the wrong generation.
 func (s *solver) splitHyperplane(i, j int) (geom.Halfspace, bool) {
 	c := s.opt.Hyperplanes
-	if c != nil && c.scorer != s.prob.Scorer {
-		c = nil // cache bound to a different dataset: ignore
-	}
 	if c != nil {
-		if e, ok := c.lookup(i, j); ok {
+		if e, ok := c.lookupFor(s.prob.Scorer, i, j); ok {
 			return e.hs, e.ok
 		}
 	}
 	hs, ok := computeSplitHyperplane(s.prob.Scorer, i, j)
 	if c != nil {
-		c.store(i, j, hpEntry{hs: hs, ok: ok})
+		c.storeFor(s.prob.Scorer, i, j, hpEntry{hs: hs, ok: ok})
 	}
 	return hs, ok
 }

@@ -8,16 +8,22 @@ import (
 )
 
 // HyperplaneCache interns the splitting hyperplanes wHP(p_i, p_j) of
-// one dataset across queries. The hyperplane depends only on the option
-// pair — not on the query region or k — so an engine serving many
-// queries over the same dataset recomputes each pair at most once.
-// The cache is bound to its dataset at construction; solves over a
-// different dataset ignore it rather than read wrong geometry. Safe for
-// concurrent use.
+// one dataset generation across queries. The hyperplane depends only on
+// the option pair — not on the query region or k — so an engine serving
+// many queries over the same dataset recomputes each pair at most once.
+//
+// The cache is generation-aware: lookups and stores name the scorer the
+// solve is pinned to and take effect only while that scorer is the
+// cache's current generation, so a solve pinned to an old generation can
+// neither read nor write stale geometry once Advance moved the cache
+// forward. Advance invalidates *incrementally*: only pairs touching a
+// dirty slot are dropped, every other hyperplane is carried into the new
+// generation. Safe for concurrent use.
 type HyperplaneCache struct {
-	scorer *topk.Scorer
-	mu     sync.RWMutex
-	m      map[int64]hpEntry
+	mu        sync.RWMutex
+	scorer    *topk.Scorer
+	m         map[int64]hpEntry
+	evictions int // entries dropped by Advance or refused at the cap
 }
 
 type hpEntry struct {
@@ -30,7 +36,8 @@ type hpEntry struct {
 // exist); beyond the limit, hyperplanes are recomputed on demand.
 const hyperplaneCacheLimit = 1 << 20
 
-// NewHyperplaneCache builds an empty cache bound to one dataset.
+// NewHyperplaneCache builds an empty cache bound to one dataset
+// generation's scorer.
 func NewHyperplaneCache(scorer *topk.Scorer) *HyperplaneCache {
 	return &HyperplaneCache{scorer: scorer, m: make(map[int64]hpEntry)}
 }
@@ -39,22 +46,61 @@ func NewHyperplaneCache(scorer *topk.Scorer) *HyperplaneCache {
 // orientation depends on the order).
 func pairKey(i, j int) int64 { return int64(i)<<32 | int64(uint32(j)) }
 
-// lookup returns the cached hyperplane for the ordered pair (i, j).
-func (c *HyperplaneCache) lookup(i, j int) (hpEntry, bool) {
+// lookupFor returns the cached hyperplane for the ordered pair (i, j),
+// provided sc is the cache's current generation.
+func (c *HyperplaneCache) lookupFor(sc *topk.Scorer, i, j int) (hpEntry, bool) {
 	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.scorer != sc {
+		return hpEntry{}, false
+	}
 	e, ok := c.m[pairKey(i, j)]
-	c.mu.RUnlock()
 	return e, ok
 }
 
-// store records the hyperplane for the ordered pair (i, j), unless the
-// cache is full.
-func (c *HyperplaneCache) store(i, j int, e hpEntry) {
+// storeFor records the hyperplane for the ordered pair (i, j), unless
+// the cache is full or has advanced past sc's generation (a stale solve
+// must not publish geometry into a newer generation).
+func (c *HyperplaneCache) storeFor(sc *topk.Scorer, i, j int, e hpEntry) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.scorer != sc {
+		return
+	}
 	if len(c.m) < hyperplaneCacheLimit {
 		c.m[pairKey(i, j)] = e
+	} else {
+		c.evictions++
 	}
-	c.mu.Unlock()
+}
+
+// Advance moves the cache to a new dataset generation, dropping exactly
+// the pairs that involve a dirty slot (see store.Delta): an insert
+// touches no existing slot and keeps every hyperplane, a delete or
+// update drops only the pairs of the affected slots.
+func (c *HyperplaneCache) Advance(sc *topk.Scorer, dirty []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Slots at or beyond the old generation's length cannot appear in an
+	// interned pair; filtering them lets a pure insert advance without
+	// scanning the map at all.
+	oldLen := c.scorer.Len()
+	dirtySet := make(map[int]bool, len(dirty))
+	for _, i := range dirty {
+		if i < oldLen {
+			dirtySet[i] = true
+		}
+	}
+	if len(dirtySet) > 0 {
+		for key := range c.m {
+			i, j := int(key>>32), int(uint32(key))
+			if dirtySet[i] || dirtySet[j] {
+				delete(c.m, key)
+				c.evictions++
+			}
+		}
+	}
+	c.scorer = sc
 }
 
 // Len reports the number of interned hyperplanes.
@@ -62,4 +108,12 @@ func (c *HyperplaneCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.m)
+}
+
+// Evictions reports entries dropped by generation advances or refused at
+// the size cap.
+func (c *HyperplaneCache) Evictions() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.evictions
 }

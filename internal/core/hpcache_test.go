@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"toprr/internal/geom"
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+func hpPts() []vec.Vector {
+	return []vec.Vector{
+		vec.Of(0.1, 0.9),
+		vec.Of(0.5, 0.5),
+		vec.Of(0.9, 0.1),
+	}
+}
+
+// TestHyperplaneCacheGenerationChecks: a cache serves and accepts
+// entries only for its current generation's scorer, so solves pinned to
+// an older snapshot can neither read nor publish stale geometry.
+func TestHyperplaneCacheGenerationChecks(t *testing.T) {
+	sc1 := topk.NewScorerAt(hpPts(), 1)
+	c := NewHyperplaneCache(sc1)
+
+	e := hpEntry{hs: geom.NewHalfspace(vec.Of(1), 0.5), ok: true}
+	c.storeFor(sc1, 0, 1, e)
+	if _, ok := c.lookupFor(sc1, 0, 1); !ok {
+		t.Fatal("current-generation lookup missed")
+	}
+
+	sc2 := topk.NewScorerAt(hpPts(), 2)
+	if _, ok := c.lookupFor(sc2, 0, 1); ok {
+		t.Error("foreign scorer read a cached hyperplane")
+	}
+	c.storeFor(sc2, 1, 2, e)
+	if c.Len() != 1 {
+		t.Error("foreign scorer stored into the cache")
+	}
+}
+
+// TestHyperplaneCacheAdvance: advancing drops exactly the pairs touching
+// a dirty slot; an insert (no dirty existing slots) keeps everything.
+func TestHyperplaneCacheAdvance(t *testing.T) {
+	sc1 := topk.NewScorerAt(hpPts(), 1)
+	c := NewHyperplaneCache(sc1)
+	e := hpEntry{hs: geom.NewHalfspace(vec.Of(1), 0.5), ok: true}
+	c.storeFor(sc1, 0, 1, e)
+	c.storeFor(sc1, 1, 2, e)
+	c.storeFor(sc1, 0, 2, e)
+
+	// Insert: nothing existing is dirty, every hyperplane survives.
+	sc2 := topk.NewScorerAt(append(hpPts(), vec.Of(0.3, 0.3)), 2)
+	c.Advance(sc2, []int{3})
+	if c.Len() != 3 {
+		t.Fatalf("insert advance dropped entries: len=%d", c.Len())
+	}
+	if _, ok := c.lookupFor(sc2, 0, 1); !ok {
+		t.Error("carried-forward hyperplane not served to the new generation")
+	}
+	if _, ok := c.lookupFor(sc1, 0, 1); ok {
+		t.Error("old generation still served after advance")
+	}
+
+	// Update of slot 1: exactly the pairs involving 1 go.
+	sc3 := topk.NewScorerAt(append(hpPts(), vec.Of(0.3, 0.3)), 3)
+	c.Advance(sc3, []int{1})
+	if c.Len() != 1 {
+		t.Fatalf("dirty-slot advance kept %d entries, want 1", c.Len())
+	}
+	if _, ok := c.lookupFor(sc3, 0, 2); !ok {
+		t.Error("pair avoiding the dirty slot should survive")
+	}
+	if c.Evictions() != 2 {
+		t.Errorf("evictions = %d, want 2", c.Evictions())
+	}
+}

@@ -1,0 +1,290 @@
+// Package store implements the versioned, mutable dataset layer of the
+// engine: a generation-numbered option store with copy-on-write
+// snapshots and an applied-ops log.
+//
+// The paper's applications assume the option set changes — a vendor
+// inserts a product, upgrades one, or withdraws one — while readers keep
+// answering top-k and TopRR queries. The store reconciles the two sides
+// with snapshot isolation:
+//
+//   - every mutation batch (Apply) produces a brand-new generation whose
+//     points slice shares nothing mutable with earlier generations, and
+//   - readers pin a Snapshot — an immutable per-generation
+//     topk.Scorer — and keep computing against it no matter how many
+//     generations writers publish underneath.
+//
+// Deletion uses swap-with-last semantics: the last option moves into the
+// freed slot so indices stay dense. Each Apply reports the slots whose
+// identity changed (the Delta), which the engine's generation-aware
+// caches use for incremental — rather than wholesale — invalidation.
+package store
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// Generation numbers dataset versions. The first published generation is
+// 1; 0 means "no generation".
+type Generation uint64
+
+// OpKind discriminates dataset mutations.
+type OpKind int
+
+// The three dataset mutations.
+const (
+	OpInsert OpKind = iota // append a new option
+	OpDelete               // remove option Index (swap-with-last)
+	OpUpdate               // replace option Index with Point
+)
+
+// String returns the wire name of the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one dataset mutation. Index addresses the dataset as it stands
+// when the op applies — within a batch, after the preceding ops of the
+// same batch.
+type Op struct {
+	Kind  OpKind
+	Index int        // Delete/Update target
+	Point vec.Vector // Insert/Update payload
+}
+
+// Insert builds an op appending option p.
+func Insert(p vec.Vector) Op { return Op{Kind: OpInsert, Point: p} }
+
+// Delete builds an op removing option i (the last option moves into
+// slot i).
+func Delete(i int) Op { return Op{Kind: OpDelete, Index: i} }
+
+// Update builds an op replacing option i with p.
+func Update(i int, p vec.Vector) Op { return Op{Kind: OpUpdate, Index: i, Point: p} }
+
+// AppliedOp is one entry of the store's op log.
+type AppliedOp struct {
+	Seq   uint64     // 1-based position in the log
+	Gen   Generation // generation the op's batch produced
+	Op    Op
+	Moved int // Delete: former index of the option moved into the freed slot (-1 otherwise)
+}
+
+// Snapshot is an immutable view of one generation: readers solve against
+// Scorer and never observe later mutations.
+type Snapshot struct {
+	Gen    Generation
+	Scorer *topk.Scorer
+}
+
+// Delta reports the cache-relevant effect of one Apply: the
+// old-generation slots whose identity changed (updated in place, swapped
+// by a delete, truncated, or re-populated by a later insert). Slots not
+// listed hold the same option in both generations, so per-pair and
+// per-subset cache entries avoiding the dirty slots stay valid.
+// Whole-dataset ("all options active") entries are invalidated by any
+// op, since every op changes dataset membership.
+type Delta struct {
+	From, To Generation
+	Dirty    []int
+}
+
+// logLimit bounds the retained op log; beyond it the oldest entries are
+// discarded (Log reports the surviving suffix). Durable retention is the
+// WAL item on the roadmap.
+const logLimit = 1 << 14
+
+// Store is a generation-numbered dataset store. Reads (Snapshot, Len,
+// Log) and writes (Apply) may run concurrently; writers serialize among
+// themselves.
+type Store struct {
+	mu   sync.RWMutex
+	snap Snapshot
+	seq  uint64 // total ops ever applied
+	log  []AppliedOp
+}
+
+// New builds a store over an initial dataset of options in [0,1]^d,
+// published as generation 1. The slice is copied; the vectors are
+// adopted as-is and must not be mutated afterwards.
+func New(pts []vec.Vector) (*Store, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("store: empty dataset")
+	}
+	d := pts[0].Dim()
+	for i, p := range pts {
+		if err := checkPoint(p, d); err != nil {
+			return nil, fmt.Errorf("store: option %d: %w", i, err)
+		}
+	}
+	own := append([]vec.Vector(nil), pts...)
+	return &Store{snap: Snapshot{Gen: 1, Scorer: topk.NewScorerAt(own, 1)}}, nil
+}
+
+// checkPoint validates one option payload.
+func checkPoint(p vec.Vector, d int) error {
+	if p.Dim() != d {
+		return fmt.Errorf("dimension %d, want %d", p.Dim(), d)
+	}
+	for j, x := range p {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("component %d is not finite", j)
+		}
+		if x < 0 || x > 1 {
+			return fmt.Errorf("component %d = %v outside [0,1]", j, x)
+		}
+	}
+	return nil
+}
+
+// Snapshot returns the current generation's immutable view.
+func (s *Store) Snapshot() Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap
+}
+
+// Generation returns the current generation number.
+func (s *Store) Generation() Generation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap.Gen
+}
+
+// Len returns the current number of options.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap.Scorer.Len()
+}
+
+// Dim returns the option-space dimensionality.
+func (s *Store) Dim() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.snap.Scorer.Dim()
+}
+
+// Apply applies a batch of ops atomically: either every op validates and
+// the batch publishes one new generation, or the store is unchanged and
+// the first offending op's error is returned. The returned Snapshot is
+// the new generation; the Delta lists the slots incremental cache
+// invalidation must drop. An empty batch is a no-op returning the
+// current snapshot.
+func (s *Store) Apply(ops []Op) (Snapshot, Delta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	cur := s.snap
+	if len(ops) == 0 {
+		return cur, Delta{From: cur.Gen, To: cur.Gen}, nil
+	}
+
+	// Copy-on-write: mutate a private copy; readers keep the old slice.
+	old := cur.Scorer.Points()
+	pts := make([]vec.Vector, len(old), len(old)+len(ops))
+	copy(pts, old)
+	d := cur.Scorer.Dim()
+
+	dirty := make(map[int]bool)
+	// recs are the ops as logged: payload vectors are the store's own
+	// clones, never the caller's slices, so a caller mutating a vector
+	// after Apply can corrupt neither the dataset nor the history.
+	recs := make([]AppliedOp, len(ops))
+	for i, op := range ops {
+		recs[i] = AppliedOp{Op: op, Moved: -1}
+		switch op.Kind {
+		case OpInsert:
+			if err := checkPoint(op.Point, d); err != nil {
+				return cur, Delta{}, fmt.Errorf("store: op %d (insert): %w", i, err)
+			}
+			p := op.Point.Clone()
+			pts = append(pts, p)
+			recs[i].Op.Point = p
+			dirty[len(pts)-1] = true
+		case OpDelete:
+			if op.Index < 0 || op.Index >= len(pts) {
+				return cur, Delta{}, fmt.Errorf("store: op %d (delete): index %d out of range [0,%d)", i, op.Index, len(pts))
+			}
+			if len(pts) == 1 {
+				return cur, Delta{}, fmt.Errorf("store: op %d (delete): cannot delete the last option", i)
+			}
+			last := len(pts) - 1
+			if op.Index != last {
+				pts[op.Index] = pts[last]
+				recs[i].Moved = last
+			}
+			pts[last] = nil
+			pts = pts[:last]
+			dirty[op.Index] = true
+			dirty[last] = true
+		case OpUpdate:
+			if op.Index < 0 || op.Index >= len(pts) {
+				return cur, Delta{}, fmt.Errorf("store: op %d (update): index %d out of range [0,%d)", i, op.Index, len(pts))
+			}
+			if err := checkPoint(op.Point, d); err != nil {
+				return cur, Delta{}, fmt.Errorf("store: op %d (update): %w", i, err)
+			}
+			p := op.Point.Clone()
+			pts[op.Index] = p
+			recs[i].Op.Point = p
+			dirty[op.Index] = true
+		default:
+			return cur, Delta{}, fmt.Errorf("store: op %d: unknown kind %v", i, op.Kind)
+		}
+	}
+
+	gen := cur.Gen + 1
+	s.snap = Snapshot{Gen: gen, Scorer: topk.NewScorerAt(pts, uint64(gen))}
+	for i := range recs {
+		s.seq++
+		recs[i].Seq = s.seq
+		recs[i].Gen = gen
+		s.log = append(s.log, recs[i])
+	}
+	if len(s.log) > logLimit {
+		tail := make([]AppliedOp, logLimit/2)
+		copy(tail, s.log[len(s.log)-logLimit/2:])
+		s.log = tail
+	}
+
+	dirtyList := make([]int, 0, len(dirty))
+	for i := range dirty {
+		dirtyList = append(dirtyList, i)
+	}
+	return s.snap, Delta{From: cur.Gen, To: gen, Dirty: dirtyList}, nil
+}
+
+// Log returns a copy of the retained applied-ops with Seq > since
+// (since=0 returns everything retained). Entries older than the
+// retention limit are gone; callers detect the gap when the first
+// returned Seq exceeds since+1.
+func (s *Store) Log(since uint64) []AppliedOp {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lo := 0
+	for lo < len(s.log) && s.log[lo].Seq <= since {
+		lo++
+	}
+	out := append([]AppliedOp(nil), s.log[lo:]...)
+	// Payload vectors are cloned so a consumer cannot mutate history.
+	for i := range out {
+		if out[i].Op.Point != nil {
+			out[i].Op.Point = out[i].Op.Point.Clone()
+		}
+	}
+	return out
+}

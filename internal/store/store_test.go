@@ -1,0 +1,221 @@
+package store
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+func pts3() []vec.Vector {
+	return []vec.Vector{
+		vec.Of(0.1, 0.9),
+		vec.Of(0.5, 0.5),
+		vec.Of(0.9, 0.1),
+	}
+}
+
+func mustNew(t *testing.T, pts []vec.Vector) *Store {
+	t.Helper()
+	s, err := New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := New([]vec.Vector{vec.Of(0.1, 0.2), vec.Of(0.3)}); err == nil {
+		t.Error("inconsistent dimensions should error")
+	}
+	if _, err := New([]vec.Vector{vec.Of(0.1, 1.2)}); err == nil {
+		t.Error("component outside [0,1] should error")
+	}
+	if _, err := New([]vec.Vector{vec.Of(0.1, math.NaN())}); err == nil {
+		t.Error("NaN component should error")
+	}
+}
+
+func TestInsertAppends(t *testing.T) {
+	s := mustNew(t, pts3())
+	if g := s.Generation(); g != 1 {
+		t.Fatalf("initial generation = %d, want 1", g)
+	}
+	snap, delta, err := s.Apply([]Op{Insert(vec.Of(0.3, 0.3))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gen != 2 || s.Generation() != 2 {
+		t.Errorf("generation = %d/%d, want 2", snap.Gen, s.Generation())
+	}
+	if snap.Scorer.Len() != 4 {
+		t.Errorf("len = %d, want 4", snap.Scorer.Len())
+	}
+	if got := snap.Scorer.Point(3); !got.Equal(vec.Of(0.3, 0.3), 0) {
+		t.Errorf("appended point = %v", got)
+	}
+	// The only dirty slot is the brand-new one: nothing an old-generation
+	// cache references.
+	if len(delta.Dirty) != 1 || delta.Dirty[0] != 3 {
+		t.Errorf("dirty = %v, want [3]", delta.Dirty)
+	}
+	if snap.Scorer.Generation() != 2 {
+		t.Errorf("scorer generation = %d, want 2", snap.Scorer.Generation())
+	}
+}
+
+func TestDeleteSwapsWithLast(t *testing.T) {
+	s := mustNew(t, pts3())
+	snap, delta, err := s.Apply([]Op{Delete(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scorer.Len() != 2 {
+		t.Fatalf("len = %d, want 2", snap.Scorer.Len())
+	}
+	if !snap.Scorer.Point(0).Equal(vec.Of(0.9, 0.1), 0) {
+		t.Errorf("slot 0 = %v, want the former last option", snap.Scorer.Point(0))
+	}
+	want := map[int]bool{0: true, 2: true}
+	for _, i := range delta.Dirty {
+		if !want[i] {
+			t.Errorf("unexpected dirty slot %d", i)
+		}
+		delete(want, i)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing dirty slots: %v (got %v)", want, delta.Dirty)
+	}
+	log := s.Log(0)
+	if len(log) != 1 || log[0].Moved != 2 {
+		t.Errorf("log = %+v, want one entry with Moved=2", log)
+	}
+}
+
+func TestUpdateReplacesAndClones(t *testing.T) {
+	s := mustNew(t, pts3())
+	p := vec.Of(0.2, 0.2)
+	snap, delta, err := s.Apply([]Op{Update(1, p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p[0] = 0.999 // caller mutation must not reach the store
+	if got := snap.Scorer.Point(1); got[0] != 0.2 {
+		t.Errorf("update aliased the caller's vector: %v", got)
+	}
+	if got := s.Log(0)[0].Op.Point; got[0] != 0.2 {
+		t.Errorf("op log aliased the caller's vector: %v", got)
+	}
+	// And log consumers cannot mutate history either.
+	s.Log(0)[0].Op.Point[0] = 0.888
+	if got := s.Log(0)[0].Op.Point; got[0] != 0.2 {
+		t.Errorf("log consumers share the store's history slices: %v", got)
+	}
+	if len(delta.Dirty) != 1 || delta.Dirty[0] != 1 {
+		t.Errorf("dirty = %v, want [1]", delta.Dirty)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := mustNew(t, pts3())
+	old := s.Snapshot()
+	if _, _, err := s.Apply([]Op{Update(0, vec.Of(0.7, 0.7)), Insert(vec.Of(0.4, 0.4)), Delete(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned snapshot still reads the original data.
+	if old.Gen != 1 || old.Scorer.Len() != 3 {
+		t.Fatalf("old snapshot changed: gen=%d len=%d", old.Gen, old.Scorer.Len())
+	}
+	for i, want := range pts3() {
+		if !old.Scorer.Point(i).Equal(want, 0) {
+			t.Errorf("old snapshot point %d = %v, want %v", i, old.Scorer.Point(i), want)
+		}
+	}
+}
+
+func TestApplyIsAtomic(t *testing.T) {
+	s := mustNew(t, pts3())
+	_, _, err := s.Apply([]Op{Insert(vec.Of(0.2, 0.2)), Delete(99)})
+	if err == nil || !strings.Contains(err.Error(), "op 1") {
+		t.Fatalf("err = %v, want op-1 delete failure", err)
+	}
+	if s.Generation() != 1 || s.Len() != 3 {
+		t.Errorf("failed batch mutated the store: gen=%d len=%d", s.Generation(), s.Len())
+	}
+	if len(s.Log(0)) != 0 {
+		t.Error("failed batch reached the log")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	s := mustNew(t, []vec.Vector{vec.Of(0.5, 0.5)})
+	cases := []Op{
+		Insert(vec.Of(0.5)),              // wrong dimension
+		Insert(vec.Of(0.5, 1.5)),         // out of range
+		Insert(vec.Of(0.5, math.Inf(1))), // not finite
+		Delete(0),                        // would empty the store
+		Delete(-1),
+		Update(3, vec.Of(0.5, 0.5)),
+		{Kind: OpKind(42)},
+	}
+	for _, op := range cases {
+		if _, _, err := s.Apply([]Op{op}); err == nil {
+			t.Errorf("op %+v should error", op)
+		}
+	}
+	if s.Generation() != 1 {
+		t.Errorf("generation moved to %d on rejected ops", s.Generation())
+	}
+}
+
+func TestBatchIndicesAreSequential(t *testing.T) {
+	// Within one batch, indices address the dataset as left by the
+	// preceding ops: delete(0) swaps the last option in, so update(0)
+	// afterwards hits the swapped-in option.
+	s := mustNew(t, pts3())
+	snap, _, err := s.Apply([]Op{Delete(0), Update(0, vec.Of(0.25, 0.25))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scorer.Len() != 2 || !snap.Scorer.Point(0).Equal(vec.Of(0.25, 0.25), 0) {
+		t.Errorf("batch semantics broken: len=%d slot0=%v", snap.Scorer.Len(), snap.Scorer.Point(0))
+	}
+	if snap.Gen != 2 {
+		t.Errorf("one batch should bump one generation, got %d", snap.Gen)
+	}
+}
+
+func TestLogSince(t *testing.T) {
+	s := mustNew(t, pts3())
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Apply([]Op{Insert(vec.Of(0.1, 0.1))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := s.Log(0)
+	if len(all) != 3 || all[0].Seq != 1 || all[2].Seq != 3 {
+		t.Fatalf("log = %+v", all)
+	}
+	tail := s.Log(2)
+	if len(tail) != 1 || tail[0].Seq != 3 {
+		t.Fatalf("log since 2 = %+v", tail)
+	}
+	if got := s.Log(99); len(got) != 0 {
+		t.Fatalf("log since future = %+v", got)
+	}
+}
+
+func TestEmptyApplyIsNoop(t *testing.T) {
+	s := mustNew(t, pts3())
+	snap, delta, err := s.Apply(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gen != 1 || delta.From != delta.To {
+		t.Errorf("empty apply bumped the generation: %+v %+v", snap, delta)
+	}
+}

@@ -19,19 +19,36 @@ import (
 )
 
 // Scorer evaluates linear scores of a fixed dataset under reduced
-// weight vectors. It is safe for concurrent use.
+// weight vectors. A Scorer is an immutable snapshot: the versioned
+// store hands out one Scorer per dataset generation, and in-flight
+// queries keep scoring against theirs while writers publish successors.
+// It is safe for concurrent use.
 type Scorer struct {
 	pts []vec.Vector
-	d   int // option-space dimensionality
+	d   int    // option-space dimensionality
+	gen uint64 // dataset generation (0 for standalone scorers)
 }
 
 // NewScorer wraps a dataset of d-dimensional options.
-func NewScorer(pts []vec.Vector) *Scorer {
+func NewScorer(pts []vec.Vector) *Scorer { return NewScorerAt(pts, 0) }
+
+// NewScorerAt wraps a dataset as the snapshot of dataset generation gen.
+// The slice is adopted, not copied: the caller guarantees it is never
+// mutated afterwards.
+func NewScorerAt(pts []vec.Vector, gen uint64) *Scorer {
 	if len(pts) == 0 {
 		panic("topk: empty dataset")
 	}
-	return &Scorer{pts: pts, d: pts[0].Dim()}
+	return &Scorer{pts: pts, d: pts[0].Dim(), gen: gen}
 }
+
+// Generation returns the dataset generation this scorer snapshots (0 for
+// standalone scorers built outside a store).
+func (s *Scorer) Generation() uint64 { return s.gen }
+
+// Points returns the underlying option slice. It is shared, not copied:
+// callers must treat it as read-only.
+func (s *Scorer) Points() []vec.Vector { return s.pts }
 
 // Dim returns the option-space dimensionality d.
 func (s *Scorer) Dim() int { return s.d }
@@ -178,14 +195,15 @@ func (s *Scorer) TopK(w vec.Vector, k int, active []int) *Result {
 // Lemma 5 changes the active set or k. It is safe for concurrent use —
 // the parallel solver shares one cache across its workers.
 type Cache struct {
-	scorer *Scorer
-	k      int
-	active []int
-	limit  int // max memoized vertices (0 = unlimited)
-	mu     sync.Mutex
-	m      map[string]*Result
-	hits   int
-	misses int
+	scorer    *Scorer
+	k         int
+	active    []int
+	limit     int // max memoized vertices (0 = unlimited)
+	mu        sync.Mutex
+	m         map[string]*Result
+	hits      int
+	misses    int
+	evictions int // results not memoized because the cache was full
 }
 
 // NewCache builds a cache for top-k queries with the given parameters.
@@ -214,8 +232,13 @@ func (c *Cache) K() int { return c.k }
 // Active returns the active option subset (nil means all).
 func (c *Cache) Active() []int { return c.active }
 
-// Scorer returns the underlying scorer.
-func (c *Cache) Scorer() *Scorer { return c.scorer }
+// Scorer returns the underlying scorer (the registry may rebind it on a
+// generation advance, hence the lock).
+func (c *Cache) Scorer() *Scorer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.scorer
+}
 
 // Get returns the top-k result at vertex w, computing it on a miss.
 func (c *Cache) Get(w vec.Vector) *Result {
@@ -230,8 +253,9 @@ func (c *Cache) Lookup(w vec.Vector) (*Result, bool) {
 	if c.m == nil { // pass-through mode
 		c.mu.Lock()
 		c.misses++
+		sc := c.scorer
 		c.mu.Unlock()
-		return c.scorer.TopK(w, c.k, c.active), false
+		return sc.TopK(w, c.k, c.active), false
 	}
 	key := w.Key(1e-10)
 	c.mu.Lock()
@@ -240,13 +264,18 @@ func (c *Cache) Lookup(w vec.Vector) (*Result, bool) {
 		c.mu.Unlock()
 		return r, true
 	}
+	// Snapshot the scorer pointer under the lock (rebind may swap it
+	// concurrently) and compute outside it; a racing duplicate
+	// computation is harmless (results are identical under either
+	// generation's scorer — see rebind — and idempotent to store).
+	sc := c.scorer
 	c.mu.Unlock()
-	// Compute outside the lock; a racing duplicate computation is
-	// harmless (results are identical and idempotent to store).
-	r := c.scorer.TopK(w, c.k, c.active)
+	r := sc.TopK(w, c.k, c.active)
 	c.mu.Lock()
 	if c.limit <= 0 || len(c.m) < c.limit {
 		c.m[key] = r
+	} else {
+		c.evictions++
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -258,4 +287,32 @@ func (c *Cache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions reports results the cache declined to memoize because it was
+// full.
+func (c *Cache) Evictions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Len reports the number of memoized vertices.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// rebind points the cache at a new generation's scorer. Only sound when
+// every option in the cache's active set is bit-identical between the
+// old and new scorer (the registry's Advance guarantees it by dropping
+// any configuration touching a dirty slot): then every memoized result,
+// and every future computation by either a pinned old-generation solve
+// or a new-generation solve, is identical under both scorers, so the
+// same Cache object safely serves both sides.
+func (c *Cache) rebind(sc *Scorer) {
+	c.mu.Lock()
+	c.scorer = sc
+	c.mu.Unlock()
 }

@@ -8,28 +8,39 @@ import (
 
 	"toprr/internal/core"
 	"toprr/internal/geom"
+	"toprr/internal/store"
 	"toprr/internal/topk"
 	"toprr/internal/vec"
 )
 
-// Engine serves TopRR queries over one fixed dataset. Unlike the
-// package-level Solve, an Engine keeps reusable per-dataset state and
-// shares it across queries:
+// Engine serves TopRR queries over a mutable, versioned dataset. Unlike
+// the package-level Solve, an Engine keeps reusable per-dataset state
+// and shares it across queries:
 //
-//   - the scorer (the dataset is validated and wrapped once),
+//   - the versioned store (generation-numbered copy-on-write snapshots
+//     of the option set),
 //   - interned splitting hyperplanes wHP(p_i, p_j), which depend only
 //     on the option pair, and
 //   - memoized top-k results keyed by (k, candidate-set) configuration,
 //     so queries over nearby regions reuse each other's scoring work.
 //
-// An Engine is safe for concurrent use; Solve and SolveBatch may be
-// called from many goroutines at once.
+// Reads and writes are snapshot-isolated: Solve and SolveBatch pin the
+// dataset generation current when they start (or the one given to
+// SolveAt/SolveBatchAt) and never observe a concurrent Apply; the shared
+// caches follow the store generation by generation with incremental
+// invalidation, so a mutation drops only the entries whose options
+// actually changed. An Engine is safe for concurrent use; any mix of
+// Solve, SolveBatch and Apply calls may run from many goroutines at
+// once.
 type Engine struct {
-	scorer       *topk.Scorer
+	store        *store.Store
 	defaults     Options
+	batchWorkers int
+	maxConfigs   int
+	maxEntries   int
 	hyperplanes  *core.HyperplaneCache
 	caches       *topk.Registry
-	batchWorkers int
+	applyMu      sync.Mutex // serializes Apply's store-mutation + cache-advance pair
 }
 
 // EngineOption configures a new Engine.
@@ -47,23 +58,90 @@ func WithBatchWorkers(n int) EngineOption {
 	return func(e *Engine) { e.batchWorkers = n }
 }
 
-// NewEngine builds an engine over a dataset of options in [0,1]^d.
+// WithCacheLimits bounds the engine's shared top-k caches: maxConfigs
+// caps the interned (k, candidate-set) configurations and
+// maxEntriesPerConfig caps the memoized vertices of each. Zero keeps the
+// built-in default for that limit. Past a limit the engine keeps
+// serving — overflow work is computed without being retained — and the
+// overflow shows up in CacheStats.Evictions.
+func WithCacheLimits(maxConfigs, maxEntriesPerConfig int) EngineOption {
+	return func(e *Engine) {
+		e.maxConfigs = maxConfigs
+		e.maxEntries = maxEntriesPerConfig
+	}
+}
+
+// NewEngine builds an engine over an initial dataset of options in
+// [0,1]^d, published as generation 1. It panics on an invalid dataset
+// (empty, inconsistent dimensions, or components outside [0,1]), like
+// NewProblem.
 func NewEngine(pts []vec.Vector, opts ...EngineOption) *Engine {
+	st, err := store.New(pts)
+	if err != nil {
+		panic("toprr: " + err.Error())
+	}
 	e := &Engine{
-		scorer:   topk.NewScorer(pts),
+		store:    st,
 		defaults: Options{Alg: TASStar},
 	}
-	e.hyperplanes = core.NewHyperplaneCache(e.scorer)
-	e.caches = topk.NewRegistry(e.scorer)
 	for _, o := range opts {
 		o(e)
 	}
+	snap := st.Snapshot()
+	e.hyperplanes = core.NewHyperplaneCache(snap.Scorer)
+	e.caches = topk.NewRegistry(snap.Scorer)
+	e.caches.SetLimits(e.maxConfigs, e.maxEntries)
 	return e
 }
 
-// Scorer exposes the engine's dataset wrapper (for oracles and rank
-// probes).
-func (e *Engine) Scorer() *topk.Scorer { return e.scorer }
+// Snapshot pins the current dataset generation: the returned view stays
+// valid — and identical — no matter how many Apply calls land after it.
+// Hand it to SolveAt/SolveBatchAt to answer several queries against one
+// consistent generation.
+func (e *Engine) Snapshot() Snapshot { return e.store.Snapshot() }
+
+// Generation returns the current dataset generation.
+func (e *Engine) Generation() Generation { return e.store.Generation() }
+
+// Len returns the current number of options.
+func (e *Engine) Len() int { return e.store.Len() }
+
+// Dim returns the option-space dimensionality d.
+func (e *Engine) Dim() int { return e.store.Dim() }
+
+// Scorer exposes the current generation's dataset wrapper (for oracles
+// and rank probes). Prefer Snapshot when the scorer must stay consistent
+// with a solve.
+func (e *Engine) Scorer() *topk.Scorer { return e.store.Snapshot().Scorer }
+
+// Log returns the retained applied-ops with sequence number > since
+// (since=0 returns everything retained).
+func (e *Engine) Log(since uint64) []AppliedOp { return e.store.Log(since) }
+
+// Apply mutates the dataset: the batch applies atomically and publishes
+// one new generation, whose number is returned. In-flight solves are
+// unaffected — they keep their pinned snapshot — and the engine's shared
+// caches advance incrementally: inserting, deleting or upgrading option
+// p drops only the hyperplanes and top-k configurations involving p, not
+// the warm state of the rest of the dataset. On error the dataset and
+// the returned generation are unchanged. Apply calls serialize among
+// themselves; reads never block writes.
+func (e *Engine) Apply(ctx context.Context, ops []Op) (Generation, error) {
+	if err := ctx.Err(); err != nil {
+		return e.store.Generation(), err
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	snap, delta, err := e.store.Apply(ops)
+	if err != nil {
+		return e.store.Generation(), err
+	}
+	if delta.To != delta.From {
+		e.hyperplanes.Advance(snap.Scorer, delta.Dirty)
+		e.caches.Advance(snap.Scorer, delta.Dirty)
+	}
+	return snap.Gen, nil
+}
 
 // Query is one TopRR request against an engine's dataset.
 type Query struct {
@@ -72,23 +150,27 @@ type Query struct {
 	Options *Options       // nil = the engine's defaults
 }
 
-// problem validates a query and binds it to the engine's dataset
-// without re-wrapping the points.
-func (e *Engine) problem(q Query) (Problem, error) {
+// problem validates a query and binds it to one pinned dataset
+// generation without re-wrapping the points.
+func (e *Engine) problem(snap Snapshot, q Query) (Problem, error) {
+	if snap.Scorer == nil {
+		return Problem{}, fmt.Errorf("toprr: zero snapshot (use Engine.Snapshot)")
+	}
 	if q.WR == nil {
 		return Problem{}, fmt.Errorf("toprr: query has no preference region")
 	}
-	if q.WR.Dim != e.scorer.PrefDim() {
-		return Problem{}, fmt.Errorf("toprr: wR dimension %d, want %d", q.WR.Dim, e.scorer.PrefDim())
+	if q.WR.Dim != snap.Scorer.PrefDim() {
+		return Problem{}, fmt.Errorf("toprr: wR dimension %d, want %d", q.WR.Dim, snap.Scorer.PrefDim())
 	}
-	if q.K <= 0 || q.K > e.scorer.Len() {
-		return Problem{}, fmt.Errorf("toprr: k=%d out of range for %d options", q.K, e.scorer.Len())
+	if q.K <= 0 || q.K > snap.Scorer.Len() {
+		return Problem{}, fmt.Errorf("toprr: k=%d out of range for %d options", q.K, snap.Scorer.Len())
 	}
-	return Problem{Scorer: e.scorer, K: q.K, WR: q.WR}, nil
+	return Problem{Scorer: snap.Scorer, K: q.K, WR: q.WR}, nil
 }
 
 // options resolves a query's options and injects the engine's shared
-// caches.
+// caches (which themselves verify the solve's pinned generation on every
+// access).
 func (e *Engine) options(q Query) Options {
 	opt := e.defaults
 	if q.Options != nil {
@@ -99,9 +181,17 @@ func (e *Engine) options(q Query) Options {
 	return opt
 }
 
-// Solve answers one query, honoring cancellation and deadlines on ctx.
+// Solve answers one query against the generation current when the call
+// starts, honoring cancellation and deadlines on ctx.
 func (e *Engine) Solve(ctx context.Context, q Query) (*Result, error) {
-	p, err := e.problem(q)
+	return e.SolveAt(ctx, e.store.Snapshot(), q)
+}
+
+// SolveAt answers one query against a pinned snapshot, so a caller can
+// run several queries — or interleave queries with its own bookkeeping —
+// against one consistent dataset generation while writers proceed.
+func (e *Engine) SolveAt(ctx context.Context, snap Snapshot, q Query) (*Result, error) {
+	p, err := e.problem(snap, q)
 	if err != nil {
 		return nil, err
 	}
@@ -110,10 +200,17 @@ func (e *Engine) Solve(ctx context.Context, q Query) (*Result, error) {
 
 // SolveBatch answers a batch of queries concurrently (bounded by the
 // engine's batch-worker count), amortizing the shared per-dataset
-// caches across them. Results align with qs. On the first error the
-// remaining queries are cancelled; the partial results computed so far
-// are returned alongside the error (failed or cancelled slots are nil).
+// caches across them. The whole batch is answered against the single
+// generation current when the call starts. Results align with qs. On
+// the first error the remaining queries are cancelled; the partial
+// results computed so far are returned alongside the error (failed or
+// cancelled slots are nil).
 func (e *Engine) SolveBatch(ctx context.Context, qs []Query) ([]*Result, error) {
+	return e.SolveBatchAt(ctx, e.store.Snapshot(), qs)
+}
+
+// SolveBatchAt is SolveBatch against a pinned snapshot.
+func (e *Engine) SolveBatchAt(ctx context.Context, snap Snapshot, qs []Query) ([]*Result, error) {
 	results := make([]*Result, len(qs))
 	if len(qs) == 0 {
 		return results, nil
@@ -141,7 +238,7 @@ func (e *Engine) SolveBatch(ctx context.Context, qs []Query) ([]*Result, error) 
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				res, err := e.Solve(ctx, qs[i])
+				res, err := e.SolveAt(ctx, snap, qs[i])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -176,22 +273,28 @@ dispatch:
 }
 
 // CacheStats reports the engine's cross-query cache occupancy: interned
-// split hyperplanes, interned top-k cache configurations, and the
-// cumulative top-k hit/miss totals across them.
+// split hyperplanes, interned top-k cache configurations, the cumulative
+// top-k hit/miss totals across them, and the entries evicted so far
+// (dropped by generation advances or refused at a configured cap). The
+// snapshot is taken at the current generation.
 type CacheStats struct {
+	Generation  Generation
 	Hyperplanes int
 	TopKConfigs int
 	TopKHits    int
 	TopKMisses  int
+	Evictions   int
 }
 
 // CacheStats snapshots the engine's shared-cache occupancy.
 func (e *Engine) CacheStats() CacheStats {
 	hits, misses := e.caches.Stats()
 	return CacheStats{
+		Generation:  e.store.Generation(),
 		Hyperplanes: e.hyperplanes.Len(),
 		TopKConfigs: e.caches.Len(),
 		TopKHits:    hits,
 		TopKMisses:  misses,
+		Evictions:   e.hyperplanes.Evictions() + e.caches.Evictions(),
 	}
 }

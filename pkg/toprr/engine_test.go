@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"toprr/internal/vec"
@@ -119,6 +120,63 @@ func TestEngineSolveBatchCancelled(t *testing.T) {
 	cancel()
 	if _, err := engine.SolveBatch(ctx, queries); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestEngineSolveBatchPartialResults: on the first error the batch
+// reports the failing query's index in the wrapped error, keeps the
+// results completed before the failure, and leaves failed or cancelled
+// slots nil.
+func TestEngineSolveBatchPartialResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ctx := context.Background()
+	pts := randomMarket(rng, 120, 3)
+	// One worker makes completion order deterministic: query 0 finishes
+	// before query 1 fails.
+	engine := toprr.NewEngine(pts, toprr.WithBatchWorkers(1))
+
+	qs := []toprr.Query{
+		randomQuery(rng, 3, 2),
+		randomQuery(rng, 3, 0), // invalid: k=0
+		randomQuery(rng, 3, 2),
+	}
+	results, err := engine.SolveBatch(ctx, qs)
+	if err == nil {
+		t.Fatal("batch with an invalid query must error")
+	}
+	if !strings.Contains(err.Error(), "batch query 1") {
+		t.Errorf("error %q does not name the failing query index", err)
+	}
+	if !strings.Contains(err.Error(), "k=0") {
+		t.Errorf("error %q does not wrap the underlying failure", err)
+	}
+	if errors.Unwrap(err) == nil {
+		t.Error("batch error should wrap the query error")
+	}
+	if len(results) != len(qs) {
+		t.Fatalf("got %d result slots for %d queries", len(results), len(qs))
+	}
+	if results[0] == nil {
+		t.Error("query completed before the failure lost its result")
+	}
+	if results[1] != nil {
+		t.Error("failed slot must be nil")
+	}
+	if results[2] != nil {
+		t.Error("cancelled slot must be nil")
+	}
+
+	// Context cancellation: every slot nil, context error surfaced.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	results, err = engine.SolveBatch(cancelled, []toprr.Query{randomQuery(rng, 3, 2), randomQuery(rng, 3, 2)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Errorf("cancelled batch slot %d is non-nil", i)
+		}
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"toprr/internal/geom"
 	"toprr/internal/lp"
 	"toprr/internal/qp"
+	"toprr/internal/store"
 	"toprr/internal/topk"
 	"toprr/internal/vec"
 )
@@ -62,6 +63,40 @@ const (
 	TAS     = core.TAS
 	TASStar = core.TASStar
 )
+
+// Versioned-store vocabulary, re-exported so callers never import
+// internal/store. An Engine's dataset is a sequence of generations;
+// Apply publishes a new one, Snapshot pins one for reading.
+type (
+	// Generation numbers dataset versions (the first is 1).
+	Generation = store.Generation
+	// Snapshot is an immutable view of one dataset generation.
+	Snapshot = store.Snapshot
+	// Op is one dataset mutation (insert, delete or update).
+	Op = store.Op
+	// OpKind discriminates dataset mutations.
+	OpKind = store.OpKind
+	// AppliedOp is one entry of the engine's op log.
+	AppliedOp = store.AppliedOp
+)
+
+// The three dataset mutations of Engine.Apply.
+const (
+	OpInsert = store.OpInsert
+	OpDelete = store.OpDelete
+	OpUpdate = store.OpUpdate
+)
+
+// Insert builds an op appending option p (a vendor ships a product).
+func Insert(p vec.Vector) Op { return store.Insert(p) }
+
+// Delete builds an op removing option i (a vendor withdraws a product).
+// The last option moves into slot i so indices stay dense.
+func Delete(i int) Op { return store.Delete(i) }
+
+// Update builds an op replacing option i with p (a vendor upgrades a
+// product).
+func Update(i int, p vec.Vector) Op { return store.Update(i, p) }
 
 // Region traversal orders for Options.Traversal.
 const (
