@@ -4,6 +4,7 @@
 //
 //	toprrd -data laptops.csv -addr :8080
 //	toprrd -dist ANTI -n 50000 -d 4 -req-timeout 10s
+//	toprrd -data-dir /var/lib/toprrd -dist IND -n 50000 -d 4
 //
 // Endpoints:
 //
@@ -11,10 +12,17 @@
 //	POST /v1/batch   many queries, one snapshot {"queries":[{...},...]}
 //	POST /v1/ops     dataset mutations          {"ops":[{"op":"insert","point":[..]},...]}
 //	GET  /v1/ops     applied-ops log            ?since=<seq>
-//	GET  /v1/stats   generation, cache and work counters
+//	GET  /v1/stats   generation, cache, WAL and work counters
 //
 // Every query pins the dataset generation current at arrival; mutations
 // publish new generations without disturbing in-flight solves.
+//
+// With -data-dir the daemon is durable: mutations are write-ahead-logged
+// (fsynced per batch unless -wal-sync none) and compacted into base
+// snapshots, and a restart replays the log — the daemon resumes at the
+// generation it crashed at, not at the -data/-dist bootstrap, which then
+// seeds only a first run over an empty directory. docs/PERSISTENCE.md
+// specifies the recovery contract.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"time"
 
 	"toprr/internal/dataset"
+	"toprr/internal/vec"
 	"toprr/pkg/toprr"
 )
 
@@ -39,40 +48,82 @@ func fatal(err error) {
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		data       = flag.String("data", "", "CSV dataset file (default: generate synthetic)")
-		dist       = flag.String("dist", "IND", "synthetic distribution when -data is absent")
-		n          = flag.Int("n", 100000, "synthetic dataset size")
-		d          = flag.Int("d", 4, "synthetic dimensionality")
-		seed       = flag.Int64("seed", 7, "synthetic generator seed")
-		reqTimeout = flag.Duration("req-timeout", 30*time.Second, "per-request deadline (0 = none)")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		addr         = flag.String("addr", ":8080", "listen address")
+		data         = flag.String("data", "", "CSV dataset file (default: generate synthetic)")
+		dist         = flag.String("dist", "IND", "synthetic distribution when -data is absent")
+		n            = flag.Int("n", 100000, "synthetic dataset size")
+		d            = flag.Int("d", 4, "synthetic dimensionality")
+		seed         = flag.Int64("seed", 7, "synthetic generator seed")
+		reqTimeout   = flag.Duration("req-timeout", 30*time.Second, "per-request deadline (0 = none)")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		dataDir      = flag.String("data-dir", "", "durable data directory: WAL + base snapshots; empty = in-memory")
+		walSync      = flag.String("wal-sync", "always", "WAL durability: always (fsync per batch) or none (OS page cache)")
+		compactBytes = flag.Int64("compact-bytes", 0, "WAL bytes triggering snapshot/compaction (0 = default 64MiB)")
+		compactOps   = flag.Int("compact-ops", 0, "WAL ops triggering snapshot/compaction (0 = default 32768)")
 	)
 	flag.Parse()
 
-	var ds *dataset.Dataset
-	if *data != "" {
-		f, err := os.Open(*data)
+	var engineOpts []toprr.EngineOption
+	hasState := false
+	if *dataDir != "" {
+		mode, err := toprr.ParseSyncMode(*walSync)
+		if err != nil {
+			fatal(fmt.Errorf("-wal-sync: %w", err))
+		}
+		engineOpts = append(engineOpts, toprr.WithPersistenceConfig(toprr.PersistConfig{
+			Dir:          *dataDir,
+			Sync:         mode,
+			CompactBytes: *compactBytes,
+			CompactOps:   *compactOps,
+		}))
+		// Recovery ignores the bootstrap dataset, so when the directory
+		// already holds recoverable state, don't generate or parse one.
+		st, err := toprr.HasPersistentState(*dataDir)
 		if err != nil {
 			fatal(err)
 		}
-		ds, err = dataset.ReadCSV(f, *data)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		dd, err := dataset.ParseDistribution(*dist)
-		if err != nil {
-			fatal(err)
-		}
-		if *n <= 0 || *d < 2 {
-			fatal(fmt.Errorf("need -n > 0 and -d >= 2, got -n=%d -d=%d", *n, *d))
-		}
-		ds = dataset.Generate(dd, *n, *d, *seed)
+		hasState = st
 	}
-
-	engine := toprr.NewEngine(ds.Pts)
+	name := "recovered:" + *dataDir
+	var pts []vec.Vector
+	if !hasState {
+		var ds *dataset.Dataset
+		if *data != "" {
+			f, err := os.Open(*data)
+			if err != nil {
+				fatal(err)
+			}
+			ds, err = dataset.ReadCSV(f, *data)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			dd, err := dataset.ParseDistribution(*dist)
+			if err != nil {
+				fatal(err)
+			}
+			if *n <= 0 || *d < 2 {
+				fatal(fmt.Errorf("need -n > 0 and -d >= 2, got -n=%d -d=%d", *n, *d))
+			}
+			ds = dataset.Generate(dd, *n, *d, *seed)
+		}
+		name, pts = ds.Name, ds.Pts
+	}
+	engine, err := toprr.OpenEngine(pts, engineOpts...)
+	if err != nil {
+		fatal(err)
+	}
+	if *dataDir != "" {
+		ps := engine.PersistStats()
+		if hasState {
+			fmt.Fprintf(os.Stderr, "toprrd: data dir %s recovered to generation %d (wal %d bytes in %d segment(s), base snapshot at generation %d)\n",
+				*dataDir, engine.Generation(), ps.WALBytes, ps.WALSegments, ps.LastCompaction)
+		} else {
+			fmt.Fprintf(os.Stderr, "toprrd: data dir %s initialized (base snapshot at generation %d)\n",
+				*dataDir, ps.LastCompaction)
+		}
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           newServer(engine, *reqTimeout),
@@ -86,9 +137,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(os.Stderr, "toprrd: serving %s (%d options x %d attributes, generation %d) on %s\n",
-		ds.Name, ds.Len(), ds.Dim(), engine.Generation(), ln.Addr())
+		name, engine.Len(), engine.Dim(), engine.Generation(), ln.Addr())
 	if err := run(ctx, srv, ln, *drain); err != nil {
+		engine.Close()
 		fatal(err)
+	}
+	if err := engine.Close(); err != nil {
+		fatal(fmt.Errorf("close: %w", err))
 	}
 	fmt.Fprintln(os.Stderr, "toprrd: drained, bye")
 }

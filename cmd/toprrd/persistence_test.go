@@ -1,0 +1,136 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"toprr/internal/vec"
+	"toprr/pkg/toprr"
+)
+
+// statsJSON mirrors the /v1/stats fields this suite asserts on.
+type statsJSON struct {
+	Generation     uint64 `json:"generation"`
+	Options        int    `json:"options"`
+	LiveGens       int    `json:"live_generations"`
+	RetainedBytes  int64  `json:"retained_snapshot_bytes"`
+	Persistent     bool   `json:"persistent"`
+	WALBytes       int64  `json:"wal_bytes"`
+	WALSegments    int    `json:"wal_segments"`
+	LastCompaction uint64 `json:"last_compaction_generation"`
+}
+
+func getStats(t *testing.T, url string) statsJSON {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsJSON
+	decodeJSON(t, resp, &stats)
+	return stats
+}
+
+// TestDaemonRestartServesSameState is the acceptance scenario: a
+// durable daemon takes mutations over HTTP, crashes (no Close), and a
+// restarted daemon over the same data directory serves the same
+// generation contents.
+func TestDaemonRestartServesSameState(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]vec.Vector, 40)
+	for i := range pts {
+		pts[i] = vec.Of(rng.Float64(), rng.Float64(), rng.Float64())
+	}
+	engine, err := toprr.OpenEngine(pts, toprr.WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(engine, time.Minute))
+
+	resp := postJSON(t, ts.URL+"/v1/ops", map[string]any{
+		"ops": []opJSON{
+			{Op: "insert", Point: []float64{0.9, 0.9, 0.9}},
+			{Op: "update", Index: 3, Point: []float64{0.95, 0.1, 0.5}},
+			{Op: "delete", Index: 0},
+		},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ops status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	before := getStats(t, ts.URL)
+	if !before.Persistent || before.WALBytes <= 0 {
+		t.Fatalf("durable daemon stats = %+v", before)
+	}
+	wantPts := engine.Scorer().Points()
+	ts.Close()
+	// Close releases the directory flock like a process death would; it
+	// writes nothing, so the restart recovers purely from base snapshot
+	// + WAL replay (true kill -9 recovery is exercised by the store
+	// suite, where the lock fd can be dropped without Close).
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same directory; the bootstrap dataset is a decoy
+	// the recovery must ignore.
+	engine2, err := toprr.OpenEngine([]vec.Vector{vec.Of(0.1, 0.1, 0.1)}, toprr.WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine2.Close()
+	ts2 := httptest.NewServer(newServer(engine2, time.Minute))
+	defer ts2.Close()
+
+	after := getStats(t, ts2.URL)
+	if after.Generation != before.Generation || after.Options != before.Options {
+		t.Fatalf("restarted daemon at generation %d with %d options, want %d with %d",
+			after.Generation, after.Options, before.Generation, before.Options)
+	}
+	got := engine2.Scorer().Points()
+	for i := range wantPts {
+		if !got[i].Equal(wantPts[i], 0) {
+			t.Fatalf("slot %d = %v after restart, want %v", i, got[i], wantPts[i])
+		}
+	}
+	// GC observability fields are live on the wire.
+	if after.LiveGens < 1 || after.RetainedBytes <= 0 {
+		t.Fatalf("GC stats on the wire = %+v", after)
+	}
+}
+
+// TestStatsReportCompaction: once mutations cross the compaction
+// threshold, /v1/stats shows the truncated WAL and the advanced base
+// snapshot watermark.
+func TestStatsReportCompaction(t *testing.T) {
+	engine, err := toprr.OpenEngine(
+		[]vec.Vector{vec.Of(0.2, 0.8, 0.5), vec.Of(0.8, 0.2, 0.5)},
+		toprr.WithPersistenceConfig(toprr.PersistConfig{Dir: t.TempDir(), CompactOps: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	ts := httptest.NewServer(newServer(engine, time.Minute))
+	defer ts.Close()
+
+	for i := 0; i < 6; i++ {
+		resp := postJSON(t, ts.URL+"/v1/ops", map[string]any{
+			"ops": []opJSON{{Op: "insert", Point: []float64{0.5, 0.5, 0.5}}},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ops %d status = %d", i, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	stats := getStats(t, ts.URL)
+	if stats.LastCompaction <= 1 {
+		t.Fatalf("no compaction visible in stats: %+v", stats)
+	}
+	if stats.WALSegments != 1 {
+		t.Fatalf("stats report %d segments after compaction, want 1", stats.WALSegments)
+	}
+}

@@ -326,11 +326,17 @@ func (s *server) handleOps(w http.ResponseWriter, r *http.Request) {
 		gen, err := s.engine.Apply(ctx, ops)
 		if err != nil {
 			// Validation failures reject the whole batch atomically with
-			// 400; a cancelled or timed-out request is not the batch's
-			// fault and maps like the solve path.
+			// 400. Server-side faults are not the batch's fault: a
+			// cancelled or timed-out request maps like the solve path, a
+			// WAL write failure is a 500, and a closing engine a 503.
 			code := http.StatusBadRequest
-			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			switch {
+			case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 				code = solveStatus(err)
+			case errors.Is(err, toprr.ErrClosed):
+				code = http.StatusServiceUnavailable
+			case errors.Is(err, toprr.ErrDurability):
+				code = http.StatusInternalServerError
 			}
 			writeErr(w, code, err)
 			return
@@ -371,39 +377,55 @@ func (s *server) handleOps(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleStats answers GET /v1/stats: dataset shape, generation, shared
-// cache occupancy and process-wide work counters.
+// cache occupancy, snapshot GC counters, durable-layer state and
+// process-wide work counters.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
 	cs := s.engine.CacheStats()
+	ps := s.engine.PersistStats()
 	ctr := toprr.ReadCounters()
 	writeJSON(w, http.StatusOK, struct {
-		Generation  uint64  `json:"generation"`
-		Options     int     `json:"options"`
-		Dim         int     `json:"dim"`
-		UptimeMS    float64 `json:"uptime_ms"`
-		Hyperplanes int     `json:"cache_hyperplanes"`
-		TopKConfigs int     `json:"cache_topk_configs"`
-		TopKHits    int     `json:"cache_topk_hits"`
-		TopKMisses  int     `json:"cache_topk_misses"`
-		Evictions   int     `json:"cache_evictions"`
-		Regions     int64   `json:"regions_processed"`
-		LPSolves    int64   `json:"lp_solves"`
-		QPSolves    int64   `json:"qp_solves"`
+		Generation     uint64  `json:"generation"`
+		Options        int     `json:"options"`
+		Dim            int     `json:"dim"`
+		UptimeMS       float64 `json:"uptime_ms"`
+		Hyperplanes    int     `json:"cache_hyperplanes"`
+		TopKConfigs    int     `json:"cache_topk_configs"`
+		TopKHits       int     `json:"cache_topk_hits"`
+		TopKMisses     int     `json:"cache_topk_misses"`
+		Evictions      int     `json:"cache_evictions"`
+		LiveGens       int     `json:"live_generations"`
+		RetainedBytes  int64   `json:"retained_snapshot_bytes"`
+		Persistent     bool    `json:"persistent"`
+		WALBytes       int64   `json:"wal_bytes"`
+		WALSegments    int     `json:"wal_segments"`
+		LastCompaction uint64  `json:"last_compaction_generation"`
+		CompactError   string  `json:"wal_compact_error,omitempty"`
+		Regions        int64   `json:"regions_processed"`
+		LPSolves       int64   `json:"lp_solves"`
+		QPSolves       int64   `json:"qp_solves"`
 	}{
-		Generation:  uint64(cs.Generation),
-		Options:     s.engine.Len(),
-		Dim:         s.engine.Dim(),
-		UptimeMS:    float64(time.Since(s.start)) / float64(time.Millisecond),
-		Hyperplanes: cs.Hyperplanes,
-		TopKConfigs: cs.TopKConfigs,
-		TopKHits:    cs.TopKHits,
-		TopKMisses:  cs.TopKMisses,
-		Evictions:   cs.Evictions,
-		Regions:     ctr.RegionsProcessed,
-		LPSolves:    ctr.LPSolves,
-		QPSolves:    ctr.QPSolves,
+		Generation:     uint64(cs.Generation),
+		Options:        s.engine.Len(),
+		Dim:            s.engine.Dim(),
+		UptimeMS:       float64(time.Since(s.start)) / float64(time.Millisecond),
+		Hyperplanes:    cs.Hyperplanes,
+		TopKConfigs:    cs.TopKConfigs,
+		TopKHits:       cs.TopKHits,
+		TopKMisses:     cs.TopKMisses,
+		Evictions:      cs.Evictions,
+		LiveGens:       cs.LiveGenerations,
+		RetainedBytes:  cs.RetainedSnapshotBytes,
+		Persistent:     ps.Persistent,
+		WALBytes:       ps.WALBytes,
+		WALSegments:    ps.WALSegments,
+		LastCompaction: uint64(ps.LastCompaction),
+		CompactError:   ps.CompactError,
+		Regions:        ctr.RegionsProcessed,
+		LPSolves:       ctr.LPSolves,
+		QPSolves:       ctr.QPSolves,
 	})
 }

@@ -295,7 +295,7 @@ func distSweep(s Scale, id, caption, varName string, labels []string, build func
 	return []*Table{t}
 }
 
-// Fig10a: TAS* per distribution, varying k.
+// Fig10a runs TAS* per distribution, varying k.
 func Fig10a(s Scale) []*Table {
 	labels := make([]string, len(GridK))
 	for i, k := range GridK {
@@ -308,7 +308,7 @@ func Fig10a(s Scale) []*Table {
 		})
 }
 
-// Fig10b: TAS* per distribution, varying sigma.
+// Fig10b runs TAS* per distribution, varying sigma.
 func Fig10b(s Scale) []*Table {
 	labels := make([]string, len(GridSigma))
 	for i, sg := range GridSigma {
@@ -321,7 +321,7 @@ func Fig10b(s Scale) []*Table {
 		})
 }
 
-// Fig10c: TAS* per distribution, varying n.
+// Fig10c runs TAS* per distribution, varying n.
 func Fig10c(s Scale) []*Table {
 	labels := make([]string, len(GridN))
 	for i, n := range GridN {
@@ -334,7 +334,7 @@ func Fig10c(s Scale) []*Table {
 		})
 }
 
-// Fig10d: TAS* per distribution, varying d.
+// Fig10d runs TAS* per distribution, varying d.
 func Fig10d(s Scale) []*Table {
 	grid := s.dGrid()
 	labels := make([]string, len(grid))
@@ -371,7 +371,7 @@ func realSets(s Scale) []*dataset.Dataset {
 	return sets
 }
 
-// Fig11a: TAS* on the real datasets, varying k.
+// Fig11a runs TAS* on the real datasets, varying k.
 func Fig11a(s Scale) []*Table {
 	sets := realSets(s)
 	t := &Table{ID: "Fig11a", Caption: "TAS* on real datasets vs k",
@@ -387,7 +387,7 @@ func Fig11a(s Scale) []*Table {
 	return []*Table{t}
 }
 
-// Fig11b: TAS* on the real datasets, varying sigma.
+// Fig11b runs TAS* on the real datasets, varying sigma.
 func Fig11b(s Scale) []*Table {
 	sets := realSets(s)
 	t := &Table{ID: "Fig11b", Caption: "TAS* on real datasets vs sigma",
@@ -507,13 +507,13 @@ func ablationVall(s Scale, id, caption, optName string, disable func(*toprr.Opti
 	return []*Table{varyK, varyS}
 }
 
-// Fig13: |Vall| with Lemma 7 enabled/disabled.
+// Fig13 measures |Vall| with Lemma 7 enabled/disabled.
 func Fig13(s Scale) []*Table {
 	return ablationVall(s, "Fig13", "|Vall| with/without Lemma 7", "Lemma 7",
 		func(o *toprr.Options) { o.DisableLemma7 = true })
 }
 
-// Fig14: |Vall| with the k-switch strategy enabled/disabled.
+// Fig14 measures |Vall| with the k-switch strategy enabled/disabled.
 func Fig14(s Scale) []*Table {
 	return ablationVall(s, "Fig14", "|Vall| with/without k-switch", "k-switch",
 		func(o *toprr.Options) { o.DisableKSwitch = true })

@@ -1,0 +1,42 @@
+// Package core implements the paper's primary contribution: exact
+// solutions to the Top-Ranking Region problem (TopRR, Definition 1).
+//
+// Given a dataset D, a value k and a convex preference region wR, TopRR
+// computes the maximal region oR of the option space where a new option
+// is guaranteed to rank among the top-k for every weight vector in wR.
+// The package provides the three algorithms the paper evaluates:
+//
+//   - PAC  — the partition-and-convert baseline (Section 3.4),
+//   - TAS  — the test-and-split approach (Section 4), and
+//   - TAS* — optimized test-and-split (Section 5), with the consistent
+//     top-λ pruning of Lemma 5, the optimized region testing of
+//     Lemma 7, and k-switch splitting-hyperplane selection
+//     (Definition 4),
+//
+// plus the downstream tools of the introduction: cost-optimal placement
+// of a new option, minimum-cost enhancement of an existing option, and
+// the budgeted market-impact search.
+//
+// A solve runs as a three-stage pipeline — Prefilter reduces the
+// dataset to the candidates that can appear in any top-k result over
+// wR, Partition recursively splits wR on score-tie hyperplanes until
+// every region has an invariant top-k outcome, and Assemble intersects
+// the impact halfspaces into oR (Theorem 1). Each stage sits behind an
+// interface selected via Options, and every entry point honors context
+// cancellation.
+//
+// # Generation pinning and the hyperplane cache
+//
+// A Problem binds a topk.Scorer — one immutable dataset generation —
+// and the whole solve computes against it; the engine above this
+// package may publish newer generations mid-solve without affecting
+// correctness. The cross-query HyperplaneCache interns splitting
+// hyperplanes wHP(p_i, p_j), which depend only on the option pair. It
+// is generation-aware: lookups and stores name the solve's pinned
+// Scorer and take effect only while that Scorer is the cache's current
+// generation, so a solve pinned to an old generation can neither read
+// nor publish stale geometry. Advance(sc, dirty) invalidates
+// incrementally — exactly the pairs touching a dirty slot are dropped
+// (an insert drops nothing, a delete or update drops only the affected
+// slots' pairs), and everything else carries into the new generation.
+package core

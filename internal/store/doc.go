@@ -1,0 +1,51 @@
+// Package store implements the versioned, mutable, durable dataset
+// layer of the engine: a generation-numbered option store with
+// copy-on-write snapshots, an applied-ops log, and an optional
+// write-ahead log with snapshot/compaction.
+//
+// # Generations and snapshot isolation
+//
+// The paper's applications assume the option set changes — a vendor
+// inserts a product, upgrades one, or withdraws one — while readers keep
+// answering top-k and TopRR queries. The store reconciles the two sides
+// with snapshot isolation:
+//
+//   - every mutation batch (Apply) produces a brand-new generation whose
+//     points slice shares nothing mutable with earlier generations, and
+//   - readers pin a Snapshot — an immutable per-generation
+//     topk.Scorer — and keep computing against it no matter how many
+//     generations writers publish underneath.
+//
+// The first published generation is 1; each successful Apply publishes
+// exactly one successor. Pinning costs nothing beyond holding the
+// Snapshot value: unchanged vectors are shared between generations
+// (copy-on-write), and an unpinned generation is reclaimed by Go's
+// garbage collector once the last solve holding it finishes. GCStats
+// counts the generations still reachable — a count that grows without
+// bound while mutations flow marks a leaked pin.
+//
+// # Deltas and cache invalidation
+//
+// Deletion uses swap-with-last semantics: the last option moves into the
+// freed slot so indices stay dense. Each Apply reports the slots whose
+// identity changed (the Delta), which the engine's generation-aware
+// caches use for incremental — rather than wholesale — invalidation:
+// only cache entries naming a dirty slot are dropped, plus whole-dataset
+// entries (any op changes dataset membership). Entries over option
+// subsets that avoid every dirty slot stay valid across the generation
+// boundary, because their options are bit-identical in both generations.
+//
+// # Durability
+//
+// A store built by New is in-memory: a restart reverts to whatever the
+// process loads next. A store built by Open is durable: every Apply
+// batch is encoded as one checksummed record and appended to a
+// write-ahead log before the generation publishes (fsynced first under
+// SyncAlways), and Open recovers by loading the newest base snapshot
+// file and replaying the WAL on top. A snapshot/compaction cycle
+// rewrites the current generation as a fresh base snapshot once the WAL
+// grows past configured byte/op thresholds and drops the replayed
+// segments, keeping boot-time replay bounded. The precise recovery
+// contract — what is durable when Apply returns, the record formats, and
+// the crash windows — is specified in docs/PERSISTENCE.md.
+package store

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockFile is best-effort on platforms without flock: the LOCK file is
+// created as a marker but no kernel-level exclusion is enforced, so
+// single-process ownership of a data directory is the operator's
+// responsibility there.
+func lockFile(*os.File) error { return nil }

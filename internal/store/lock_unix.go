@@ -1,0 +1,15 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive flock on f. The kernel
+// releases it when the fd closes — including on process death, so a
+// crash never bricks the data directory.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,28 +1,13 @@
-// Package store implements the versioned, mutable dataset layer of the
-// engine: a generation-numbered option store with copy-on-write
-// snapshots and an applied-ops log.
-//
-// The paper's applications assume the option set changes — a vendor
-// inserts a product, upgrades one, or withdraws one — while readers keep
-// answering top-k and TopRR queries. The store reconciles the two sides
-// with snapshot isolation:
-//
-//   - every mutation batch (Apply) produces a brand-new generation whose
-//     points slice shares nothing mutable with earlier generations, and
-//   - readers pin a Snapshot — an immutable per-generation
-//     topk.Scorer — and keep computing against it no matter how many
-//     generations writers publish underneath.
-//
-// Deletion uses swap-with-last semantics: the last option moves into the
-// freed slot so indices stay dense. Each Apply reports the slots whose
-// identity changed (the Delta), which the engine's generation-aware
-// caches use for incremental — rather than wholesale — invalidation.
 package store
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"toprr/internal/topk"
 	"toprr/internal/vec"
@@ -102,25 +87,84 @@ type Delta struct {
 	Dirty    []int
 }
 
-// logLimit bounds the retained op log; beyond it the oldest entries are
-// discarded (Log reports the surviving suffix). Durable retention is the
-// WAL item on the roadmap.
+// logLimit bounds the retained in-memory op log; beyond it the oldest
+// entries are discarded (Log reports the surviving suffix). Durability
+// does not depend on this limit — the WAL retains every batch since the
+// last compaction.
 const logLimit = 1 << 14
+
+// ErrClosed is returned by Apply after Close.
+var ErrClosed = errors.New("store: closed")
+
+// ErrDurability marks Apply failures where the batch validated fine but
+// could not be made durable (a WAL write or fsync error): the store is
+// unchanged and the fault is the server's disk, not the caller's
+// request. Detect it with errors.Is.
+var ErrDurability = errors.New("store: durability failure")
 
 // Store is a generation-numbered dataset store. Reads (Snapshot, Len,
 // Log) and writes (Apply) may run concurrently; writers serialize among
-// themselves.
+// themselves. A store built by New is in-memory; one built by Open also
+// write-ahead-logs every batch and compacts the log into base snapshots
+// (see persist.go).
+//
+// Lock discipline: writeMu serializes the writers (Apply, maintenance,
+// Close) and owns every WAL file operation, including the per-batch
+// fsync; mu guards the published state (snap, seq, log, closed) and is
+// held only for quick reads and the publish step — never across disk
+// I/O — so readers never stall behind a writer's fsync or a compaction.
+// Acquisition order is always writeMu before mu.
 type Store struct {
+	writeMu sync.Mutex // serializes writers; owns WAL I/O (held before mu)
+
 	mu   sync.RWMutex
 	snap Snapshot
 	seq  uint64 // total ops ever applied
 	log  []AppliedOp
+
+	// Durable layer; wal == nil for in-memory stores. The wal pointer is
+	// set once at Open; its file handle is writeMu-guarded.
+	cfg         PersistConfig
+	wal         *walWriter
+	lock        *os.File   // flock on the data directory (released on Close or process death)
+	walOps      int        // ops in the WAL since the last compaction (writeMu)
+	lastCompact Generation // generation of the newest base snapshot (mu)
+	compactErr  error      // last failed maintenance cycle, retried on the next Apply (mu)
+	closed      bool
+
+	// Snapshot GC observability: finalizer-driven counters of scorer
+	// generations still reachable (the current one plus any pinned by
+	// in-flight solves or leaked snapshots). Kept behind a pointer so
+	// scorer finalizers capture only the counters, never the Store — a
+	// finalizer closing over s would form a cycle (scorer → finalizer →
+	// Store → current scorer) that the runtime never collects, leaking
+	// every discarded store with its final dataset.
+	gc *gcCounters
 }
 
-// New builds a store over an initial dataset of options in [0,1]^d,
-// published as generation 1. The slice is copied; the vectors are
-// adopted as-is and must not be mutated afterwards.
+// gcCounters is the finalizer-updated half of GCStats.
+type gcCounters struct {
+	live     atomic.Int64
+	retained atomic.Int64
+}
+
+// New builds an in-memory store over an initial dataset of options in
+// [0,1]^d, published as generation 1. The slice is copied; the vectors
+// are adopted as-is and must not be mutated afterwards. For a durable
+// store, use Open.
 func New(pts []vec.Vector) (*Store, error) {
+	own, err := checkDataset(pts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{gc: &gcCounters{}}
+	s.snap = Snapshot{Gen: 1, Scorer: s.track(topk.NewScorerAt(own, 1))}
+	return s, nil
+}
+
+// checkDataset validates an initial dataset and returns a private copy
+// of the slice.
+func checkDataset(pts []vec.Vector) ([]vec.Vector, error) {
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("store: empty dataset")
 	}
@@ -130,8 +174,7 @@ func New(pts []vec.Vector) (*Store, error) {
 			return nil, fmt.Errorf("store: option %d: %w", i, err)
 		}
 	}
-	own := append([]vec.Vector(nil), pts...)
-	return &Store{snap: Snapshot{Gen: 1, Scorer: topk.NewScorerAt(own, 1)}}, nil
+	return append([]vec.Vector(nil), pts...), nil
 }
 
 // checkPoint validates one option payload.
@@ -148,6 +191,34 @@ func checkPoint(p vec.Vector, d int) error {
 		}
 	}
 	return nil
+}
+
+// track registers a published generation's scorer with the GC
+// observability counters; the finalizer decrements them once the last
+// pin drops and the garbage collector reclaims the snapshot. The byte
+// figure is an upper bound: copy-on-write generations share unchanged
+// vectors, which are counted once per live generation here. The
+// finalizer deliberately captures only the counters struct, not the
+// Store (see the gc field comment).
+func (s *Store) track(sc *topk.Scorer) *topk.Scorer {
+	g := s.gc
+	bytes := int64(sc.Len()) * (int64(sc.Dim())*8 + 24)
+	g.live.Add(1)
+	g.retained.Add(bytes)
+	runtime.SetFinalizer(sc, func(*topk.Scorer) {
+		g.live.Add(-1)
+		g.retained.Add(-bytes)
+	})
+	return sc
+}
+
+// GCStats reports how many generation snapshots are still reachable and
+// an upper bound on the bytes they retain. A live count that keeps
+// growing while mutations flow marks leaked pins (snapshots held
+// forever); the counters move when the garbage collector actually
+// reclaims a generation, so they trail drops by one GC cycle.
+func (s *Store) GCStats() (liveGenerations int, retainedBytes int64) {
+	return int(s.gc.live.Load()), s.gc.retained.Load()
 }
 
 // Snapshot returns the current generation's immutable view.
@@ -178,77 +249,91 @@ func (s *Store) Dim() int {
 	return s.snap.Scorer.Dim()
 }
 
-// Apply applies a batch of ops atomically: either every op validates and
-// the batch publishes one new generation, or the store is unchanged and
-// the first offending op's error is returned. The returned Snapshot is
-// the new generation; the Delta lists the slots incremental cache
-// invalidation must drop. An empty batch is a no-op returning the
-// current snapshot.
-func (s *Store) Apply(ops []Op) (Snapshot, Delta, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	cur := s.snap
-	if len(ops) == 0 {
-		return cur, Delta{From: cur.Gen, To: cur.Gen}, nil
+// applyOp validates and applies one mutation to pts in place (returning
+// the possibly regrown slice), filling rec with the logged form of the
+// op — payload vectors cloned so neither the dataset nor the history
+// aliases the caller's slices, deletes stripped of any stray payload —
+// and marking the touched slots in dirty (which may be nil when no cache
+// invalidation will consume it, as in boot replay). i is the op's
+// position in its batch, for error messages.
+func applyOp(pts []vec.Vector, d, i int, op Op, rec *AppliedOp, dirty map[int]bool) ([]vec.Vector, error) {
+	*rec = AppliedOp{Op: op, Moved: -1}
+	mark := func(slot int) {
+		if dirty != nil {
+			dirty[slot] = true
+		}
 	}
+	switch op.Kind {
+	case OpInsert:
+		if err := checkPoint(op.Point, d); err != nil {
+			return nil, fmt.Errorf("store: op %d (insert): %w", i, err)
+		}
+		p := op.Point.Clone()
+		pts = append(pts, p)
+		rec.Op.Point = p
+		mark(len(pts) - 1)
+	case OpDelete:
+		if op.Index < 0 || op.Index >= len(pts) {
+			return nil, fmt.Errorf("store: op %d (delete): index %d out of range [0,%d)", i, op.Index, len(pts))
+		}
+		if len(pts) == 1 {
+			return nil, fmt.Errorf("store: op %d (delete): cannot delete the last option", i)
+		}
+		rec.Op.Point = nil
+		last := len(pts) - 1
+		if op.Index != last {
+			pts[op.Index] = pts[last]
+			rec.Moved = last
+		}
+		pts[last] = nil
+		pts = pts[:last]
+		mark(op.Index)
+		mark(last)
+	case OpUpdate:
+		if op.Index < 0 || op.Index >= len(pts) {
+			return nil, fmt.Errorf("store: op %d (update): index %d out of range [0,%d)", i, op.Index, len(pts))
+		}
+		if err := checkPoint(op.Point, d); err != nil {
+			return nil, fmt.Errorf("store: op %d (update): %w", i, err)
+		}
+		p := op.Point.Clone()
+		pts[op.Index] = p
+		rec.Op.Point = p
+		mark(op.Index)
+	default:
+		return nil, fmt.Errorf("store: op %d: unknown kind %v", i, op.Kind)
+	}
+	return pts, nil
+}
 
-	// Copy-on-write: mutate a private copy; readers keep the old slice.
+// buildBatch validates a batch against the cur snapshot and builds the
+// successor state: the copy-on-write points slice, the log records and
+// the dirty-slot set. The store is not touched; the first offending
+// op's error rejects the whole batch.
+func buildBatch(cur Snapshot, ops []Op) (pts []vec.Vector, recs []AppliedOp, dirty map[int]bool, err error) {
 	old := cur.Scorer.Points()
-	pts := make([]vec.Vector, len(old), len(old)+len(ops))
+	pts = make([]vec.Vector, len(old), len(old)+len(ops))
 	copy(pts, old)
 	d := cur.Scorer.Dim()
 
-	dirty := make(map[int]bool)
-	// recs are the ops as logged: payload vectors are the store's own
-	// clones, never the caller's slices, so a caller mutating a vector
-	// after Apply can corrupt neither the dataset nor the history.
-	recs := make([]AppliedOp, len(ops))
+	dirty = make(map[int]bool)
+	recs = make([]AppliedOp, len(ops))
 	for i, op := range ops {
-		recs[i] = AppliedOp{Op: op, Moved: -1}
-		switch op.Kind {
-		case OpInsert:
-			if err := checkPoint(op.Point, d); err != nil {
-				return cur, Delta{}, fmt.Errorf("store: op %d (insert): %w", i, err)
-			}
-			p := op.Point.Clone()
-			pts = append(pts, p)
-			recs[i].Op.Point = p
-			dirty[len(pts)-1] = true
-		case OpDelete:
-			if op.Index < 0 || op.Index >= len(pts) {
-				return cur, Delta{}, fmt.Errorf("store: op %d (delete): index %d out of range [0,%d)", i, op.Index, len(pts))
-			}
-			if len(pts) == 1 {
-				return cur, Delta{}, fmt.Errorf("store: op %d (delete): cannot delete the last option", i)
-			}
-			last := len(pts) - 1
-			if op.Index != last {
-				pts[op.Index] = pts[last]
-				recs[i].Moved = last
-			}
-			pts[last] = nil
-			pts = pts[:last]
-			dirty[op.Index] = true
-			dirty[last] = true
-		case OpUpdate:
-			if op.Index < 0 || op.Index >= len(pts) {
-				return cur, Delta{}, fmt.Errorf("store: op %d (update): index %d out of range [0,%d)", i, op.Index, len(pts))
-			}
-			if err := checkPoint(op.Point, d); err != nil {
-				return cur, Delta{}, fmt.Errorf("store: op %d (update): %w", i, err)
-			}
-			p := op.Point.Clone()
-			pts[op.Index] = p
-			recs[i].Op.Point = p
-			dirty[op.Index] = true
-		default:
-			return cur, Delta{}, fmt.Errorf("store: op %d: unknown kind %v", i, op.Kind)
+		pts, err = applyOp(pts, d, i, op, &recs[i], dirty)
+		if err != nil {
+			return nil, nil, nil, err
 		}
 	}
+	return pts, recs, dirty, nil
+}
 
-	gen := cur.Gen + 1
-	s.snap = Snapshot{Gen: gen, Scorer: topk.NewScorerAt(pts, uint64(gen))}
+// publishLocked installs a built batch as generation gen: the new
+// snapshot becomes current, the records gain their sequence numbers and
+// enter the bounded in-memory log. Callers hold the write lock and have
+// already made the batch durable when the store is persistent.
+func (s *Store) publishLocked(gen Generation, pts []vec.Vector, recs []AppliedOp, dirty map[int]bool) (Snapshot, Delta) {
+	from := s.snap.Gen
+	s.snap = Snapshot{Gen: gen, Scorer: s.track(topk.NewScorerAt(pts, uint64(gen)))}
 	for i := range recs {
 		s.seq++
 		recs[i].Seq = s.seq
@@ -265,7 +350,96 @@ func (s *Store) Apply(ops []Op) (Snapshot, Delta, error) {
 	for i := range dirty {
 		dirtyList = append(dirtyList, i)
 	}
-	return s.snap, Delta{From: cur.Gen, To: gen, Dirty: dirtyList}, nil
+	return s.snap, Delta{From: from, To: gen, Dirty: dirtyList}
+}
+
+// Apply applies a batch of ops atomically: either every op validates and
+// the batch publishes one new generation, or the store is unchanged and
+// the first offending op's error is returned. The returned Snapshot is
+// the new generation; the Delta lists the slots incremental cache
+// invalidation must drop. An empty batch is a no-op returning the
+// current snapshot.
+//
+// On a durable store the batch is encoded as one WAL record and — under
+// SyncAlways — fsynced before the generation publishes, so a batch whose
+// Apply returned is recovered by the next Open even across a crash. A
+// WAL write failure rejects the batch and leaves the store unchanged.
+// All disk I/O — the per-batch fsync and any due WAL maintenance
+// (segment roll or snapshot/compaction) — runs under the writer lock
+// only, never the read lock, so concurrent readers pin snapshots and
+// read stats without stalling behind it.
+func (s *Store) Apply(ops []Op) (Snapshot, Delta, error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+
+	// Only writers mutate snap/seq/closed and we are the only writer, so
+	// the brief read lock yields a stable view for the whole batch.
+	s.mu.RLock()
+	cur, seq, closed := s.snap, s.seq, s.closed
+	s.mu.RUnlock()
+
+	if closed {
+		return cur, Delta{}, ErrClosed
+	}
+	if len(ops) == 0 {
+		return cur, Delta{From: cur.Gen, To: cur.Gen}, nil
+	}
+	pts, recs, dirty, err := buildBatch(cur, ops)
+	if err != nil {
+		return cur, Delta{}, err
+	}
+	gen := cur.Gen + 1
+	if s.wal != nil {
+		payload := encodeBatch(gen, seq+1, recs)
+		if len(payload) > maxRecordBytes {
+			// Not a disk fault: the batch itself is too large to ever be
+			// a valid WAL record (recovery would classify it as a torn
+			// tail and drop it). Reject it before anything is written.
+			return cur, Delta{}, fmt.Errorf("store: batch encodes to %d bytes, over the %d-byte WAL record limit; split it", len(payload), maxRecordBytes)
+		}
+		// The durable write, fsync included, happens before readers can
+		// see the new generation — and without blocking them.
+		if err := s.wal.append(payload); err != nil {
+			return cur, Delta{}, fmt.Errorf("%w: wal append: %v", ErrDurability, err)
+		}
+		s.walOps += len(recs)
+	}
+
+	s.mu.Lock()
+	snap, delta := s.publishLocked(gen, pts, recs, dirty)
+	s.mu.Unlock()
+
+	if s.wal != nil {
+		s.maintain()
+	}
+	return snap, delta, nil
+}
+
+// Close syncs and closes the WAL. Further Apply calls fail with
+// ErrClosed; reads keep serving the in-memory state. Closing an
+// in-memory store only blocks writes. Close is idempotent.
+func (s *Store) Close() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.Lock()
+	wasClosed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if wasClosed {
+		return nil
+	}
+	var err error
+	if s.wal != nil {
+		err = s.wal.close()
+	}
+	if s.lock != nil {
+		// Closing the fd drops the flock; another process may then open
+		// the directory.
+		if cerr := s.lock.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Log returns a copy of the retained applied-ops with Seq > since

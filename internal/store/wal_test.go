@@ -1,0 +1,746 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"toprr/internal/vec"
+)
+
+// openT opens a durable store and fails the test on error.
+func openT(t *testing.T, cfg PersistConfig, boot []vec.Vector) *Store {
+	t.Helper()
+	s, err := Open(cfg, boot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// samePoints asserts two option sets are identical, slot by slot.
+func samePoints(t *testing.T, got *Store, want []vec.Vector) {
+	t.Helper()
+	if got.Len() != len(want) {
+		t.Fatalf("len = %d, want %d", got.Len(), len(want))
+	}
+	sc := got.Snapshot().Scorer
+	for i, w := range want {
+		if !sc.Point(i).Equal(w, 0) {
+			t.Fatalf("slot %d = %v, want %v", i, sc.Point(i), w)
+		}
+	}
+}
+
+// model mirrors the store's batch semantics on a plain slice.
+type model struct {
+	pts []vec.Vector
+}
+
+func (m *model) apply(ops []Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpInsert:
+			m.pts = append(m.pts, op.Point.Clone())
+		case OpDelete:
+			last := len(m.pts) - 1
+			m.pts[op.Index] = m.pts[last]
+			m.pts = m.pts[:last]
+		case OpUpdate:
+			m.pts[op.Index] = op.Point.Clone()
+		}
+	}
+}
+
+func (m *model) clone() []vec.Vector {
+	out := make([]vec.Vector, len(m.pts))
+	for i, p := range m.pts {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// randomBatch builds a valid batch against a dataset of n options.
+func randomBatch(rng *rand.Rand, n, d, maxOps int) []Op {
+	nops := 1 + rng.Intn(maxOps)
+	ops := make([]Op, 0, nops)
+	for i := 0; i < nops; i++ {
+		p := vec.New(d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		switch k := rng.Intn(3); {
+		case k == 0 || n <= 1: // insert (and never delete the last option)
+			ops = append(ops, Insert(p))
+			n++
+		case k == 1:
+			ops = append(ops, Delete(rng.Intn(n)))
+			n--
+		default:
+			ops = append(ops, Update(rng.Intn(n), p))
+		}
+	}
+	return ops
+}
+
+func TestOpenBootstrapsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	cfg := PersistConfig{Dir: dir}
+	s := openT(t, cfg, pts3())
+	if s.Generation() != 1 || s.Len() != 3 {
+		t.Fatalf("bootstrap gen=%d len=%d", s.Generation(), s.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName(1))); err != nil {
+		t.Fatalf("base snapshot not written: %v", err)
+	}
+
+	if _, _, err := s.Apply([]Op{Insert(vec.Of(0.3, 0.3)), Update(0, vec.Of(0.15, 0.85))}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Apply([]Op{Delete(1)}); err != nil {
+		t.Fatal(err)
+	}
+	want := s.Snapshot()
+	wantLog := s.Log(0)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a decoy bootstrap dataset: recovered state must win.
+	r := openT(t, cfg, []vec.Vector{vec.Of(0.99, 0.99)})
+	defer r.Close()
+	if r.Generation() != want.Gen {
+		t.Fatalf("recovered generation = %d, want %d", r.Generation(), want.Gen)
+	}
+	samePoints(t, r, want.Scorer.Points())
+	gotLog := r.Log(0)
+	if len(gotLog) != len(wantLog) {
+		t.Fatalf("recovered log has %d entries, want %d", len(gotLog), len(wantLog))
+	}
+	for i := range gotLog {
+		if gotLog[i].Seq != wantLog[i].Seq || gotLog[i].Gen != wantLog[i].Gen ||
+			gotLog[i].Op.Kind != wantLog[i].Op.Kind || gotLog[i].Moved != wantLog[i].Moved {
+			t.Fatalf("log[%d] = %+v, want %+v", i, gotLog[i], wantLog[i])
+		}
+	}
+}
+
+func TestRecoverWithoutClose(t *testing.T) {
+	// A crash is the absence of Close: under SyncAlways every
+	// acknowledged batch must still be on disk. Process death releases
+	// the directory flock; simulate exactly that by closing only the
+	// lock fd, leaving the WAL file handle dangling like a crash would.
+	dir := t.TempDir()
+	cfg := PersistConfig{Dir: dir, Sync: SyncAlways}
+	s := openT(t, cfg, pts3())
+	if _, _, err := s.Apply([]Op{Insert(vec.Of(0.4, 0.4))}); err != nil {
+		t.Fatal(err)
+	}
+	want := s.Snapshot()
+	s.lock.Close() // the kernel does this on process death
+
+	r := openT(t, cfg, nil)
+	defer r.Close()
+	if r.Generation() != want.Gen {
+		t.Fatalf("recovered generation = %d, want %d", r.Generation(), want.Gen)
+	}
+	samePoints(t, r, want.Scorer.Points())
+}
+
+// TestOpenLocksDirectory: a second store over the same data directory
+// must fail fast rather than interleave WAL writes with the first.
+func TestOpenLocksDirectory(t *testing.T) {
+	dir := t.TempDir()
+	cfg := PersistConfig{Dir: dir}
+	s := openT(t, cfg, pts3())
+	if _, err := Open(cfg, nil); err == nil {
+		t.Fatal("second Open on a held directory must fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, cfg, nil) // the lock releases with Close
+	r.Close()
+}
+
+// TestGenerationGapRefusesDestructiveRecovery: when the WAL's first
+// record does not chain onto the loaded base snapshot (here: the newest
+// snapshot was lost and recovery fell back to an older one), Open must
+// refuse and leave the segment bytes intact — truncating them would
+// destroy the only remaining record of the later generations.
+func TestGenerationGapRefusesDestructiveRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := PersistConfig{Dir: dir, CompactOps: 4, CompactBytes: 1 << 30, SegmentBytes: 1 << 30}
+	s := openT(t, cfg, pts3())
+	base, err := os.ReadFile(filepath.Join(dir, snapshotName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four batches trigger compaction (watermark generation 5, snap-1
+	// deleted); a fifth lands in the fresh segment as generation 6.
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Apply([]Op{Insert(vec.Of(0.2, 0.8))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.PersistStats().LastCompaction != 5 {
+		t.Fatalf("compaction watermark = %d, want 5", s.PersistStats().LastCompaction)
+	}
+	s.Close()
+
+	// Lose the watermark snapshot; resurrect the generation-1 base. The
+	// segment's first record (generation 6) no longer chains onto it.
+	if err := os.Remove(filepath.Join(dir, snapshotName(5))); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapshotName(1)), base, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	before := segs[0].size
+
+	if _, err := Open(cfg, nil); err == nil {
+		t.Fatal("generation gap must refuse to open")
+	}
+	after, err := os.Stat(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before {
+		t.Fatalf("refusal still truncated the segment: %d -> %d bytes", before, after.Size())
+	}
+}
+
+// TestBootstrapRefusesStaleWAL: WAL segments without any base snapshot
+// describe a dataset we no longer have; bootstrapping a fresh dataset
+// and replaying them onto it would corrupt it silently, so Open must
+// refuse.
+func TestBootstrapRefusesStaleWAL(t *testing.T) {
+	dir := t.TempDir()
+	cfg := PersistConfig{Dir: dir}
+	s := openT(t, cfg, pts3())
+	if _, _, err := s.Apply([]Op{Insert(vec.Of(0.3, 0.3))}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate the half-reset: snapshots gone, segments survive.
+	snaps, err := listSnapshots(dir)
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("snapshots: %v %v", snaps, err)
+	}
+	for _, p := range snaps {
+		if err := os.Remove(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(cfg, pts3()); err == nil {
+		t.Fatal("bootstrap over stale WAL segments must be refused")
+	}
+}
+
+func TestApplyAfterCloseFails(t *testing.T) {
+	s := openT(t, PersistConfig{Dir: t.TempDir()}, pts3())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, _, err := s.Apply([]Op{Insert(vec.Of(0.1, 0.1))}); err != ErrClosed {
+		t.Fatalf("apply after close = %v, want ErrClosed", err)
+	}
+	if s.Len() != 3 { // reads keep serving
+		t.Fatalf("len after close = %d", s.Len())
+	}
+}
+
+// TestTornWriteOracle is the crash-recovery oracle of the acceptance
+// criteria: a random op sequence is applied and the per-generation
+// states remembered; the WAL is then truncated mid-record (a torn
+// write) at several depths, and each reopen must land exactly on the
+// state of the last complete batch.
+func TestTornWriteOracle(t *testing.T) {
+	const (
+		d       = 3
+		batches = 25
+		seed    = 42
+	)
+	rng := rand.New(rand.NewSource(seed))
+	boot := []vec.Vector{vec.Of(0.1, 0.2, 0.3), vec.Of(0.5, 0.5, 0.5), vec.Of(0.9, 0.8, 0.7)}
+
+	dir := t.TempDir()
+	// Thresholds high enough that nothing compacts: the whole history
+	// stays in one WAL segment and every truncation point is exercised.
+	cfg := PersistConfig{Dir: dir, CompactBytes: 1 << 30, CompactOps: 1 << 30, SegmentBytes: 1 << 30}
+	s := openT(t, cfg, boot)
+
+	m := &model{}
+	m.pts = append(m.pts, boot...)
+	states := map[Generation][]vec.Vector{1: m.clone()}
+	for b := 0; b < batches; b++ {
+		ops := randomBatch(rng, len(m.pts), d, 4)
+		snap, _, err := s.Apply(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.apply(ops)
+		states[snap.Gen] = m.clone()
+	}
+	finalGen := s.Generation()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("expected one segment, got %d", len(segs))
+	}
+	segPath := segs[0].path
+
+	// Record boundaries: scan once to learn where each batch ends.
+	var ends []int64
+	var gens []Generation
+	if _, torn, err := scanSegment(segPath, func(g Generation, _ uint64, _ []Op) error {
+		gens = append(gens, g)
+		return nil
+	}); err != nil || torn {
+		t.Fatalf("pre-scan: torn=%v err=%v", torn, err)
+	}
+	off := int64(len(walMagic))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if int64(len(data)) == off {
+			break
+		}
+		length := int64(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		off += walHeaderSize + length
+		ends = append(ends, off)
+	}
+	if len(ends) != batches {
+		t.Fatalf("found %d records, want %d", len(ends), batches)
+	}
+
+	// Tear the log mid-record at several depths: after the tear the
+	// store must recover the prefix up to the last complete batch.
+	for _, cut := range []int{batches - 1, batches / 2, 1} {
+		// A cut strictly inside record cut (0-based): any size in
+		// (ends[cut-1], ends[cut]) tears it.
+		lo := int64(len(walMagic))
+		if cut > 0 {
+			lo = ends[cut-1]
+		}
+		tearAt := lo + (ends[cut]-lo)/2
+		work := t.TempDir()
+		copyFile(t, segPath, filepath.Join(work, filepath.Base(segPath)))
+		copyFile(t, filepath.Join(dir, snapshotName(1)), filepath.Join(work, snapshotName(1)))
+		if err := os.Truncate(filepath.Join(work, filepath.Base(segPath)), tearAt); err != nil {
+			t.Fatal(err)
+		}
+
+		r := openT(t, PersistConfig{Dir: work}, nil)
+		wantGen := gens[cut] - 1 // the torn batch's predecessor
+		if r.Generation() != wantGen {
+			t.Fatalf("cut %d: recovered generation %d, want %d (final %d)", cut, r.Generation(), wantGen, finalGen)
+		}
+		samePoints(t, r, states[wantGen])
+
+		// The store must be writable after recovery: the tear was
+		// truncated away, so new batches append cleanly and survive
+		// another reopen.
+		if _, _, err := r.Apply([]Op{Insert(vec.Of(0.42, 0.42, 0.42))}); err != nil {
+			t.Fatalf("cut %d: apply after recovery: %v", cut, err)
+		}
+		gen2, len2 := r.Generation(), r.Len()
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r2 := openT(t, PersistConfig{Dir: work}, nil)
+		if r2.Generation() != gen2 || r2.Len() != len2 {
+			t.Fatalf("cut %d: second recovery gen=%d len=%d, want gen=%d len=%d",
+				cut, r2.Generation(), r2.Len(), gen2, len2)
+		}
+		r2.Close()
+	}
+}
+
+// TestTornMagicSegmentIsReplaced: when the tear eats the segment's own
+// 8-byte magic, recovery must drop the file and start a fresh one —
+// reopening the headerless file for append would make the *next* boot
+// discard every batch acknowledged after recovery.
+func TestTornMagicSegmentIsReplaced(t *testing.T) {
+	dir := t.TempDir()
+	cfg := PersistConfig{Dir: dir, CompactBytes: 1 << 30, CompactOps: 1 << 30, SegmentBytes: 1 << 30}
+	s := openT(t, cfg, pts3())
+	if _, _, err := s.Apply([]Op{Insert(vec.Of(0.3, 0.3))}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	// Tear inside the magic itself (e.g. a zero-length file after a
+	// crashed create): the whole segment is unusable.
+	if err := os.Truncate(segs[0].path, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, cfg, nil)
+	if r.Generation() != 1 || r.Len() != 3 {
+		t.Fatalf("recovered gen=%d len=%d, want the base snapshot", r.Generation(), r.Len())
+	}
+	// Acknowledged post-recovery batches must survive the next boot.
+	if _, _, err := r.Apply([]Op{Insert(vec.Of(0.7, 0.7))}); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2 := openT(t, cfg, nil)
+	defer r2.Close()
+	if r2.Generation() != 2 || r2.Len() != 4 {
+		t.Fatalf("second boot gen=%d len=%d, want 2 with 4 options", r2.Generation(), r2.Len())
+	}
+	if got := r2.Snapshot().Scorer.Point(3); !got.Equal(vec.Of(0.7, 0.7), 0) {
+		t.Fatalf("post-recovery insert lost: slot 3 = %v", got)
+	}
+}
+
+func copyFile(t *testing.T, src, dst string) {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCorruptSealedSegmentRefusesOpen: a tear can only legitimately
+// live in the final segment (appends are sequential, segments fsync
+// before their successor exists), so corruption in an earlier one is
+// damage to acknowledged batches — Open must refuse, not truncate away
+// every later segment.
+func TestCorruptSealedSegmentRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := PersistConfig{Dir: dir, SegmentBytes: 128, CompactBytes: 1 << 30, CompactOps: 1 << 30}
+	s := openT(t, cfg, pts3())
+	for i := 0; i < 10; i++ {
+		if _, _, err := s.Apply([]Op{Insert(vec.Of(0.25, 0.75))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.PersistStats().WALSegments; got < 2 {
+		t.Fatalf("need rolled segments, got %d", got)
+	}
+	s.Close()
+
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xff // corrupt the first (sealed) segment
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(cfg, nil); err == nil {
+		t.Fatal("mid-WAL corruption must refuse to open")
+	}
+	// Every segment survives for inspection.
+	after, err := listSegments(dir)
+	if err != nil || len(after) != len(segs) {
+		t.Fatalf("segments after refusal: %v %v (want %d)", after, err, len(segs))
+	}
+}
+
+func TestCorruptMiddleRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg := PersistConfig{Dir: dir, CompactBytes: 1 << 30, CompactOps: 1 << 30, SegmentBytes: 1 << 30}
+	s := openT(t, cfg, pts3())
+	for i := 0; i < 5; i++ {
+		if _, _, err := s.Apply([]Op{Insert(vec.Of(0.2, 0.2))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	// Flip a payload byte around the middle of the file: the checksum of
+	// that record fails, and replay must stop at its predecessor rather
+	// than serve corrupt data.
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, cfg, nil)
+	defer r.Close()
+	if g := r.Generation(); g < 1 || g >= 6 {
+		t.Fatalf("recovered generation %d, want a strict prefix of the 6", g)
+	}
+	if r.Len() != int(r.Generation())+2 { // one insert per generation after gen 1
+		t.Fatalf("recovered len %d inconsistent with generation %d", r.Len(), r.Generation())
+	}
+}
+
+// TestCompactionBoundsReplay asserts the acceptance criterion that WAL
+// replay cost stays bounded: once the op threshold is crossed, the store
+// writes a fresh base snapshot, truncates the replayed segments and
+// resumes with an empty WAL.
+func TestCompactionBoundsReplay(t *testing.T) {
+	dir := t.TempDir()
+	cfg := PersistConfig{Dir: dir, CompactOps: 8, CompactBytes: 1 << 30, SegmentBytes: 1 << 10}
+	s := openT(t, cfg, pts3())
+
+	m := &model{}
+	m.pts = append(m.pts, pts3()...)
+	rng := rand.New(rand.NewSource(7))
+	for b := 0; b < 10; b++ {
+		ops := randomBatch(rng, len(m.pts), 2, 3)
+		if _, _, err := s.Apply(ops); err != nil {
+			t.Fatal(err)
+		}
+		m.apply(ops)
+	}
+
+	ps := s.PersistStats()
+	if !ps.Persistent {
+		t.Fatal("store should report persistence")
+	}
+	if ps.LastCompaction <= 1 {
+		t.Fatalf("no compaction happened: %+v", ps)
+	}
+	if ps.WALSegments != 1 {
+		t.Fatalf("compaction left %d segments, want 1", ps.WALSegments)
+	}
+	if s.walOps >= 8+3 {
+		t.Fatalf("walOps = %d not reset by compaction", s.walOps)
+	}
+	// On disk: exactly one snapshot (the watermark) and one segment.
+	snaps, err := listSnapshots(dir)
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("snapshots on disk: %v %v", snaps, err)
+	}
+	if snaps[0] != filepath.Join(dir, snapshotName(ps.LastCompaction)) {
+		t.Fatalf("snapshot %s, want generation %d", snaps[0], ps.LastCompaction)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments on disk: %v %v", segs, err)
+	}
+
+	want := s.Snapshot()
+	s.Close()
+	r := openT(t, cfg, nil)
+	defer r.Close()
+	if r.Generation() != want.Gen {
+		t.Fatalf("recovered generation %d, want %d", r.Generation(), want.Gen)
+	}
+	samePoints(t, r, want.Scorer.Points())
+}
+
+func TestSegmentRollAndMultiSegmentReplay(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments, compaction effectively off: rolls accumulate.
+	cfg := PersistConfig{Dir: dir, SegmentBytes: 128, CompactBytes: 1 << 30, CompactOps: 1 << 30}
+	s := openT(t, cfg, pts3())
+	for i := 0; i < 12; i++ {
+		if _, _, err := s.Apply([]Op{Insert(vec.Of(0.25, 0.75))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ps := s.PersistStats(); ps.WALSegments < 2 {
+		t.Fatalf("expected rolled segments, got %+v", ps)
+	}
+	want := s.Snapshot()
+	s.Close()
+
+	r := openT(t, cfg, nil)
+	defer r.Close()
+	if r.Generation() != want.Gen {
+		t.Fatalf("recovered generation %d, want %d", r.Generation(), want.Gen)
+	}
+	samePoints(t, r, want.Scorer.Points())
+}
+
+// TestConcurrentReadsDuringPersistentWrites drives readers (snapshot
+// pins, stats) against a writer whose batches trigger segment rolls and
+// compactions, under -race in CI: the WAL fsync and the compaction
+// cycle must never hold the lock readers block on.
+func TestConcurrentReadsDuringPersistentWrites(t *testing.T) {
+	cfg := PersistConfig{Dir: t.TempDir(), CompactOps: 16, CompactBytes: 1 << 30, SegmentBytes: 256}
+	s := openT(t, cfg, pts3())
+	defer s.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := s.Snapshot()
+				if snap.Scorer.Len() < 3 {
+					panic("impossible shrink")
+				}
+				_ = s.PersistStats()
+				_, _ = s.GCStats()
+				_ = s.Log(0)
+			}
+		}()
+	}
+	for i := 0; i < 80; i++ {
+		if _, _, err := s.Apply([]Op{Insert(vec.Of(0.4, 0.6))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if ps := s.PersistStats(); ps.LastCompaction <= 1 || ps.CompactError != "" {
+		t.Fatalf("persist stats after concurrent run: %+v", ps)
+	}
+}
+
+func TestSyncNoneStillRecoversOnClose(t *testing.T) {
+	dir := t.TempDir()
+	cfg := PersistConfig{Dir: dir, Sync: SyncNone}
+	s := openT(t, cfg, pts3())
+	if _, _, err := s.Apply([]Op{Insert(vec.Of(0.6, 0.6))}); err != nil {
+		t.Fatal(err)
+	}
+	want := s.Snapshot()
+	if err := s.Close(); err != nil { // Close syncs even under SyncNone
+		t.Fatal(err)
+	}
+	r := openT(t, cfg, nil)
+	defer r.Close()
+	samePoints(t, r, want.Scorer.Points())
+}
+
+func TestParseSyncMode(t *testing.T) {
+	for in, want := range map[string]SyncMode{"always": SyncAlways, "": SyncAlways, "none": SyncNone} {
+		got, err := ParseSyncMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncMode("sometimes"); err == nil {
+		t.Error("bad mode should error")
+	}
+	if SyncAlways.String() != "always" || SyncNone.String() != "none" {
+		t.Error("String round-trip broken")
+	}
+}
+
+func TestEncodeDecodeBatchRoundTrip(t *testing.T) {
+	recs := []AppliedOp{
+		{Op: Op{Kind: OpInsert, Point: vec.Of(0.1, 0.2)}},
+		// A stray payload on a delete must not reach the wire ("deletes
+		// carry dim 0" in the documented record format).
+		{Op: Op{Kind: OpDelete, Index: 3, Point: vec.Of(0.5, 0.5)}},
+		{Op: Op{Kind: OpUpdate, Index: 1, Point: vec.Of(0.9, 0.8)}},
+	}
+	gen, firstSeq, ops, err := decodeBatch(encodeBatch(7, 21, recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 7 || firstSeq != 21 || len(ops) != 3 {
+		t.Fatalf("gen=%d seq=%d ops=%d", gen, firstSeq, len(ops))
+	}
+	for i, op := range ops {
+		if op.Kind != recs[i].Op.Kind || op.Index != recs[i].Op.Index {
+			t.Errorf("op %d = %+v", i, op)
+		}
+		if op.Kind == OpDelete {
+			if op.Point != nil {
+				t.Errorf("delete decoded with payload %v", op.Point)
+			}
+			continue
+		}
+		if !op.Point.Equal(recs[i].Op.Point, 0) {
+			t.Errorf("op %d point = %v", i, op.Point)
+		}
+	}
+	if _, _, _, err := decodeBatch([]byte{1, 2, 3}); err == nil {
+		t.Error("short payload should error")
+	}
+}
+
+func TestDeleteOpLogCarriesNoPayload(t *testing.T) {
+	s := mustNew(t, pts3())
+	buf := vec.Of(0.1, 0.1) // caller reuses this buffer after Apply
+	if _, _, err := s.Apply([]Op{{Kind: OpDelete, Index: 0, Point: buf}}); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 0.999
+	log := s.Log(0)
+	if len(log) != 1 || log[0].Op.Point != nil {
+		t.Fatalf("delete log entry = %+v, want nil payload", log[0])
+	}
+}
+
+func TestGCStatsTracksGenerations(t *testing.T) {
+	s := mustNew(t, pts3())
+	live, bytes := s.GCStats()
+	if live != 1 || bytes <= 0 {
+		t.Fatalf("initial GCStats = %d, %d", live, bytes)
+	}
+	pinned := s.Snapshot() // keeps generation 1 alive
+	for i := 0; i < 3; i++ {
+		if _, _, err := s.Apply([]Op{Insert(vec.Of(0.3, 0.3))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live, _ := s.GCStats(); live < 2 {
+		t.Fatalf("live generations = %d with a pinned snapshot, want >= 2", live)
+	}
+	_ = pinned.Scorer.Len() // keep the pin alive up to here
+
+	// Drop the pin: the collector reclaims the unreferenced generations
+	// and the counters come back down (trailing the GC by design).
+	pinned = Snapshot{}
+	_ = pinned
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if live, _ := s.GCStats(); live == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			live, bytes := s.GCStats()
+			t.Fatalf("generations not reclaimed: live=%d bytes=%d", live, bytes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

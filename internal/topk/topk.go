@@ -1,11 +1,3 @@
-// Package topk implements linear top-k queries over an option dataset,
-// following the scoring model of the paper (Section 3.1): options are
-// points in [0,1]^d, a preference is a normalized weight vector, and the
-// score of option p under weights w is S_w(p) = Σ_j w[j]·p[j].
-//
-// Because Σ_j w[j] = 1, the last weight is derived and preferences live
-// in the (d-1)-dimensional *preference space* W. All functions in this
-// package take such reduced weight vectors.
 package topk
 
 import (

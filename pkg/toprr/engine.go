@@ -38,6 +38,7 @@ type Engine struct {
 	batchWorkers int
 	maxConfigs   int
 	maxEntries   int
+	persist      store.PersistConfig // zero Dir = in-memory engine
 	hyperplanes  *core.HyperplaneCache
 	caches       *topk.Registry
 	applyMu      sync.Mutex // serializes Apply's store-mutation + cache-advance pair
@@ -50,6 +51,25 @@ type EngineOption func(*Engine)
 // their own.
 func WithDefaults(o Options) EngineOption {
 	return func(e *Engine) { e.defaults = o }
+}
+
+// WithPersistence makes the engine durable: every Apply batch is
+// write-ahead-logged (fsynced by default) under dir before its
+// generation publishes, and OpenEngine recovers the dataset from dir —
+// base snapshot plus WAL replay — when it holds state from an earlier
+// run. Compaction keeps replay bounded with the default thresholds; use
+// WithPersistenceConfig to tune them. docs/PERSISTENCE.md specifies the
+// recovery contract. Durable engines should be Closed; prefer
+// OpenEngine over NewEngine so I/O failures surface as errors.
+func WithPersistence(dir string) EngineOption {
+	return func(e *Engine) { e.persist.Dir = dir }
+}
+
+// WithPersistenceConfig is WithPersistence with explicit WAL sync mode,
+// compaction thresholds and segment size (zero fields keep the
+// defaults).
+func WithPersistenceConfig(cfg PersistConfig) EngineOption {
+	return func(e *Engine) { e.persist = cfg }
 }
 
 // WithBatchWorkers bounds the number of queries SolveBatch runs
@@ -74,24 +94,56 @@ func WithCacheLimits(maxConfigs, maxEntriesPerConfig int) EngineOption {
 // NewEngine builds an engine over an initial dataset of options in
 // [0,1]^d, published as generation 1. It panics on an invalid dataset
 // (empty, inconsistent dimensions, or components outside [0,1]), like
-// NewProblem.
+// NewProblem — and on any I/O error when a persistence option is set,
+// so durable engines should prefer OpenEngine.
 func NewEngine(pts []vec.Vector, opts ...EngineOption) *Engine {
-	st, err := store.New(pts)
+	e, err := OpenEngine(pts, opts...)
 	if err != nil {
 		panic("toprr: " + err.Error())
 	}
-	e := &Engine{
-		store:    st,
-		defaults: Options{Alg: TASStar},
-	}
+	return e
+}
+
+// OpenEngine is NewEngine returning errors instead of panicking. With a
+// persistence option set it opens the data directory first: when the
+// directory holds state from an earlier run, the dataset — generation
+// number, options, op log — is recovered from it and pts serves only as
+// the bootstrap for an empty directory (it may then be nil).
+func OpenEngine(pts []vec.Vector, opts ...EngineOption) (*Engine, error) {
+	e := &Engine{defaults: Options{Alg: TASStar}}
 	for _, o := range opts {
 		o(e)
 	}
+	var (
+		st  *store.Store
+		err error
+	)
+	if e.persist.Dir != "" {
+		st, err = store.Open(e.persist, pts)
+	} else {
+		st, err = store.New(pts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.store = st
 	snap := st.Snapshot()
 	e.hyperplanes = core.NewHyperplaneCache(snap.Scorer)
 	e.caches = topk.NewRegistry(snap.Scorer)
 	e.caches.SetLimits(e.maxConfigs, e.maxEntries)
-	return e
+	return e, nil
+}
+
+// Close releases the engine's durable resources: the WAL is synced and
+// closed, after which Apply fails and reads keep serving the in-memory
+// state. Closing is idempotent, and a no-op beyond blocking writes for
+// in-memory engines. A crash without Close loses nothing an Apply
+// acknowledged under the default sync mode; Close exists so a clean
+// shutdown releases file handles deterministically.
+func (e *Engine) Close() error {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	return e.store.Close()
 }
 
 // Snapshot pins the current dataset generation: the returned view stays
@@ -277,24 +329,44 @@ dispatch:
 // top-k hit/miss totals across them, and the entries evicted so far
 // (dropped by generation advances or refused at a configured cap). The
 // snapshot is taken at the current generation.
+//
+// LiveGenerations and RetainedSnapshotBytes observe the store's
+// copy-on-write snapshots: how many generations are still reachable
+// (the current one plus any pinned by in-flight or leaked snapshots)
+// and an upper bound on the bytes they retain. A live count that grows
+// without bound while mutations flow marks a leaked pin; the counters
+// move when the garbage collector reclaims a generation, so they trail
+// drops by one GC cycle.
 type CacheStats struct {
-	Generation  Generation
-	Hyperplanes int
-	TopKConfigs int
-	TopKHits    int
-	TopKMisses  int
-	Evictions   int
+	Generation            Generation
+	Hyperplanes           int
+	TopKConfigs           int
+	TopKHits              int
+	TopKMisses            int
+	Evictions             int
+	LiveGenerations       int
+	RetainedSnapshotBytes int64
 }
 
-// CacheStats snapshots the engine's shared-cache occupancy.
+// CacheStats snapshots the engine's shared-cache occupancy and snapshot
+// GC counters.
 func (e *Engine) CacheStats() CacheStats {
 	hits, misses := e.caches.Stats()
+	live, retained := e.store.GCStats()
 	return CacheStats{
-		Generation:  e.store.Generation(),
-		Hyperplanes: e.hyperplanes.Len(),
-		TopKConfigs: e.caches.Len(),
-		TopKHits:    hits,
-		TopKMisses:  misses,
-		Evictions:   e.hyperplanes.Evictions() + e.caches.Evictions(),
+		Generation:            e.store.Generation(),
+		Hyperplanes:           e.hyperplanes.Len(),
+		TopKConfigs:           e.caches.Len(),
+		TopKHits:              hits,
+		TopKMisses:            misses,
+		Evictions:             e.hyperplanes.Evictions() + e.caches.Evictions(),
+		LiveGenerations:       live,
+		RetainedSnapshotBytes: retained,
 	}
 }
+
+// PersistStats snapshots the engine's durable layer: WAL size and
+// segment count (the replay cost bound for the next boot) and the
+// generation of the newest base snapshot. All-zero for in-memory
+// engines.
+func (e *Engine) PersistStats() PersistStats { return e.store.PersistStats() }

@@ -1,0 +1,61 @@
+package toprr_test
+
+import (
+	"context"
+	"fmt"
+
+	"toprr/internal/vec"
+	"toprr/pkg/toprr"
+)
+
+// A vendor ships one product and upgrades another while the engine
+// keeps serving: the batch applies atomically and publishes exactly one
+// new generation.
+func ExampleEngine_Apply() {
+	engine := toprr.NewEngine([]vec.Vector{
+		vec.Of(0.2, 0.8),
+		vec.Of(0.5, 0.5),
+		vec.Of(0.8, 0.2),
+	})
+	gen, err := engine.Apply(context.Background(), []toprr.Op{
+		toprr.Insert(vec.Of(0.6, 0.7)),    // ship a new product
+		toprr.Update(0, vec.Of(0.3, 0.9)), // upgrade an existing one
+	})
+	if err != nil {
+		fmt.Println("apply:", err)
+		return
+	}
+	fmt.Printf("generation %d, %d options\n", gen, engine.Len())
+	// Output: generation 2, 4 options
+}
+
+// Pinning a snapshot answers several queries against one consistent
+// dataset generation, no matter how many mutations land in between.
+func ExampleEngine_SolveAt() {
+	ctx := context.Background()
+	engine := toprr.NewEngine([]vec.Vector{
+		vec.Of(0.2, 0.8),
+		vec.Of(0.5, 0.5),
+		vec.Of(0.8, 0.2),
+	})
+
+	snap := engine.Snapshot() // pin generation 1
+	if _, err := engine.Apply(ctx, []toprr.Op{toprr.Insert(vec.Of(0.9, 0.9))}); err != nil {
+		fmt.Println("apply:", err)
+		return
+	}
+
+	// The pinned solve still answers for generation 1: the concurrent
+	// insert is invisible to it.
+	res, err := engine.SolveAt(ctx, snap, toprr.Query{
+		K:  2,
+		WR: toprr.PrefBox(vec.Of(0.3), vec.Of(0.7)),
+	})
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	fmt.Printf("pinned generation %d of %d, solved over %d options, oR has %d constraints\n",
+		snap.Gen, engine.Generation(), res.Stats.InputOptions, len(res.ORConstraints))
+	// Output: pinned generation 1 of 2, solved over 3 options, oR has 7 constraints
+}

@@ -1,0 +1,127 @@
+package toprr_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/vec"
+	"toprr/pkg/toprr"
+)
+
+// TestEngineReopenServesSameState is the daemon-restart scenario: an
+// engine applies mutations, the process "crashes" (no Close), and a
+// reopened engine over the same data directory must answer queries
+// identically to the pre-crash engine — same generation, same options,
+// same solve results.
+func TestEngineReopenServesSameState(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	ctx := context.Background()
+	dir := t.TempDir()
+	pts := randomMarket(rng, 60, 3)
+
+	engine, err := toprr.OpenEngine(pts, toprr.WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 4; step++ {
+		ops := []toprr.Op{
+			toprr.Insert(randomPoint(rng, 3)),
+			toprr.Update(rng.Intn(engine.Len()), randomPoint(rng, 3)),
+		}
+		if step%2 == 1 {
+			ops = append(ops, toprr.Delete(rng.Intn(engine.Len())))
+		}
+		if _, err := engine.Apply(ctx, ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := wideQuery(rng, 3, 3)
+	want, err := engine.Solve(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGen, wantLen := engine.Generation(), engine.Len()
+	// Close releases the data directory for the restarted engine; it
+	// writes nothing (no snapshot-on-close), so the reopen below still
+	// recovers purely from the base snapshot + WAL replay. Recovery
+	// without any Close — a true crash, which also drops the directory
+	// lock — is covered by the store-level suite and the daemon tests.
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := toprr.OpenEngine(nil, toprr.WithPersistence(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.Generation() != wantGen || reopened.Len() != wantLen {
+		t.Fatalf("reopened gen=%d len=%d, want gen=%d len=%d",
+			reopened.Generation(), reopened.Len(), wantGen, wantLen)
+	}
+	got, err := reopened.Solve(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.ORConstraints) != len(want.ORConstraints) {
+		t.Fatalf("reopened solve: %d constraints, want %d",
+			len(got.ORConstraints), len(want.ORConstraints))
+	}
+	for i := range want.ORConstraints {
+		w, g := want.ORConstraints[i], got.ORConstraints[i]
+		if !w.A.Equal(g.A, 1e-12) || w.B != g.B {
+			t.Fatalf("constraint %d differs: %+v vs %+v", i, w, g)
+		}
+	}
+}
+
+func TestEngineCloseBlocksApply(t *testing.T) {
+	engine, err := toprr.OpenEngine(
+		[]vec.Vector{vec.Of(0.2, 0.8), vec.Of(0.8, 0.2)},
+		toprr.WithPersistence(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = engine.Apply(context.Background(), []toprr.Op{toprr.Insert(vec.Of(0.5, 0.5))})
+	if !errors.Is(err, toprr.ErrClosed) {
+		t.Fatalf("apply after close = %v, want ErrClosed", err)
+	}
+	// Reads still serve.
+	if engine.Len() != 2 {
+		t.Fatalf("len after close = %d", engine.Len())
+	}
+}
+
+func TestEngineStatsExposePersistenceAndGC(t *testing.T) {
+	engine, err := toprr.OpenEngine(
+		[]vec.Vector{vec.Of(0.2, 0.8), vec.Of(0.8, 0.2)},
+		toprr.WithPersistenceConfig(toprr.PersistConfig{Dir: t.TempDir(), Sync: toprr.SyncNone}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	if _, err := engine.Apply(context.Background(), []toprr.Op{toprr.Insert(vec.Of(0.5, 0.5))}); err != nil {
+		t.Fatal(err)
+	}
+	ps := engine.PersistStats()
+	if !ps.Persistent || ps.WALBytes <= 0 || ps.WALSegments != 1 || ps.LastCompaction != 1 {
+		t.Fatalf("persist stats = %+v", ps)
+	}
+	cs := engine.CacheStats()
+	if cs.LiveGenerations < 1 || cs.RetainedSnapshotBytes <= 0 {
+		t.Fatalf("GC stats = live %d, retained %d", cs.LiveGenerations, cs.RetainedSnapshotBytes)
+	}
+	// In-memory engines report a zero persist layer but live GC stats.
+	mem := toprr.NewEngine([]vec.Vector{vec.Of(0.2, 0.8), vec.Of(0.8, 0.2)})
+	if ps := mem.PersistStats(); ps.Persistent || ps.WALBytes != 0 {
+		t.Fatalf("in-memory persist stats = %+v", ps)
+	}
+	if cs := mem.CacheStats(); cs.LiveGenerations != 1 {
+		t.Fatalf("in-memory live generations = %d", cs.LiveGenerations)
+	}
+}

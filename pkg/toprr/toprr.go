@@ -1,18 +1,3 @@
-// Package toprr is the public API of the TopRR engine: exact maximal
-// top-ranking regions (Tang et al., PVLDB 2019) over linear top-k
-// preference queries, plus the downstream placement tools.
-//
-// The package is a stable facade over the internal pipeline
-// (prefilter → partition → assemble). One-shot queries go through
-// Solve; services that answer many queries over the same dataset
-// should build an Engine, which reuses per-dataset state (interned
-// split hyperplanes, memoized top-k results) across queries and
-// batches.
-//
-//	prob := toprr.NewProblem(points, k, toprr.PrefBox(lo, hi))
-//	res, err := toprr.Solve(ctx, prob, toprr.Options{Alg: toprr.TASStar})
-//
-// All entry points honor context cancellation and deadlines.
 package toprr
 
 import (
@@ -78,6 +63,13 @@ type (
 	OpKind = store.OpKind
 	// AppliedOp is one entry of the engine's op log.
 	AppliedOp = store.AppliedOp
+	// PersistConfig tunes a durable engine (WithPersistenceConfig):
+	// data directory, WAL sync mode, compaction thresholds.
+	PersistConfig = store.PersistConfig
+	// PersistStats reports the durable layer's state (Engine.PersistStats).
+	PersistStats = store.PersistStats
+	// SyncMode selects the WAL durability level of a durable engine.
+	SyncMode = store.SyncMode
 )
 
 // The three dataset mutations of Engine.Apply.
@@ -86,6 +78,30 @@ const (
 	OpDelete = store.OpDelete
 	OpUpdate = store.OpUpdate
 )
+
+// The WAL sync modes of a durable engine: SyncAlways fsyncs every Apply
+// before it returns; SyncNone leaves flushing to the OS page cache.
+const (
+	SyncAlways = store.SyncAlways
+	SyncNone   = store.SyncNone
+)
+
+// ParseSyncMode maps a flag value ("always", "none") to a SyncMode.
+func ParseSyncMode(s string) (SyncMode, error) { return store.ParseSyncMode(s) }
+
+// HasPersistentState reports whether dir already holds a recoverable
+// engine (OpenEngine will then ignore its bootstrap dataset), so
+// callers can skip loading or generating one. A missing directory is
+// simply empty state.
+func HasPersistentState(dir string) (bool, error) { return store.HasState(dir) }
+
+// ErrClosed is returned by Engine.Apply after Engine.Close.
+var ErrClosed = store.ErrClosed
+
+// ErrDurability marks Apply failures where the batch validated fine but
+// could not be write-ahead-logged (a disk fault): the dataset is
+// unchanged and the error is the server's, not the request's.
+var ErrDurability = store.ErrDurability
 
 // Insert builds an op appending option p (a vendor ships a product).
 func Insert(p vec.Vector) Op { return store.Insert(p) }
