@@ -1,28 +1,40 @@
-// Command toprrd is the TopRR serving daemon: it loads (or generates) a
-// dataset, builds an engine over the versioned store, and serves a JSON
-// HTTP API until interrupted, then drains in-flight requests and exits.
+// Command toprrd is the TopRR serving daemon: it serves a registry of
+// named datasets — each an independently-mutating, snapshot-isolated
+// engine — over a JSON HTTP API until interrupted, then drains
+// in-flight requests and exits.
 //
 //	toprrd -data laptops.csv -addr :8080
 //	toprrd -dist ANTI -n 50000 -d 4 -req-timeout 10s
-//	toprrd -data-dir /var/lib/toprrd -dist IND -n 50000 -d 4
+//	toprrd -data-dir /var/lib/toprrd -dist IND -n 50000 -d 4 -idle-ttl 15m
 //
 // Endpoints:
 //
-//	POST /v1/solve   one TopRR query            {"k":3,"lo":[..],"hi":[..]}
-//	POST /v1/batch   many queries, one snapshot {"queries":[{...},...]}
-//	POST /v1/ops     dataset mutations          {"ops":[{"op":"insert","point":[..]},...]}
-//	GET  /v1/ops     applied-ops log            ?since=<seq>
-//	GET  /v1/stats   generation, cache, WAL and work counters
+//	GET    /v1/healthz                    liveness probe
+//	GET    /v1/datasets                   list datasets
+//	POST   /v1/datasets                   create a dataset {"name":..., "points":[[..]]} or {"name":...,"dist":"IND","n":1000,"d":3}
+//	DELETE /v1/datasets/{name}            drop a dataset (engine closed, directory removed)
+//	POST   /v1/datasets/{name}/solve      one TopRR query        {"k":3,"lo":[..],"hi":[..]}
+//	POST   /v1/datasets/{name}/batch      many queries, one snapshot {"queries":[{...},...]}
+//	POST   /v1/datasets/{name}/ops        dataset mutations      {"ops":[{"op":"insert","point":[..]},...]}
+//	GET    /v1/datasets/{name}/ops        applied-ops log        ?since=<seq>
+//	GET    /v1/datasets/{name}/stats      one dataset's stats
+//	GET    /v1/stats                      per-dataset breakdowns + totals + work counters
 //
-// Every query pins the dataset generation current at arrival; mutations
-// publish new generations without disturbing in-flight solves.
+// The pre-tenancy routes /v1/{solve,batch,ops} still work: they alias
+// the "default" dataset, which the daemon creates at boot from
+// -data/-dist when it does not already exist. Every query pins the
+// dataset generation current at arrival; mutations publish new
+// generations without disturbing in-flight solves.
 //
-// With -data-dir the daemon is durable: mutations are write-ahead-logged
-// (fsynced per batch unless -wal-sync none) and compacted into base
-// snapshots, and a restart replays the log — the daemon resumes at the
-// generation it crashed at, not at the -data/-dist bootstrap, which then
-// seeds only a first run over an empty directory. docs/PERSISTENCE.md
-// specifies the recovery contract.
+// With -data-dir the daemon is durable: each dataset owns a
+// <data-dir>/<name>/ directory with its own WAL (fsynced per batch
+// unless -wal-sync none) and snapshot/compaction cycle; a restart
+// discovers every dataset and recovers each — lazily, on its first
+// request — at the generation it crashed at. A pre-tenancy -data-dir
+// (files directly under the root) is migrated into
+// <data-dir>/default/ automatically. With -idle-ttl the daemon evicts
+// datasets idle past the TTL and pages them back in from disk on
+// demand. docs/PERSISTENCE.md specifies the recovery contract.
 package main
 
 import (
@@ -37,7 +49,6 @@ import (
 	"time"
 
 	"toprr/internal/dataset"
-	"toprr/internal/vec"
 	"toprr/pkg/toprr"
 )
 
@@ -46,47 +57,93 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// minBodyCap is the smallest accepted -max-body: below one KiB even a
+// bare solve request cannot be expressed, so smaller values are surely
+// operator error.
+const minBodyCap = 1 << 10
+
+// validateMaxBody checks a -max-body value.
+func validateMaxBody(n int64) error {
+	if n < minBodyCap {
+		return fmt.Errorf("-max-body must be at least %d bytes, got %d", minBodyCap, n)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
-		data         = flag.String("data", "", "CSV dataset file (default: generate synthetic)")
+		data         = flag.String("data", "", "CSV dataset file bootstrapping the default dataset (default: generate synthetic)")
 		dist         = flag.String("dist", "IND", "synthetic distribution when -data is absent")
 		n            = flag.Int("n", 100000, "synthetic dataset size")
 		d            = flag.Int("d", 4, "synthetic dimensionality")
 		seed         = flag.Int64("seed", 7, "synthetic generator seed")
 		reqTimeout   = flag.Duration("req-timeout", 30*time.Second, "per-request deadline (0 = none)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
-		dataDir      = flag.String("data-dir", "", "durable data directory: WAL + base snapshots; empty = in-memory")
+		maxBody      = flag.Int64("max-body", 32<<20, "request-body cap in bytes (min 1024)")
+		dataDir      = flag.String("data-dir", "", "durable registry root: one <root>/<dataset>/ WAL+snapshot directory per dataset; empty = in-memory")
 		walSync      = flag.String("wal-sync", "always", "WAL durability: always (fsync per batch) or none (OS page cache)")
-		compactBytes = flag.Int64("compact-bytes", 0, "WAL bytes triggering snapshot/compaction (0 = default 64MiB)")
-		compactOps   = flag.Int("compact-ops", 0, "WAL ops triggering snapshot/compaction (0 = default 32768)")
+		compactBytes = flag.Int64("compact-bytes", 0, "per-dataset WAL bytes triggering snapshot/compaction (0 = default 64MiB)")
+		compactOps   = flag.Int("compact-ops", 0, "per-dataset WAL ops triggering snapshot/compaction (0 = default 32768)")
+		idleTTL      = flag.Duration("idle-ttl", 0, "close datasets idle this long, reopening from disk on demand (0 = never; requires -data-dir)")
+		cacheConfigs = flag.Int("cache-configs", 0, "process-wide interned top-k configuration budget shared across datasets (0 = per-dataset default)")
+		cacheEntries = flag.Int("cache-entries", 0, "per-configuration memoized-vertex cap (0 = default)")
 	)
 	flag.Parse()
 
-	var engineOpts []toprr.EngineOption
-	hasState := false
+	if err := validateMaxBody(*maxBody); err != nil {
+		fatal(err)
+	}
+	if *idleTTL < 0 {
+		fatal(fmt.Errorf("-idle-ttl must be >= 0, got %v", *idleTTL))
+	}
+	if *idleTTL > 0 && *dataDir == "" {
+		fatal(fmt.Errorf("-idle-ttl requires -data-dir (an in-memory dataset cannot be reopened after eviction)"))
+	}
+
+	var regOpts []toprr.RegistryOption
 	if *dataDir != "" {
 		mode, err := toprr.ParseSyncMode(*walSync)
 		if err != nil {
 			fatal(fmt.Errorf("-wal-sync: %w", err))
 		}
-		engineOpts = append(engineOpts, toprr.WithPersistenceConfig(toprr.PersistConfig{
+		// A pre-tenancy data directory (WAL and snapshots directly under
+		// the root) becomes the default dataset of the registry layout.
+		migrated, err := toprr.MigrateLegacyLayout(*dataDir, defaultDataset)
+		if err != nil {
+			fatal(err)
+		}
+		if migrated {
+			fmt.Fprintf(os.Stderr, "toprrd: migrated legacy single-dataset layout into %s/%s\n", *dataDir, defaultDataset)
+		}
+		regOpts = append(regOpts, toprr.WithRegistryPersistence(toprr.PersistConfig{
 			Dir:          *dataDir,
 			Sync:         mode,
 			CompactBytes: *compactBytes,
 			CompactOps:   *compactOps,
 		}))
-		// Recovery ignores the bootstrap dataset, so when the directory
-		// already holds recoverable state, don't generate or parse one.
-		st, err := toprr.HasPersistentState(*dataDir)
-		if err != nil {
-			fatal(err)
+	}
+	if *idleTTL > 0 {
+		regOpts = append(regOpts, toprr.WithIdleTTL(*idleTTL))
+	}
+	if *cacheConfigs > 0 || *cacheEntries > 0 {
+		regOpts = append(regOpts, toprr.WithCacheBudget(*cacheConfigs, *cacheEntries))
+	}
+	reg, err := toprr.NewRegistry(regOpts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Ensure the default dataset exists: recovered datasets win over the
+	// -data/-dist bootstrap, which only seeds a first run.
+	hasDefault := false
+	for _, info := range reg.List() {
+		if info.Name == defaultDataset {
+			hasDefault = true
 		}
-		hasState = st
 	}
 	name := "recovered:" + *dataDir
-	var pts []vec.Vector
-	if !hasState {
+	if !hasDefault {
 		var ds *dataset.Dataset
 		if *data != "" {
 			f, err := os.Open(*data)
@@ -108,25 +165,26 @@ func main() {
 			}
 			ds = dataset.Generate(dd, *n, *d, *seed)
 		}
-		name, pts = ds.Name, ds.Pts
+		name = ds.Name
+		if _, err := reg.Create(defaultDataset, ds.Pts); err != nil {
+			fatal(err)
+		}
 	}
-	engine, err := toprr.OpenEngine(pts, engineOpts...)
+	// Open the default eagerly: it is the one tenant guaranteed to take
+	// traffic (the legacy routes), and boot is where a recovery error
+	// should surface, not a request.
+	engine, err := reg.Get(defaultDataset)
 	if err != nil {
 		fatal(err)
 	}
 	if *dataDir != "" {
 		ps := engine.PersistStats()
-		if hasState {
-			fmt.Fprintf(os.Stderr, "toprrd: data dir %s recovered to generation %d (wal %d bytes in %d segment(s), base snapshot at generation %d)\n",
-				*dataDir, engine.Generation(), ps.WALBytes, ps.WALSegments, ps.LastCompaction)
-		} else {
-			fmt.Fprintf(os.Stderr, "toprrd: data dir %s initialized (base snapshot at generation %d)\n",
-				*dataDir, ps.LastCompaction)
-		}
+		fmt.Fprintf(os.Stderr, "toprrd: registry root %s holds %d dataset(s); default at generation %d (wal %d bytes in %d segment(s), base snapshot at generation %d)\n",
+			*dataDir, len(reg.List()), engine.Generation(), ps.WALBytes, ps.WALSegments, ps.LastCompaction)
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(engine, *reqTimeout),
+		Handler:           newServer(reg, *reqTimeout, *maxBody),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -136,13 +194,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "toprrd: serving %s (%d options x %d attributes, generation %d) on %s\n",
+	fmt.Fprintf(os.Stderr, "toprrd: serving default=%s (%d options x %d attributes, generation %d) on %s\n",
 		name, engine.Len(), engine.Dim(), engine.Generation(), ln.Addr())
 	if err := run(ctx, srv, ln, *drain); err != nil {
-		engine.Close()
+		reg.Close()
 		fatal(err)
 	}
-	if err := engine.Close(); err != nil {
+	if err := reg.Close(); err != nil {
 		fatal(fmt.Errorf("close: %w", err))
 	}
 	fmt.Fprintln(os.Stderr, "toprrd: drained, bye")

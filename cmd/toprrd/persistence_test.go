@@ -1,7 +1,6 @@
 package main
 
 import (
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -34,22 +33,31 @@ func getStats(t *testing.T, url string) statsJSON {
 	return stats
 }
 
-// TestDaemonRestartServesSameState is the acceptance scenario: a
-// durable daemon takes mutations over HTTP, crashes (no Close), and a
-// restarted daemon over the same data directory serves the same
-// generation contents.
-func TestDaemonRestartServesSameState(t *testing.T) {
-	dir := t.TempDir()
-	rng := rand.New(rand.NewSource(7))
-	pts := make([]vec.Vector, 40)
-	for i := range pts {
-		pts[i] = vec.Of(rng.Float64(), rng.Float64(), rng.Float64())
-	}
-	engine, err := toprr.OpenEngine(pts, toprr.WithPersistence(dir))
+// durableServer builds an httptest server over a durable registry
+// rooted at root whose default dataset, when absent, is bootstrapped
+// from pts. The registry is returned for explicit shutdown.
+func durableServer(t *testing.T, root string, pts []vec.Vector, cfg toprr.PersistConfig) (*httptest.Server, *toprr.Registry) {
+	t.Helper()
+	cfg.Dir = root
+	reg, err := toprr.NewRegistry(toprr.WithRegistryPersistence(cfg))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(engine, time.Minute))
+	if _, err := reg.Open("default", pts); err != nil {
+		reg.Close()
+		t.Fatal(err)
+	}
+	return httptest.NewServer(newServer(reg, time.Minute, 32<<20)), reg
+}
+
+// TestDaemonRestartServesSameState is the legacy-route acceptance
+// scenario: a durable daemon takes mutations over HTTP on the default
+// dataset, shuts down, and a restarted daemon over the same registry
+// root serves the same generation contents through the same pre-tenancy
+// routes.
+func TestDaemonRestartServesSameState(t *testing.T) {
+	root := t.TempDir()
+	ts, reg := durableServer(t, root, testPts(40), toprr.PersistConfig{})
 
 	resp := postJSON(t, ts.URL+"/v1/ops", map[string]any{
 		"ops": []opJSON{
@@ -66,30 +74,34 @@ func TestDaemonRestartServesSameState(t *testing.T) {
 	if !before.Persistent || before.WALBytes <= 0 {
 		t.Fatalf("durable daemon stats = %+v", before)
 	}
-	wantPts := engine.Scorer().Points()
-	ts.Close()
-	// Close releases the directory flock like a process death would; it
-	// writes nothing, so the restart recovers purely from base snapshot
-	// + WAL replay (true kill -9 recovery is exercised by the store
-	// suite, where the lock fd can be dropped without Close).
-	if err := engine.Close(); err != nil {
-		t.Fatal(err)
-	}
-
-	// Restart over the same directory; the bootstrap dataset is a decoy
-	// the recovery must ignore.
-	engine2, err := toprr.OpenEngine([]vec.Vector{vec.Of(0.1, 0.1, 0.1)}, toprr.WithPersistence(dir))
+	engine, err := reg.Get("default")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer engine2.Close()
-	ts2 := httptest.NewServer(newServer(engine2, time.Minute))
+	wantPts := engine.Scorer().Points()
+	ts.Close()
+	// Close releases the directory flocks like a process death would; it
+	// writes nothing, so the restart recovers purely from base snapshot
+	// + WAL replay (true kill -9 recovery is exercised by the store
+	// suite, where the lock fd can be dropped without Close).
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same root; the bootstrap dataset is a decoy the
+	// recovery must ignore.
+	ts2, reg2 := durableServer(t, root, []vec.Vector{vec.Of(0.1, 0.1, 0.1)}, toprr.PersistConfig{})
+	defer reg2.Close()
 	defer ts2.Close()
 
 	after := getStats(t, ts2.URL)
 	if after.Generation != before.Generation || after.Options != before.Options {
 		t.Fatalf("restarted daemon at generation %d with %d options, want %d with %d",
 			after.Generation, after.Options, before.Generation, before.Options)
+	}
+	engine2, err := reg2.Get("default")
+	if err != nil {
+		t.Fatal(err)
 	}
 	got := engine2.Scorer().Points()
 	for i := range wantPts {
@@ -107,14 +119,10 @@ func TestDaemonRestartServesSameState(t *testing.T) {
 // threshold, /v1/stats shows the truncated WAL and the advanced base
 // snapshot watermark.
 func TestStatsReportCompaction(t *testing.T) {
-	engine, err := toprr.OpenEngine(
+	ts, reg := durableServer(t, t.TempDir(),
 		[]vec.Vector{vec.Of(0.2, 0.8, 0.5), vec.Of(0.8, 0.2, 0.5)},
-		toprr.WithPersistenceConfig(toprr.PersistConfig{Dir: t.TempDir(), CompactOps: 4}))
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer engine.Close()
-	ts := httptest.NewServer(newServer(engine, time.Minute))
+		toprr.PersistConfig{CompactOps: 4})
+	defer reg.Close()
 	defer ts.Close()
 
 	for i := 0; i < 6; i++ {

@@ -10,30 +10,98 @@ import (
 	"strings"
 	"time"
 
+	"toprr/internal/dataset"
 	"toprr/internal/geom"
 	"toprr/internal/vec"
 	"toprr/pkg/toprr"
 )
 
-// server is the HTTP front end over one engine. Every request runs
-// under a per-request deadline; queries pin the dataset generation
-// current when they arrive, so a request is never torn across an
-// Apply landing mid-solve.
+// server is the HTTP front end over a dataset registry. Every dataset
+// route acquires its tenant for the duration of the request — pinning
+// it against idle eviction — and every query pins the dataset
+// generation current when it arrives, so a request is never torn across
+// an Apply landing mid-solve. The pre-tenancy /v1/{solve,batch,ops}
+// routes alias the "default" dataset, so existing clients keep working.
 type server struct {
-	engine  *toprr.Engine
+	reg     *toprr.Registry
 	timeout time.Duration // per-request deadline (0 = none)
+	maxBody int64         // request-body cap in bytes
 	start   time.Time
 }
 
-// newServer wires the /v1 API over an engine.
-func newServer(engine *toprr.Engine, timeout time.Duration) http.Handler {
-	s := &server{engine: engine, timeout: timeout, start: time.Now()}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/solve", s.handleSolve)
-	mux.HandleFunc("/v1/batch", s.handleBatch)
-	mux.HandleFunc("/v1/ops", s.handleOps)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	return mux
+// defaultDataset is the tenant behind the legacy single-dataset routes.
+const defaultDataset = "default"
+
+// newServer wires the /v1 API over a registry.
+func newServer(reg *toprr.Registry, timeout time.Duration, maxBody int64) http.Handler {
+	return &server{reg: reg, timeout: timeout, maxBody: maxBody, start: time.Now()}
+}
+
+// datasetsPrefix roots the per-dataset route tree.
+const datasetsPrefix = "/v1/datasets"
+
+// ServeHTTP routes by hand (the route set is tiny and the error
+// contract strict): unknown routes get a JSON 404 and wrong methods a
+// JSON 405, never the mux defaults.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	switch {
+	case path == "/v1/healthz":
+		s.handleHealthz(w, r)
+	case path == "/v1/solve":
+		s.withDataset(w, r, defaultDataset, s.handleSolve)
+	case path == "/v1/batch":
+		s.withDataset(w, r, defaultDataset, s.handleBatch)
+	case path == "/v1/ops":
+		s.withDataset(w, r, defaultDataset, s.handleOps)
+	case path == "/v1/stats":
+		s.handleStats(w, r)
+	case path == datasetsPrefix:
+		s.handleDatasets(w, r)
+	case strings.HasPrefix(path, datasetsPrefix+"/"):
+		name, sub, _ := strings.Cut(path[len(datasetsPrefix)+1:], "/")
+		if err := toprr.ValidateDatasetName(name); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		switch sub {
+		case "":
+			s.handleDatasetDelete(w, r, name)
+		case "solve":
+			s.withDataset(w, r, name, s.handleSolve)
+		case "batch":
+			s.withDataset(w, r, name, s.handleBatch)
+		case "ops":
+			s.withDataset(w, r, name, s.handleOps)
+		case "stats":
+			s.withDataset(w, r, name, func(w http.ResponseWriter, r *http.Request, eng *toprr.Engine) {
+				s.handleDatasetStats(w, r, name, eng)
+			})
+		default:
+			writeErr(w, http.StatusNotFound, fmt.Errorf("unknown route %s", r.URL.Path))
+		}
+	default:
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown route %s", r.URL.Path))
+	}
+}
+
+// withDataset acquires the named tenant around fn, mapping registry
+// errors: unknown dataset 404, closing registry 503.
+func (s *server) withDataset(w http.ResponseWriter, r *http.Request, name string, fn func(http.ResponseWriter, *http.Request, *toprr.Engine)) {
+	eng, release, err := s.reg.Acquire(name)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, toprr.ErrUnknownDataset):
+			code = http.StatusNotFound
+		case errors.Is(err, toprr.ErrRegistryClosed):
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	defer release()
+	fn(w, r, eng)
 }
 
 // requestCtx derives the request context bounded by the server's
@@ -45,14 +113,11 @@ func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 	return context.WithTimeout(r.Context(), s.timeout)
 }
 
-// maxBodyBytes caps request bodies so one oversized POST cannot buffer
-// the daemon into the ground; decode failures past the cap surface as
-// ordinary 400s.
-const maxBodyBytes = 32 << 20
-
-// decodeBody decodes a JSON request body under the size cap.
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
-	return json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v)
+// decodeBody decodes a JSON request body under the size cap (-max-body)
+// so one oversized POST cannot buffer the daemon into the ground;
+// decode failures past the cap surface as ordinary 400s.
+func (s *server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	return json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxBody)).Decode(v)
 }
 
 // errorJSON is every error response's body.
@@ -81,6 +146,28 @@ func solveStatus(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// handleHealthz answers GET /v1/healthz: a cheap liveness probe that
+// touches no dataset (so it stays green while tenants page in and out).
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	infos := s.reg.List()
+	open := 0
+	for _, info := range infos {
+		if info.Open {
+			open++
+		}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status       string  `json:"status"`
+		Datasets     int     `json:"datasets"`
+		OpenDatasets int     `json:"open_datasets"`
+		UptimeMS     float64 `json:"uptime_ms"`
+	}{"ok", len(infos), open, float64(time.Since(s.start)) / float64(time.Millisecond)})
 }
 
 // queryJSON is the wire form of one TopRR query: rank threshold k and
@@ -194,19 +281,19 @@ func resultToJSON(res *toprr.Result) resultJSON {
 	return out
 }
 
-// handleSolve answers POST /v1/solve: one query against the generation
+// handleSolve answers POST .../solve: one query against the generation
 // current at arrival.
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request, eng *toprr.Engine) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
 	var qj queryJSON
-	if err := decodeBody(w, r, &qj); err != nil {
+	if err := s.decodeBody(w, r, &qj); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
-	snap := s.engine.Snapshot()
+	snap := eng.Snapshot()
 	q, err := buildQuery(snap, qj)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -214,7 +301,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	res, err := s.engine.SolveAt(ctx, snap, q)
+	res, err := eng.SolveAt(ctx, snap, q)
 	if err != nil {
 		writeErr(w, solveStatus(err), err)
 		return
@@ -225,9 +312,9 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}{uint64(snap.Gen), resultToJSON(res)})
 }
 
-// handleBatch answers POST /v1/batch: every query of the batch runs
+// handleBatch answers POST .../batch: every query of the batch runs
 // against one pinned generation.
-func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request, eng *toprr.Engine) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
@@ -235,11 +322,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Queries []queryJSON `json:"queries"`
 	}
-	if err := decodeBody(w, r, &req); err != nil {
+	if err := s.decodeBody(w, r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 		return
 	}
-	snap := s.engine.Snapshot()
+	snap := eng.Snapshot()
 	qs := make([]toprr.Query, len(req.Queries))
 	for i, qj := range req.Queries {
 		q, err := buildQuery(snap, qj)
@@ -251,7 +338,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	results, err := s.engine.SolveBatchAt(ctx, snap, qs)
+	results, err := eng.SolveBatchAt(ctx, snap, qs)
 	if err != nil {
 		writeErr(w, solveStatus(err), err)
 		return
@@ -298,13 +385,13 @@ type appliedOpJSON struct {
 
 // handleOps mutates the dataset (POST) or reads the applied-ops log
 // (GET ?since=<seq>).
-func (s *server) handleOps(w http.ResponseWriter, r *http.Request) {
+func (s *server) handleOps(w http.ResponseWriter, r *http.Request, eng *toprr.Engine) {
 	switch r.Method {
 	case http.MethodPost:
 		var req struct {
 			Ops []opJSON `json:"ops"`
 		}
-		if err := decodeBody(w, r, &req); err != nil {
+		if err := s.decodeBody(w, r, &req); err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
 			return
 		}
@@ -323,7 +410,7 @@ func (s *server) handleOps(w http.ResponseWriter, r *http.Request) {
 		}
 		ctx, cancel := s.requestCtx(r)
 		defer cancel()
-		gen, err := s.engine.Apply(ctx, ops)
+		gen, err := eng.Apply(ctx, ops)
 		if err != nil {
 			// Validation failures reject the whole batch atomically with
 			// 400. Server-side faults are not the batch's fault: a
@@ -355,7 +442,7 @@ func (s *server) handleOps(w http.ResponseWriter, r *http.Request) {
 			}
 			since = n
 		}
-		log := s.engine.Log(since)
+		log := eng.Log(since)
 		out := make([]appliedOpJSON, len(log))
 		for i, e := range log {
 			out[i] = appliedOpJSON{
@@ -370,24 +457,269 @@ func (s *server) handleOps(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Generation uint64          `json:"generation"`
 			Ops        []appliedOpJSON `json:"ops"`
-		}{uint64(s.engine.Generation()), out})
+		}{uint64(eng.Generation()), out})
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST or GET"))
 	}
 }
 
-// handleStats answers GET /v1/stats: dataset shape, generation, shared
-// cache occupancy, snapshot GC counters, durable-layer state and
-// process-wide work counters.
+// createJSON is the wire form of POST /v1/datasets: a name plus either
+// explicit points or a synthetic-distribution spec.
+type createJSON struct {
+	Name   string      `json:"name"`
+	Points [][]float64 `json:"points,omitempty"`
+	Dist   string      `json:"dist,omitempty"`
+	N      int         `json:"n,omitempty"`
+	D      int         `json:"d,omitempty"`
+	Seed   int64       `json:"seed,omitempty"`
+}
+
+// Bounds on synthetic datasets created over the wire, so one POST
+// cannot allocate the daemon into the ground.
+const (
+	maxCreateN = 1 << 20
+	maxCreateD = 10
+)
+
+// bootstrapPoints materializes a create request's dataset.
+func bootstrapPoints(req createJSON) ([]vec.Vector, error) {
+	if len(req.Points) > 0 {
+		if req.Dist != "" || req.N != 0 || req.D != 0 || req.Seed != 0 {
+			return nil, fmt.Errorf("give either points or a dist spec (dist/n/d/seed), not both")
+		}
+		pts := make([]vec.Vector, len(req.Points))
+		for i, p := range req.Points {
+			pts[i] = vec.Vector(p)
+		}
+		// Validate here, where a bad dataset is still provably the
+		// caller's fault (400); past this point a Create failure is the
+		// server's (500).
+		if err := toprr.CheckDataset(pts); err != nil {
+			return nil, err
+		}
+		return pts, nil
+	}
+	if req.Dist == "" {
+		return nil, fmt.Errorf("dataset needs points or a dist spec ({\"dist\":\"IND\",\"n\":1000,\"d\":3})")
+	}
+	dd, err := dataset.ParseDistribution(req.Dist)
+	if err != nil {
+		return nil, err
+	}
+	if req.N <= 0 || req.N > maxCreateN {
+		return nil, fmt.Errorf("n=%d out of range (0, %d]", req.N, maxCreateN)
+	}
+	if req.D < 2 || req.D > maxCreateD {
+		return nil, fmt.Errorf("d=%d out of range [2, %d]", req.D, maxCreateD)
+	}
+	return dataset.Generate(dd, req.N, req.D, req.Seed).Pts, nil
+}
+
+// handleDatasets lists (GET) or creates (POST) datasets.
+func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		infos := s.reg.List()
+		type infoJSON struct {
+			Name string `json:"name"`
+			Open bool   `json:"open"`
+		}
+		out := make([]infoJSON, len(infos))
+		for i, info := range infos {
+			out[i] = infoJSON{Name: info.Name, Open: info.Open}
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Datasets []infoJSON `json:"datasets"`
+		}{out})
+	case http.MethodPost:
+		var req createJSON
+		if err := s.decodeBody(w, r, &req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+			return
+		}
+		if err := toprr.ValidateDatasetName(req.Name); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		pts, err := bootstrapPoints(req)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		eng, err := s.reg.Create(req.Name, pts)
+		if err != nil {
+			// The name and dataset validated above, so what remains is a
+			// name conflict, a closing registry, or a server-side fault
+			// (disk I/O on a durable registry) — never the request's.
+			code := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, toprr.ErrDatasetExists):
+				code = http.StatusConflict
+			case errors.Is(err, toprr.ErrRegistryClosed):
+				code = http.StatusServiceUnavailable
+			}
+			writeErr(w, code, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, struct {
+			Name       string `json:"name"`
+			Generation uint64 `json:"generation"`
+			Options    int    `json:"options"`
+			Dim        int    `json:"dim"`
+		}{req.Name, uint64(eng.Generation()), eng.Len(), eng.Dim()})
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
+	}
+}
+
+// handleDatasetDelete answers DELETE /v1/datasets/{name}.
+func (s *server) handleDatasetDelete(w http.ResponseWriter, r *http.Request, name string) {
+	if r.Method != http.MethodDelete {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use DELETE"))
+		return
+	}
+	if err := s.reg.Drop(name); err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, toprr.ErrUnknownDataset):
+			code = http.StatusNotFound
+		case errors.Is(err, toprr.ErrRegistryClosed):
+			code = http.StatusServiceUnavailable
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Dropped string `json:"dropped"`
+	}{name})
+}
+
+// datasetStatsJSON is one dataset's stats block: generation, shape,
+// cache occupancy, snapshot GC counters and durable-layer state. For an
+// evicted dataset (open=false) only name and open are meaningful —
+// stats never page a tenant back in.
+type datasetStatsJSON struct {
+	Name           string `json:"name"`
+	Open           bool   `json:"open"`
+	Generation     uint64 `json:"generation"`
+	Options        int    `json:"options"`
+	Dim            int    `json:"dim"`
+	Hyperplanes    int    `json:"cache_hyperplanes"`
+	TopKConfigs    int    `json:"cache_topk_configs"`
+	TopKHits       int    `json:"cache_topk_hits"`
+	TopKMisses     int    `json:"cache_topk_misses"`
+	Evictions      int    `json:"cache_evictions"`
+	MaxConfigs     int    `json:"cache_max_configs,omitempty"`
+	LiveGens       int    `json:"live_generations"`
+	RetainedBytes  int64  `json:"retained_snapshot_bytes"`
+	Persistent     bool   `json:"persistent"`
+	WALBytes       int64  `json:"wal_bytes"`
+	WALSegments    int    `json:"wal_segments"`
+	LastCompaction uint64 `json:"last_compaction_generation"`
+	CompactError   string `json:"wal_compact_error,omitempty"`
+	CloseError     string `json:"close_error,omitempty"` // last idle-eviction close failure
+}
+
+func datasetStatsToJSON(ds toprr.DatasetStats) datasetStatsJSON {
+	closeErr := ""
+	if ds.CloseErr != nil {
+		closeErr = ds.CloseErr.Error()
+	}
+	return datasetStatsJSON{
+		Name:           ds.Name,
+		Open:           ds.Open,
+		Generation:     uint64(ds.Cache.Generation),
+		Options:        ds.Options,
+		Dim:            ds.Dim,
+		Hyperplanes:    ds.Cache.Hyperplanes,
+		TopKConfigs:    ds.Cache.TopKConfigs,
+		TopKHits:       ds.Cache.TopKHits,
+		TopKMisses:     ds.Cache.TopKMisses,
+		Evictions:      ds.Cache.Evictions,
+		MaxConfigs:     ds.MaxConfigs,
+		LiveGens:       ds.Cache.LiveGenerations,
+		RetainedBytes:  ds.Cache.RetainedSnapshotBytes,
+		Persistent:     ds.Persist.Persistent,
+		WALBytes:       ds.Persist.WALBytes,
+		WALSegments:    ds.Persist.WALSegments,
+		LastCompaction: uint64(ds.Persist.LastCompaction),
+		CompactError:   ds.Persist.CompactError,
+		CloseError:     closeErr,
+	}
+}
+
+// engineStats converts one resident engine's counters into the
+// per-dataset stats block (used by the per-dataset stats route, where
+// the engine is already acquired).
+func engineStats(name string, eng *toprr.Engine) datasetStatsJSON {
+	return datasetStatsToJSON(toprr.EngineDatasetStats(name, eng))
+}
+
+// handleDatasetStats answers GET /v1/datasets/{name}/stats for one
+// tenant (acquiring it — unlike the aggregate route — so it reports a
+// live engine even if it was evicted).
+func (s *server) handleDatasetStats(w http.ResponseWriter, r *http.Request, name string, eng *toprr.Engine) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, engineStats(name, eng))
+}
+
+// statsTotals aggregates the open tenants.
+type statsTotals struct {
+	Datasets      int   `json:"datasets"`
+	OpenDatasets  int   `json:"open_datasets"`
+	Options       int   `json:"options"`
+	Hyperplanes   int   `json:"cache_hyperplanes"`
+	TopKConfigs   int   `json:"cache_topk_configs"`
+	TopKHits      int   `json:"cache_topk_hits"`
+	TopKMisses    int   `json:"cache_topk_misses"`
+	Evictions     int   `json:"cache_evictions"`
+	LiveGens      int   `json:"live_generations"`
+	RetainedBytes int64 `json:"retained_snapshot_bytes"`
+	WALBytes      int64 `json:"wal_bytes"`
+	WALSegments   int   `json:"wal_segments"`
+}
+
+// handleStats answers GET /v1/stats: per-dataset breakdowns, totals
+// across tenants, and process-wide work counters. For compatibility
+// with pre-tenancy clients, the "default" dataset's fields (when it is
+// resident) are mirrored at the top level, exactly as the
+// single-dataset daemon reported them.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	cs := s.engine.CacheStats()
-	ps := s.engine.PersistStats()
+	all := s.reg.Stats()
+	perDS := make([]datasetStatsJSON, len(all))
+	var totals statsTotals
+	var legacy datasetStatsJSON
+	totals.Datasets = len(all)
+	for i, ds := range all {
+		perDS[i] = datasetStatsToJSON(ds)
+		if !ds.Open {
+			continue
+		}
+		totals.OpenDatasets++
+		totals.Options += perDS[i].Options
+		totals.Hyperplanes += perDS[i].Hyperplanes
+		totals.TopKConfigs += perDS[i].TopKConfigs
+		totals.TopKHits += perDS[i].TopKHits
+		totals.TopKMisses += perDS[i].TopKMisses
+		totals.Evictions += perDS[i].Evictions
+		totals.LiveGens += perDS[i].LiveGens
+		totals.RetainedBytes += perDS[i].RetainedBytes
+		totals.WALBytes += perDS[i].WALBytes
+		totals.WALSegments += perDS[i].WALSegments
+		if ds.Name == defaultDataset {
+			legacy = perDS[i]
+		}
+	}
 	ctr := toprr.ReadCounters()
 	writeJSON(w, http.StatusOK, struct {
+		// Legacy top-level mirror of the default dataset.
 		Generation     uint64  `json:"generation"`
 		Options        int     `json:"options"`
 		Dim            int     `json:"dim"`
@@ -404,26 +736,32 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		WALSegments    int     `json:"wal_segments"`
 		LastCompaction uint64  `json:"last_compaction_generation"`
 		CompactError   string  `json:"wal_compact_error,omitempty"`
-		Regions        int64   `json:"regions_processed"`
-		LPSolves       int64   `json:"lp_solves"`
-		QPSolves       int64   `json:"qp_solves"`
+		// Tenancy view.
+		Datasets []datasetStatsJSON `json:"datasets"`
+		Totals   statsTotals        `json:"totals"`
+		// Process-wide work counters.
+		Regions  int64 `json:"regions_processed"`
+		LPSolves int64 `json:"lp_solves"`
+		QPSolves int64 `json:"qp_solves"`
 	}{
-		Generation:     uint64(cs.Generation),
-		Options:        s.engine.Len(),
-		Dim:            s.engine.Dim(),
+		Generation:     legacy.Generation,
+		Options:        legacy.Options,
+		Dim:            legacy.Dim,
 		UptimeMS:       float64(time.Since(s.start)) / float64(time.Millisecond),
-		Hyperplanes:    cs.Hyperplanes,
-		TopKConfigs:    cs.TopKConfigs,
-		TopKHits:       cs.TopKHits,
-		TopKMisses:     cs.TopKMisses,
-		Evictions:      cs.Evictions,
-		LiveGens:       cs.LiveGenerations,
-		RetainedBytes:  cs.RetainedSnapshotBytes,
-		Persistent:     ps.Persistent,
-		WALBytes:       ps.WALBytes,
-		WALSegments:    ps.WALSegments,
-		LastCompaction: uint64(ps.LastCompaction),
-		CompactError:   ps.CompactError,
+		Hyperplanes:    legacy.Hyperplanes,
+		TopKConfigs:    legacy.TopKConfigs,
+		TopKHits:       legacy.TopKHits,
+		TopKMisses:     legacy.TopKMisses,
+		Evictions:      legacy.Evictions,
+		LiveGens:       legacy.LiveGens,
+		RetainedBytes:  legacy.RetainedBytes,
+		Persistent:     legacy.Persistent,
+		WALBytes:       legacy.WALBytes,
+		WALSegments:    legacy.WALSegments,
+		LastCompaction: legacy.LastCompaction,
+		CompactError:   legacy.CompactError,
+		Datasets:       perDS,
+		Totals:         totals,
 		Regions:        ctr.RegionsProcessed,
 		LPSolves:       ctr.LPSolves,
 		QPSolves:       ctr.QPSolves,

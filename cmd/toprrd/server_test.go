@@ -16,15 +16,41 @@ import (
 	"toprr/pkg/toprr"
 )
 
-// testEngine builds a deterministic engine over n random options in
-// [0,1]^3 (preference space is 2-dimensional).
-func testEngine(n int) *toprr.Engine {
+// testPts builds n deterministic random options in [0,1]^3 (preference
+// space is 2-dimensional).
+func testPts(n int) []vec.Vector {
 	rng := rand.New(rand.NewSource(7))
 	pts := make([]vec.Vector, n)
 	for i := range pts {
 		pts[i] = vec.Of(rng.Float64(), rng.Float64(), rng.Float64())
 	}
-	return toprr.NewEngine(pts)
+	return pts
+}
+
+// testRegistry builds a memory-only registry whose default dataset
+// holds n random options, so the legacy /v1/* aliases have a tenant to
+// hit. Cleanup closes it.
+func testRegistry(t *testing.T, n int) (*toprr.Registry, *toprr.Engine) {
+	t.Helper()
+	reg, err := toprr.NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	engine, err := reg.Create("default", testPts(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg, engine
+}
+
+// testServer is an httptest server over a fresh default-only registry.
+func testServer(t *testing.T, n int, timeout time.Duration) (*httptest.Server, *toprr.Engine) {
+	t.Helper()
+	reg, engine := testRegistry(t, n)
+	ts := httptest.NewServer(newServer(reg, timeout, 32<<20))
+	t.Cleanup(ts.Close)
+	return ts, engine
 }
 
 func postJSON(t *testing.T, url string, body any) *http.Response {
@@ -51,8 +77,7 @@ func decodeJSON(t *testing.T, resp *http.Response, v any) {
 // TestSolveEndpoint: /v1/solve answers one query with the exact
 // H-representation of oR and names the generation it ran against.
 func TestSolveEndpoint(t *testing.T) {
-	ts := httptest.NewServer(newServer(testEngine(80), time.Minute))
-	defer ts.Close()
+	ts, _ := testServer(t, 80, time.Minute)
 
 	resp := postJSON(t, ts.URL+"/v1/solve", queryJSON{K: 3, Lo: []float64{0.2, 0.2}, Hi: []float64{0.3, 0.3}})
 	if resp.StatusCode != http.StatusOK {
@@ -77,8 +102,7 @@ func TestSolveEndpoint(t *testing.T) {
 // TestBatchEndpoint: /v1/batch answers every query against one pinned
 // generation.
 func TestBatchEndpoint(t *testing.T) {
-	ts := httptest.NewServer(newServer(testEngine(80), time.Minute))
-	defer ts.Close()
+	ts, _ := testServer(t, 80, time.Minute)
 
 	resp := postJSON(t, ts.URL+"/v1/batch", map[string]any{
 		"queries": []queryJSON{
@@ -107,9 +131,7 @@ func TestBatchEndpoint(t *testing.T) {
 // TestOpsRoundtrip: mutations publish new generations, show up in the
 // op log, and subsequent solves run against the mutated dataset.
 func TestOpsRoundtrip(t *testing.T) {
-	engine := testEngine(60)
-	ts := httptest.NewServer(newServer(engine, time.Minute))
-	defer ts.Close()
+	ts, engine := testServer(t, 60, time.Minute)
 
 	// Insert, then upgrade the inserted option, then withdraw option 0.
 	resp := postJSON(t, ts.URL+"/v1/ops", map[string]any{
@@ -183,9 +205,7 @@ func TestOpsRoundtrip(t *testing.T) {
 // TestOpsRejectsBadBatches: invalid mutations reject atomically with
 // 400 and do not move the generation.
 func TestOpsRejectsBadBatches(t *testing.T) {
-	engine := testEngine(30)
-	ts := httptest.NewServer(newServer(engine, time.Minute))
-	defer ts.Close()
+	ts, engine := testServer(t, 30, time.Minute)
 
 	cases := []map[string]any{
 		{"ops": []opJSON{}},
@@ -208,8 +228,7 @@ func TestOpsRejectsBadBatches(t *testing.T) {
 // TestRequestDeadline: the per-request deadline aborts long solves with
 // 504.
 func TestRequestDeadline(t *testing.T) {
-	ts := httptest.NewServer(newServer(testEngine(400), time.Nanosecond))
-	defer ts.Close()
+	ts, _ := testServer(t, 400, time.Nanosecond)
 
 	resp := postJSON(t, ts.URL+"/v1/solve", queryJSON{K: 5, Lo: []float64{0.1, 0.1}, Hi: []float64{0.5, 0.5}})
 	resp.Body.Close()
@@ -220,8 +239,7 @@ func TestRequestDeadline(t *testing.T) {
 
 // TestBadRequests: wrong methods and malformed bodies map to 405/400.
 func TestBadRequests(t *testing.T) {
-	ts := httptest.NewServer(newServer(testEngine(30), time.Minute))
-	defer ts.Close()
+	ts, _ := testServer(t, 30, time.Minute)
 
 	resp, err := http.Get(ts.URL + "/v1/solve")
 	if err != nil {
@@ -261,7 +279,8 @@ func TestGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := &http.Server{Handler: newServer(testEngine(30), time.Minute)}
+	reg, _ := testRegistry(t, 30)
+	srv := &http.Server{Handler: newServer(reg, time.Minute, 32<<20)}
 	ctx, cancel := context.WithCancel(context.Background())
 
 	done := make(chan error, 1)

@@ -162,6 +162,15 @@ func New(pts []vec.Vector) (*Store, error) {
 	return s, nil
 }
 
+// CheckDataset validates an initial dataset — non-empty, consistent
+// dimensions, every component finite and in [0,1] — without adopting
+// it, so a front end can reject a bad bootstrap as the caller's error
+// before any store I/O starts.
+func CheckDataset(pts []vec.Vector) error {
+	_, err := checkDataset(pts)
+	return err
+}
+
 // checkDataset validates an initial dataset and returns a private copy
 // of the slice.
 func checkDataset(pts []vec.Vector) ([]vec.Vector, error) {

@@ -36,12 +36,14 @@ type Engine struct {
 	store        *store.Store
 	defaults     Options
 	batchWorkers int
-	maxConfigs   int
-	maxEntries   int
 	persist      store.PersistConfig // zero Dir = in-memory engine
 	hyperplanes  *core.HyperplaneCache
 	caches       *topk.Registry
 	applyMu      sync.Mutex // serializes Apply's store-mutation + cache-advance pair
+
+	limitsMu   sync.Mutex // guards the cache-limit pair below
+	maxConfigs int
+	maxEntries int
 }
 
 // EngineOption configures a new Engine.
@@ -132,6 +134,36 @@ func OpenEngine(pts []vec.Vector, opts ...EngineOption) (*Engine, error) {
 	e.caches = topk.NewRegistry(snap.Scorer)
 	e.caches.SetLimits(e.maxConfigs, e.maxEntries)
 	return e, nil
+}
+
+// SetCacheLimits adjusts the cache limits of a live engine, with the
+// same semantics as WithCacheLimits (zero keeps the current value for
+// that limit). A Registry uses it to re-apportion a process-wide cache
+// budget as tenants come and go. Lowering a limit is a soft bound: it
+// applies to configurations interned from now on; already-interned
+// caches drain through generation advances rather than being evicted
+// mid-solve.
+func (e *Engine) SetCacheLimits(maxConfigs, maxEntriesPerConfig int) {
+	e.limitsMu.Lock()
+	defer e.limitsMu.Unlock()
+	if maxConfigs > 0 {
+		e.maxConfigs = maxConfigs
+	}
+	if maxEntriesPerConfig > 0 {
+		e.maxEntries = maxEntriesPerConfig
+	}
+	// Inside the critical section, so concurrent calls apply the caps in
+	// the same order they update the reported fields — CacheLimits never
+	// disagrees with what the registry enforces.
+	e.caches.SetLimits(maxConfigs, maxEntriesPerConfig)
+}
+
+// CacheLimits reports the engine's configured cache limits (zero means
+// the built-in default for that limit is in effect).
+func (e *Engine) CacheLimits() (maxConfigs, maxEntriesPerConfig int) {
+	e.limitsMu.Lock()
+	defer e.limitsMu.Unlock()
+	return e.maxConfigs, e.maxEntries
 }
 
 // Close releases the engine's durable resources: the WAL is synced and

@@ -95,6 +95,26 @@ func ParseSyncMode(s string) (SyncMode, error) { return store.ParseSyncMode(s) }
 // simply empty state.
 func HasPersistentState(dir string) (bool, error) { return store.HasState(dir) }
 
+// ValidateDatasetName reports whether name is usable as a Registry
+// dataset name (1-64 characters of [a-zA-Z0-9._-], starting with a
+// letter or digit — a safe path component).
+func ValidateDatasetName(name string) error { return store.ValidateDatasetName(name) }
+
+// CheckDataset validates a bootstrap dataset — non-empty, consistent
+// dimensions, components finite and in [0,1] — without building
+// anything, so a front end can separate a caller's bad dataset (reject
+// the request) from a server-side failure to store a good one.
+func CheckDataset(pts []vec.Vector) error { return store.CheckDataset(pts) }
+
+// MigrateLegacyLayout upgrades a pre-tenancy data directory (WAL and
+// snapshots directly under root, as a single-dataset engine wrote them)
+// into the registry layout by moving its files into <root>/<name>/. It
+// reports whether a migration happened; a root already in registry
+// layout is left untouched.
+func MigrateLegacyLayout(root, name string) (bool, error) {
+	return store.MigrateLegacyLayout(root, name)
+}
+
 // ErrClosed is returned by Engine.Apply after Engine.Close.
 var ErrClosed = store.ErrClosed
 
