@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -149,7 +150,9 @@ func solveStatus(err error) int {
 }
 
 // handleHealthz answers GET /v1/healthz: a cheap liveness probe that
-// touches no dataset (so it stays green while tenants page in and out).
+// touches no dataset (so it stays green while tenants page in and out)
+// and reports build info — daemon version and Go toolchain — so a fleet
+// operator can spot version skew from the probe alone.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
@@ -164,10 +167,12 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Status       string  `json:"status"`
+		Version      string  `json:"version"`
+		GoVersion    string  `json:"go_version"`
 		Datasets     int     `json:"datasets"`
 		OpenDatasets int     `json:"open_datasets"`
 		UptimeMS     float64 `json:"uptime_ms"`
-	}{"ok", len(infos), open, float64(time.Since(s.start)) / float64(time.Millisecond)})
+	}{"ok", version, runtime.Version(), len(infos), open, float64(time.Since(s.start)) / float64(time.Millisecond)})
 }
 
 // queryJSON is the wire form of one TopRR query: rank threshold k and
@@ -464,7 +469,8 @@ func (s *server) handleOps(w http.ResponseWriter, r *http.Request, eng *toprr.En
 }
 
 // createJSON is the wire form of POST /v1/datasets: a name plus either
-// explicit points or a synthetic-distribution spec.
+// explicit points or a synthetic-distribution spec, optionally with a
+// solve-plane shard count (0 = the daemon's -shards default).
 type createJSON struct {
 	Name   string      `json:"name"`
 	Points [][]float64 `json:"points,omitempty"`
@@ -472,6 +478,7 @@ type createJSON struct {
 	N      int         `json:"n,omitempty"`
 	D      int         `json:"d,omitempty"`
 	Seed   int64       `json:"seed,omitempty"`
+	Shards int         `json:"shards,omitempty"`
 }
 
 // Bounds on synthetic datasets created over the wire, so one POST
@@ -541,12 +548,16 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		if req.Shards < 0 || req.Shards > toprr.MaxShards {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("shards=%d out of range [0, %d]", req.Shards, toprr.MaxShards))
+			return
+		}
 		pts, err := bootstrapPoints(req)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
-		eng, err := s.reg.Create(req.Name, pts)
+		eng, err := s.reg.CreateWithShards(req.Name, pts, req.Shards)
 		if err != nil {
 			// The name and dataset validated above, so what remains is a
 			// name conflict, a closing registry, or a server-side fault
@@ -561,12 +572,14 @@ func (s *server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, code, err)
 			return
 		}
+		w.Header().Set("Location", datasetsPrefix+"/"+req.Name)
 		writeJSON(w, http.StatusCreated, struct {
 			Name       string `json:"name"`
 			Generation uint64 `json:"generation"`
 			Options    int    `json:"options"`
 			Dim        int    `json:"dim"`
-		}{req.Name, uint64(eng.Generation()), eng.Len(), eng.Dim()})
+			Shards     int    `json:"shards"`
+		}{req.Name, uint64(eng.Generation()), eng.Len(), eng.Dim(), eng.Shards()})
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET or POST"))
 	}
@@ -599,31 +612,53 @@ func (s *server) handleDatasetDelete(w http.ResponseWriter, r *http.Request, nam
 // evicted dataset (open=false) only name and open are meaningful —
 // stats never page a tenant back in.
 type datasetStatsJSON struct {
-	Name           string `json:"name"`
-	Open           bool   `json:"open"`
-	Generation     uint64 `json:"generation"`
-	Options        int    `json:"options"`
-	Dim            int    `json:"dim"`
-	Hyperplanes    int    `json:"cache_hyperplanes"`
-	TopKConfigs    int    `json:"cache_topk_configs"`
-	TopKHits       int    `json:"cache_topk_hits"`
-	TopKMisses     int    `json:"cache_topk_misses"`
-	Evictions      int    `json:"cache_evictions"`
-	MaxConfigs     int    `json:"cache_max_configs,omitempty"`
-	LiveGens       int    `json:"live_generations"`
-	RetainedBytes  int64  `json:"retained_snapshot_bytes"`
-	Persistent     bool   `json:"persistent"`
-	WALBytes       int64  `json:"wal_bytes"`
-	WALSegments    int    `json:"wal_segments"`
-	LastCompaction uint64 `json:"last_compaction_generation"`
-	CompactError   string `json:"wal_compact_error,omitempty"`
-	CloseError     string `json:"close_error,omitempty"` // last idle-eviction close failure
+	Name           string          `json:"name"`
+	Open           bool            `json:"open"`
+	Generation     uint64          `json:"generation"`
+	Options        int             `json:"options"`
+	Dim            int             `json:"dim"`
+	Hyperplanes    int             `json:"cache_hyperplanes"`
+	TopKConfigs    int             `json:"cache_topk_configs"`
+	TopKHits       int             `json:"cache_topk_hits"`
+	TopKMisses     int             `json:"cache_topk_misses"`
+	Evictions      int             `json:"cache_evictions"`
+	MaxConfigs     int             `json:"cache_max_configs,omitempty"`
+	LiveGens       int             `json:"live_generations"`
+	RetainedBytes  int64           `json:"retained_snapshot_bytes"`
+	Shards         int             `json:"shards,omitempty"`
+	ShardStats     []shardStatJSON `json:"shard_stats,omitempty"`
+	Persistent     bool            `json:"persistent"`
+	WALBytes       int64           `json:"wal_bytes"`
+	WALSegments    int             `json:"wal_segments"`
+	WALSyncs       int64           `json:"wal_syncs,omitempty"`
+	LastCompaction uint64          `json:"last_compaction_generation"`
+	CompactError   string          `json:"wal_compact_error,omitempty"`
+	CloseError     string          `json:"close_error,omitempty"` // last idle-eviction close failure
+}
+
+// shardStatJSON is one shard's slice of a dataset's solve-plane caches.
+type shardStatJSON struct {
+	Shard       int `json:"shard"`
+	TopKEntries int `json:"topk_entries"`
+	TopKHits    int `json:"topk_hits"`
+	TopKMisses  int `json:"topk_misses"`
+	Hyperplanes int `json:"hyperplanes"`
 }
 
 func datasetStatsToJSON(ds toprr.DatasetStats) datasetStatsJSON {
 	closeErr := ""
 	if ds.CloseErr != nil {
 		closeErr = ds.CloseErr.Error()
+	}
+	var shardStats []shardStatJSON
+	for _, ss := range ds.Cache.ShardStats {
+		shardStats = append(shardStats, shardStatJSON{
+			Shard:       ss.Shard,
+			TopKEntries: ss.TopKEntries,
+			TopKHits:    ss.TopKHits,
+			TopKMisses:  ss.TopKMisses,
+			Hyperplanes: ss.Hyperplanes,
+		})
 	}
 	return datasetStatsJSON{
 		Name:           ds.Name,
@@ -639,9 +674,12 @@ func datasetStatsToJSON(ds toprr.DatasetStats) datasetStatsJSON {
 		MaxConfigs:     ds.MaxConfigs,
 		LiveGens:       ds.Cache.LiveGenerations,
 		RetainedBytes:  ds.Cache.RetainedSnapshotBytes,
+		Shards:         ds.Cache.Shards,
+		ShardStats:     shardStats,
 		Persistent:     ds.Persist.Persistent,
 		WALBytes:       ds.Persist.WALBytes,
 		WALSegments:    ds.Persist.WALSegments,
+		WALSyncs:       ds.Persist.WALSyncs,
 		LastCompaction: uint64(ds.Persist.LastCompaction),
 		CompactError:   ds.Persist.CompactError,
 		CloseError:     closeErr,

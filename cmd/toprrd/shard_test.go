@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestHealthzBuildInfo: the liveness probe reports build info so fleet
+// operators can spot version skew from the probe alone.
+func TestHealthzBuildInfo(t *testing.T) {
+	ts, _ := testServer(t, 50, time.Minute)
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Status    string `json:"status"`
+		Version   string `json:"version"`
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "ok" {
+		t.Errorf("status = %q", out.Status)
+	}
+	if out.Version == "" {
+		t.Error("healthz reports no version")
+	}
+	if !strings.HasPrefix(out.GoVersion, "go") {
+		t.Errorf("go_version = %q, want a Go toolchain version", out.GoVersion)
+	}
+}
+
+// TestCreateDatasetLocationAndShards: POST /v1/datasets answers 201
+// with a Location header for the new resource, honors the per-dataset
+// shard count, and rejects out-of-range counts.
+func TestCreateDatasetLocationAndShards(t *testing.T) {
+	ts, _ := testServer(t, 50, time.Minute)
+
+	resp := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name": "tenant-a", "dist": "IND", "n": 1000, "d": 3, "shards": 4,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d, want 201", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/datasets/tenant-a" {
+		t.Errorf("Location = %q, want /v1/datasets/tenant-a", loc)
+	}
+	var created struct {
+		Name   string `json:"name"`
+		Shards int    `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	if created.Shards != 4 {
+		t.Errorf("created shards = %d, want 4", created.Shards)
+	}
+
+	bad := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name": "tenant-b", "dist": "IND", "n": 1000, "d": 3, "shards": 1000,
+	})
+	defer bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized shards status = %d, want 400", bad.StatusCode)
+	}
+}
+
+// TestStatsShardBreakdown: after a solve on a sharded dataset, the
+// per-dataset stats carry the shard count and a per-shard cache
+// breakdown.
+func TestStatsShardBreakdown(t *testing.T) {
+	ts, _ := testServer(t, 50, time.Minute)
+
+	create := postJSON(t, ts.URL+"/v1/datasets", map[string]any{
+		"name": "sharded", "dist": "IND", "n": 2000, "d": 3, "shards": 3,
+	})
+	create.Body.Close()
+	if create.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", create.StatusCode)
+	}
+
+	solve := postJSON(t, ts.URL+"/v1/datasets/sharded/solve", map[string]any{
+		"k": 5, "lo": []float64{0.3, 0.3}, "hi": []float64{0.35, 0.35},
+	})
+	solve.Body.Close()
+	if solve.StatusCode != http.StatusOK {
+		t.Fatalf("solve status = %d", solve.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/datasets/sharded/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Shards     int `json:"shards"`
+		ShardStats []struct {
+			Shard       int `json:"shard"`
+			TopKEntries int `json:"topk_entries"`
+		} `json:"shard_stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards != 3 {
+		t.Errorf("stats shards = %d, want 3", stats.Shards)
+	}
+	if len(stats.ShardStats) != 3 {
+		t.Fatalf("shard_stats has %d entries, want 3", len(stats.ShardStats))
+	}
+	entries := 0
+	for _, ss := range stats.ShardStats {
+		entries += ss.TopKEntries
+	}
+	if entries == 0 {
+		t.Error("per-shard breakdown reports no memoized state after a solve")
+	}
+}

@@ -59,6 +59,7 @@ func All() []Experiment {
 		{"fig12", "Lemma 5 pruning power (|D'|)", Fig12},
 		{"fig13", "Lemma 7 effect on |Vall|", Fig13},
 		{"fig14", "k-switch effect on |Vall|", Fig14},
+		{"shards", "Sharded solve plane scaling (S=1/2/4/8)", ShardScaling},
 	}
 }
 

@@ -1,0 +1,72 @@
+package bench
+
+// The shard-scaling experiment: the same query set solved on engines
+// with S = 1, 2, 4 and 8 solve-plane shards, cold caches per engine, so
+// BENCH_shards.json records the wall-clock trajectory of the sharded
+// solve plane across commits.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"toprr/internal/dataset"
+	"toprr/pkg/toprr"
+)
+
+// ShardGrid is the shard counts the scaling experiment sweeps.
+var ShardGrid = []int{1, 2, 4, 8}
+
+// shardBenchK and shardBenchSigma pick a partition-heavy workload — a
+// wide preference region and a deep rank threshold — so the measured
+// phase is the one the shards parallelize (the recursion over per-shard
+// caches), not the sequential prefilter sweep.
+const (
+	shardBenchK     = 20
+	shardBenchSigma = 0.05
+)
+
+// ShardScaling measures mean solve time per shard count over one
+// dataset and query set. Results are exact at every S (the property
+// suite enforces it); the table records what the parallel fan-out buys
+// — the speedup column needs a multi-core runner to move, since S
+// shards solve with S workers on the channel scheduler.
+func ShardScaling(s Scale) []*Table {
+	ds := s.data(dataset.Independent, DefaultN, DefaultD)
+	regions := s.Regions(DefaultD-1, shardBenchSigma, 1, 4242)
+	t := &Table{
+		ID:      "Shards",
+		Caption: fmt.Sprintf("sharded solve plane, IND n=%s d=%d k=%d sigma=%.2f (cold caches per engine)", humanN(len(ds.Pts)), DefaultD, shardBenchK, shardBenchSigma),
+		Header:  []string{"shards", "mean time", "speedup vs S=1", "failed"},
+	}
+	ctx := context.Background()
+	var base time.Duration
+	for _, shards := range ShardGrid {
+		engine := toprr.NewEngine(ds.Pts, toprr.WithShards(shards))
+		opts := s.options(toprr.TASStar)
+		var total time.Duration
+		solved, failed := 0, 0
+		for _, wr := range regions {
+			start := time.Now()
+			if _, err := engine.Solve(ctx, toprr.Query{K: shardBenchK, WR: wr, Options: &opts}); err != nil {
+				failed++
+				continue
+			}
+			total += time.Since(start)
+			solved++
+		}
+		row := []string{fmt.Sprintf("%d", shards), "-", "-", fmt.Sprintf("%d/%d", failed, len(regions))}
+		if solved > 0 {
+			mean := total / time.Duration(solved)
+			row[1] = fmtDur(mean)
+			if shards == 1 {
+				base = mean
+			}
+			if base > 0 && mean > 0 {
+				row[2] = fmt.Sprintf("%.2fx", float64(base)/float64(mean))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return []*Table{t}
+}

@@ -51,6 +51,10 @@ func SolveContext(ctx context.Context, p Problem, o Options) (*Result, error) {
 		vall: make(map[string]ImpactVertex),
 	}
 	s.stats.InputOptions = p.Scorer.Len()
+	if o.Shards > 1 {
+		s.acc = topk.NewShardAccum(o.Shards)
+		s.stats.Shards = o.Shards
+	}
 
 	// Stage 1 — prefilter: discard options that can never rank among
 	// the top-k anywhere in wR.
@@ -95,8 +99,32 @@ func SolveContext(ctx context.Context, p Problem, o Options) (*Result, error) {
 	ao := asm.Assemble(p.Scorer, vall, o.ORVertexBudget)
 	s.stats.ImpactClips = ao.Clips
 	s.stats.VallSize = len(vall)
+	if o.Shards > 1 {
+		s.stats.ShardStats = s.shardStats(active, ao.ShardClips)
+	}
 	s.stats.Elapsed = time.Since(start)
 	return &Result{OR: ao.OR, ORConstraints: ao.Constraints, Vall: vall, Stats: s.stats, Problem: p}, nil
+}
+
+// shardStats assembles the per-shard work breakdown of a sharded solve:
+// shard populations of the filtered candidate set, the solve's partial
+// top-k computations (from the accumulator the sharded caches fill) and
+// the merge stage's per-chunk clips.
+func (s *solver) shardStats(active []int, mergeClips []int) []ShardStat {
+	out := make([]ShardStat, s.opt.Shards)
+	for i := range out {
+		out[i].Shard = i
+		out[i].Partials = int(s.acc.Partials[i].Load())
+		out[i].Scored = s.acc.Scored[i].Load()
+		if i < len(mergeClips) {
+			out[i].MergeClips = mergeClips[i]
+		}
+	}
+	for _, slot := range active {
+		sh := topk.ShardOfPoint(s.prob.Scorer.Point(slot), s.opt.Shards)
+		out[sh].Options++
+	}
+	return out
 }
 
 // solver carries the state of one Solve call. The mutex guards every
@@ -109,7 +137,8 @@ type solver struct {
 	rng         *rand.Rand
 	vall        map[string]ImpactVertex
 	stats       Stats
-	collectSets map[int]bool // non-nil when the UTK filter wants top-k set members
+	acc         *topk.ShardAccum // per-shard work attribution (sharded solves only)
+	collectSets map[int]bool     // non-nil when the UTK filter wants top-k set members
 	onAccept    func(region *geom.Polytope, cache *topk.Cache)
 }
 
@@ -136,10 +165,15 @@ type regionCtx struct {
 }
 
 // newCache builds a solve-local top-k cache honoring the
-// DisableTopKCache ablation.
+// DisableTopKCache ablation and the sharded evaluation plane: under
+// Options.Shards > 1 even the Lemma-5-derived configurations shard, so
+// the whole recursion runs on per-shard memos.
 func (s *solver) newCache(k int, active []int) *topk.Cache {
 	if s.opt.DisableTopKCache {
 		return topk.NewPassthroughCache(s.prob.Scorer, k, active)
+	}
+	if s.opt.Shards > 1 {
+		return topk.NewShardedCache(s.prob.Scorer, k, active, s.opt.Shards, 0, nil)
 	}
 	return topk.NewCache(s.prob.Scorer, k, active)
 }
@@ -161,15 +195,21 @@ func (s *solver) newCacheShared(k int, active []int) *topk.Cache {
 }
 
 // process tests one region and either accepts it (recording its vertices
-// in Vall) or splits it, returning the children to process.
-func (s *solver) process(rc regionCtx) ([]regionCtx, error) {
+// in Vall) or splits it, returning the children to process. ctx bounds
+// the sharded per-vertex evaluations; the unsharded path is cancelled
+// between regions by the driver's budget checks instead.
+func (s *solver) process(ctx context.Context, rc regionCtx) ([]regionCtx, error) {
 	regionsProcessedTotal.Add(1)
 	cache := rc.cache
 	verts := rc.region.VertexPoints()
 
 	// TAS*: Lemma 5 — discard consistent top-λ options, decrement k.
 	if s.opt.Alg == TASStar && !s.opt.DisableLemma5 {
-		cache = s.lemma5(verts, cache)
+		var err error
+		cache, err = s.lemma5(ctx, verts, cache)
+		if err != nil {
+			return nil, err
+		}
 		n := len(cache.Active())
 		s.addStats(func(st *Stats) {
 			if n < st.ProcessedMin {
@@ -181,8 +221,11 @@ func (s *solver) process(rc regionCtx) ([]regionCtx, error) {
 	results := make([]*topk.Result, len(verts))
 	miss := 0
 	for i, v := range verts {
-		var hit bool
-		results[i], hit = cache.Lookup(v)
+		r, hit, err := cache.LookupCtx(ctx, v, s.acc)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
 		if !hit {
 			miss++
 		}
@@ -374,16 +417,19 @@ func prefixSetKey(r *topk.Result, lambda int) string {
 // vertices of the region share the same top-λ set for some λ < k, those
 // λ options can be discarded and k reduced, without changing the TopRR
 // output. It returns the (possibly new) top-k context.
-func (s *solver) lemma5(verts []vec.Vector, cache *topk.Cache) *topk.Cache {
+func (s *solver) lemma5(ctx context.Context, verts []vec.Vector, cache *topk.Cache) (*topk.Cache, error) {
 	k := cache.K()
 	if k <= 1 {
-		return cache
+		return cache, nil
 	}
 	results := make([]*topk.Result, len(verts))
 	miss := 0
 	for i, v := range verts {
-		var hit bool
-		results[i], hit = cache.Lookup(v)
+		r, hit, err := cache.LookupCtx(ctx, v, s.acc)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
 		if !hit {
 			miss++
 		}
@@ -408,7 +454,7 @@ func (s *solver) lemma5(verts []vec.Vector, cache *topk.Cache) *topk.Cache {
 		}
 	}
 	if lambda == 0 {
-		return cache
+		return cache, nil
 	}
 	// Φ = the common top-λ set (indices from the first vertex's result).
 	phi := make(map[int]bool, lambda)
@@ -431,7 +477,7 @@ func (s *solver) lemma5(verts []vec.Vector, cache *topk.Cache) *topk.Cache {
 		}
 	}
 	s.addStats(func(st *Stats) { st.Lemma5Prunes += lambda })
-	return s.newCache(k-lambda, newActive)
+	return s.newCache(k-lambda, newActive), nil
 }
 
 // accept records a confirmed region: its defining vertices (with their

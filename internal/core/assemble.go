@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 
 	"toprr/internal/geom"
 	"toprr/internal/topk"
@@ -25,6 +26,7 @@ type AssembleOutput struct {
 	Constraints []geom.Halfspace // exact H-representation (always set)
 	OR          *geom.Polytope   // explicit geometry, nil if over budget
 	Clips       int              // halfspaces that actually cut during enumeration
+	ShardClips  []int            // per-shard clip counts (ParallelClipAssembler only)
 }
 
 // ClipAssembler is the default assembler: incremental halfspace
@@ -44,18 +46,20 @@ type ClipAssembler struct{}
 // Name implements Assembler.
 func (ClipAssembler) Name() string { return "clip" }
 
-// Assemble implements Assembler.
-func (ClipAssembler) Assemble(scorer *topk.Scorer, vall []ImpactVertex, vertexBudget int) AssembleOutput {
-	d := scorer.Dim()
+// optionBox returns the [0,1]^d option-space box.
+func optionBox(d int) *geom.Polytope {
 	lo, hi := vec.New(d), vec.New(d)
 	for j := range hi {
 		hi[j] = 1
 	}
-	box := geom.NewBox(lo, hi)
+	return geom.NewBox(lo, hi)
+}
 
-	// Deduplicate impact halfspaces on a quantized grid and order them
-	// deepest-cut first (higher threshold binds more of the box), with a
-	// deterministic tie-break so runs are reproducible.
+// dedupImpact deduplicates the impact halfspaces of Vall on a quantized
+// grid and orders them deepest-cut first (higher threshold binds more
+// of the box), with a deterministic tie-break so runs are reproducible.
+// Both assemblers share it, so their constraint lists are identical.
+func dedupImpact(scorer *topk.Scorer, vall []ImpactVertex) []geom.Halfspace {
 	type keyed struct {
 		h   geom.Halfspace
 		key string
@@ -81,20 +85,155 @@ func (ClipAssembler) Assemble(scorer *topk.Scorer, vall []ImpactVertex, vertexBu
 	for i, k := range impactKeyed {
 		impact[i] = k.h
 	}
+	return impact
+}
 
-	out := AssembleOutput{
-		Constraints: append(append([]geom.Halfspace(nil), box.HS...), impact...),
-	}
-
-	or := box
+// clipFold runs the sequential incremental clip of impact against box:
+// the explicit polytope (nil when the enumeration exceeds
+// vertexBudget) and the number of halfspaces that actually cut.
+func clipFold(box *geom.Polytope, impact []geom.Halfspace, vertexBudget int) (or *geom.Polytope, clips int) {
+	or = box
 	for _, h := range impact {
 		next := or.Clip(h)
 		if next != or {
-			out.Clips++
+			clips++
 		}
 		or = next
 		if or.NumVertices() > vertexBudget {
-			return out
+			return nil, clips
+		}
+	}
+	return or, clips
+}
+
+// Assemble implements Assembler.
+func (ClipAssembler) Assemble(scorer *topk.Scorer, vall []ImpactVertex, vertexBudget int) AssembleOutput {
+	box := optionBox(scorer.Dim())
+	impact := dedupImpact(scorer, vall)
+	out := AssembleOutput{
+		Constraints: append(append([]geom.Halfspace(nil), box.HS...), impact...),
+	}
+	out.OR, out.Clips = clipFold(box, impact, vertexBudget)
+	return out
+}
+
+// ParallelClipAssembler is the sharded merge stage: the deduplicated
+// impact halfspaces are split round-robin into one constraint chunk per
+// shard, each chunk is clipped against the option box concurrently, and
+// the per-shard polytopes are intersected — constraint intersection
+// over the existing geom machinery — into the final region. Because
+// halfspace intersection is commutative and associative, the result is
+// exactly ClipAssembler's region, and the shared dedup keeps the
+// H-representation identical too; only the explicit vertex enumeration
+// may differ by float noise in degenerate cases. When an intermediate
+// chunk polytope exceeds the vertex budget, the assembler falls back to
+// the sequential fold, so whether OR geometry is present matches the
+// unsharded assembler exactly as well. Per-shard clip counts
+// land in AssembleOutput.ShardClips, summing to Clips (the
+// intersection fold's cuts are attributed to the chunk that
+// contributed the cutting halfspace; when a fallback runs the
+// sequential fold instead, its cuts are attributed to shard 0).
+type ParallelClipAssembler struct {
+	// Shards is the chunk count (values < 2 fall back to the sequential
+	// ClipAssembler path; values above topk.MaxShards are clamped).
+	Shards int
+}
+
+// Name implements Assembler.
+func (ParallelClipAssembler) Name() string { return "clip-sharded" }
+
+// Assemble implements Assembler.
+func (a ParallelClipAssembler) Assemble(scorer *topk.Scorer, vall []ImpactVertex, vertexBudget int) AssembleOutput {
+	s := a.Shards
+	if s > topk.MaxShards {
+		s = topk.MaxShards
+	}
+	impact := dedupImpact(scorer, vall)
+	box := optionBox(scorer.Dim())
+	out := AssembleOutput{
+		Constraints: append(append([]geom.Halfspace(nil), box.HS...), impact...),
+	}
+	// Sequential path, reusing the already-deduplicated impact list:
+	// too few constraints for the fan-out to pay for itself, or an
+	// over-budget intermediate in the chunked phases below. Its clips
+	// are attributed to shard 0, keeping sum(ShardClips) == Clips.
+	sequential := func() AssembleOutput {
+		out.OR, out.Clips = clipFold(box, impact, vertexBudget)
+		out.ShardClips = make([]int, a.Shards)
+		if a.Shards > 0 {
+			out.ShardClips[0] = out.Clips
+		}
+		return out
+	}
+	if s < 2 || len(impact) < 2*s {
+		return sequential()
+	}
+	out.ShardClips = make([]int, s)
+
+	// Round-robin assignment keeps the deepest cuts (the front of the
+	// deduplicated order) spread across chunks.
+	chunks := make([][]geom.Halfspace, s)
+	for i, h := range impact {
+		chunks[i%s] = append(chunks[i%s], h)
+	}
+
+	// Phase 1 — clip each chunk against the box concurrently. Each
+	// chunk's polytope prunes that chunk's redundant halfspaces, so the
+	// fold below only pays for constraints that still matter. A chunk
+	// holds only ~1/S of the constraints, so its intermediate polytope
+	// can exceed the vertex budget where the sequential deepest-cut
+	// fold would not; over-budget falls back to the sequential path
+	// below rather than dropping the geometry, so OR presence matches
+	// the unsharded assembler exactly.
+	polys := make([]*geom.Polytope, s)
+	over := make([]bool, s)
+	var wg sync.WaitGroup
+	for i := range chunks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			or := box
+			for _, h := range chunks[i] {
+				next := or.Clip(h)
+				if next != or {
+					out.ShardClips[i]++
+				}
+				or = next
+				if or.NumVertices() > vertexBudget {
+					over[i] = true
+					return
+				}
+			}
+			polys[i] = or
+		}(i)
+	}
+	wg.Wait()
+	for _, o := range over {
+		if o {
+			return sequential()
+		}
+	}
+	for i := range out.ShardClips {
+		out.Clips += out.ShardClips[i]
+	}
+
+	// Phase 2 — intersect the per-shard polytopes in shard order. Each
+	// polytope's H-representation describes exactly its region, so
+	// clipping by it is intersection; empty chunks short-circuit. An
+	// over-budget intermediate falls back to the sequential fold for
+	// the same reason as phase 1.
+	or := polys[0]
+	for i := 1; i < s && !or.IsEmpty(); i++ {
+		for _, h := range polys[i].HS {
+			next := or.Clip(h)
+			if next != or {
+				out.ShardClips[i]++
+				out.Clips++
+			}
+			or = next
+			if or.NumVertices() > vertexBudget {
+				return sequential()
+			}
 		}
 	}
 	out.OR = or

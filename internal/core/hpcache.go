@@ -19,10 +19,23 @@ import (
 // forward. Advance invalidates *incrementally*: only pairs touching a
 // dirty slot are dropped, every other hyperplane is carried into the new
 // generation. Safe for concurrent use.
+//
+// The cache is striped: a sharded engine builds one stripe per shard
+// (NewShardedHyperplaneCache), each with its own lock, map and share of
+// the size budget, so the parallel solver's workers never contend on a
+// single cache mutex. Each pair lives in exactly one stripe, and every
+// stripe carries its own generation pointer, so the per-stripe locks
+// preserve the generation-check guarantees without a shared lock.
 type HyperplaneCache struct {
+	stripes []hpStripe
+}
+
+// hpStripe is one independently locked slice of the cache.
+type hpStripe struct {
 	mu        sync.RWMutex
 	scorer    *topk.Scorer
 	m         map[int64]hpEntry
+	limit     int
 	evictions int // entries dropped by Advance or refused at the cap
 }
 
@@ -33,87 +46,156 @@ type hpEntry struct {
 
 // hyperplaneCacheLimit bounds interned pairs so a long-lived engine's
 // memory does not grow with query diversity (up to O(|D'|^2) pairs
-// exist); beyond the limit, hyperplanes are recomputed on demand.
+// exist); beyond the limit, hyperplanes are recomputed on demand. The
+// budget splits evenly across stripes.
 const hyperplaneCacheLimit = 1 << 20
 
-// NewHyperplaneCache builds an empty cache bound to one dataset
-// generation's scorer.
+// NewHyperplaneCache builds an empty single-stripe cache bound to one
+// dataset generation's scorer.
 func NewHyperplaneCache(scorer *topk.Scorer) *HyperplaneCache {
-	return &HyperplaneCache{scorer: scorer, m: make(map[int64]hpEntry)}
+	return NewShardedHyperplaneCache(scorer, 1)
+}
+
+// NewShardedHyperplaneCache is NewHyperplaneCache with one stripe per
+// shard, splitting the size budget across them.
+func NewShardedHyperplaneCache(scorer *topk.Scorer, shards int) *HyperplaneCache {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > topk.MaxShards {
+		shards = topk.MaxShards
+	}
+	c := &HyperplaneCache{stripes: make([]hpStripe, shards)}
+	limit := hyperplaneCacheLimit / shards
+	if limit < 1 {
+		limit = 1
+	}
+	for i := range c.stripes {
+		c.stripes[i].scorer = scorer
+		c.stripes[i].m = make(map[int64]hpEntry)
+		c.stripes[i].limit = limit
+	}
+	return c
 }
 
 // pairKey packs an ordered option pair (the hyperplane's halfspace
 // orientation depends on the order).
 func pairKey(i, j int) int64 { return int64(i)<<32 | int64(uint32(j)) }
 
+// stripeFor maps a pair to its owning stripe with a cheap avalanche mix
+// so adjacent slots spread across stripes.
+func (c *HyperplaneCache) stripeFor(i, j int) *hpStripe {
+	if len(c.stripes) == 1 {
+		return &c.stripes[0]
+	}
+	h := uint64(pairKey(i, j))
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &c.stripes[h%uint64(len(c.stripes))]
+}
+
 // lookupFor returns the cached hyperplane for the ordered pair (i, j),
 // provided sc is the cache's current generation.
 func (c *HyperplaneCache) lookupFor(sc *topk.Scorer, i, j int) (hpEntry, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	if c.scorer != sc {
+	s := c.stripeFor(i, j)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.scorer != sc {
 		return hpEntry{}, false
 	}
-	e, ok := c.m[pairKey(i, j)]
+	e, ok := s.m[pairKey(i, j)]
 	return e, ok
 }
 
 // storeFor records the hyperplane for the ordered pair (i, j), unless
-// the cache is full or has advanced past sc's generation (a stale solve
-// must not publish geometry into a newer generation).
+// the stripe is full or the cache has advanced past sc's generation (a
+// stale solve must not publish geometry into a newer generation).
 func (c *HyperplaneCache) storeFor(sc *topk.Scorer, i, j int, e hpEntry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.scorer != sc {
+	s := c.stripeFor(i, j)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scorer != sc {
 		return
 	}
-	if len(c.m) < hyperplaneCacheLimit {
-		c.m[pairKey(i, j)] = e
+	if len(s.m) < s.limit {
+		s.m[pairKey(i, j)] = e
 	} else {
-		c.evictions++
+		s.evictions++
 	}
 }
 
 // Advance moves the cache to a new dataset generation, dropping exactly
 // the pairs that involve a dirty slot (see store.Delta): an insert
 // touches no existing slot and keeps every hyperplane, a delete or
-// update drops only the pairs of the affected slots.
+// update drops only the pairs of the affected slots. Stripes advance
+// one at a time under their own locks; a pair lives in exactly one
+// stripe, so per-stripe generation checks keep stale solves out during
+// the pass.
 func (c *HyperplaneCache) Advance(sc *topk.Scorer, dirty []int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	// Slots at or beyond the old generation's length cannot appear in an
 	// interned pair; filtering them lets a pure insert advance without
-	// scanning the map at all.
-	oldLen := c.scorer.Len()
+	// scanning the maps at all.
+	c.stripes[0].mu.RLock()
+	oldLen := c.stripes[0].scorer.Len()
+	c.stripes[0].mu.RUnlock()
 	dirtySet := make(map[int]bool, len(dirty))
 	for _, i := range dirty {
 		if i < oldLen {
 			dirtySet[i] = true
 		}
 	}
-	if len(dirtySet) > 0 {
-		for key := range c.m {
-			i, j := int(key>>32), int(uint32(key))
-			if dirtySet[i] || dirtySet[j] {
-				delete(c.m, key)
-				c.evictions++
+	for si := range c.stripes {
+		s := &c.stripes[si]
+		s.mu.Lock()
+		if len(dirtySet) > 0 {
+			for key := range s.m {
+				i, j := int(key>>32), int(uint32(key))
+				if dirtySet[i] || dirtySet[j] {
+					delete(s.m, key)
+					s.evictions++
+				}
 			}
 		}
+		s.scorer = sc
+		s.mu.Unlock()
 	}
-	c.scorer = sc
 }
 
-// Len reports the number of interned hyperplanes.
+// Len reports the number of interned hyperplanes across stripes.
 func (c *HyperplaneCache) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	n := 0
+	for si := range c.stripes {
+		s := &c.stripes[si]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// StripeLens reports each stripe's interned-pair count, indexed by
+// stripe (= shard) id.
+func (c *HyperplaneCache) StripeLens() []int {
+	out := make([]int, len(c.stripes))
+	for si := range c.stripes {
+		s := &c.stripes[si]
+		s.mu.RLock()
+		out[si] = len(s.m)
+		s.mu.RUnlock()
+	}
+	return out
 }
 
 // Evictions reports entries dropped by generation advances or refused at
-// the size cap.
+// the size cap, across stripes.
 func (c *HyperplaneCache) Evictions() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.evictions
+	n := 0
+	for si := range c.stripes {
+		s := &c.stripes[si]
+		s.mu.RLock()
+		n += s.evictions
+		s.mu.RUnlock()
+	}
+	return n
 }

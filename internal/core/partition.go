@@ -177,7 +177,7 @@ func (s *solver) drive(ctx context.Context, root regionCtx, start time.Time) err
 			if err := s.checkBudget(ctx, start); err != nil {
 				return err
 			}
-			children, err := s.process(rc)
+			children, err := s.process(ctx, rc)
 			if err != nil {
 				return err
 			}
@@ -210,7 +210,7 @@ func (s *solver) driveParallel(ctx context.Context, f frontier, start time.Time)
 	for w := 0; w < s.opt.Workers; w++ {
 		go func() {
 			for rc := range tasks {
-				children, err := s.process(rc)
+				children, err := s.process(ctx, rc)
 				if err == nil {
 					err = s.checkBudget(ctx, start)
 				}

@@ -7,15 +7,19 @@ package store
 //
 // A base snapshot file is
 //
-//	8-byte magic "TOPRRSN1"
+//	8-byte magic "TOPRRSN2"
 //	payload:
 //	  u64 generation · u64 op sequence watermark · u32 n · u32 d
+//	  u32 shard count (0 = unsharded)
 //	  n × d × u64 float64 bits (row-major options)
 //	u32 CRC-32 (IEEE) of the payload
 //
 // written to a temp file, fsynced and renamed into place, so a snapshot
 // is either wholly present or absent. Files are named
-// snap-<generation>.snap in zero-padded hex.
+// snap-<generation>.snap in zero-padded hex. The predecessor format
+// "TOPRRSN1" — identical but without the shard-count word — is still
+// read (as shard count 0), so pre-shard data directories open cleanly;
+// new snapshots are always written in the current format.
 
 import (
 	"encoding/binary"
@@ -31,7 +35,10 @@ import (
 	"toprr/internal/vec"
 )
 
-const snapMagic = "TOPRRSN1"
+const (
+	snapMagicV1 = "TOPRRSN1" // legacy: no shard-count word
+	snapMagic   = "TOPRRSN2"
+)
 
 // SyncMode selects the WAL durability level.
 type SyncMode int
@@ -87,6 +94,11 @@ type PersistConfig struct {
 	// SegmentBytes rolls the active WAL segment past this size
 	// (default 8 MiB).
 	SegmentBytes int64
+	// Shards records the dataset's shard count in the snapshot metadata
+	// (0 = unsharded). When the directory already holds state, the
+	// persisted count wins — a reopened dataset keeps its layout — and
+	// Shards only seeds fresh or legacy (pre-shard) directories.
+	Shards int
 }
 
 // withDefaults fills the zero-valued knobs.
@@ -108,6 +120,7 @@ type PersistStats struct {
 	Persistent     bool       // false for in-memory stores; the other fields are then zero
 	WALBytes       int64      // on-disk WAL size across segments (replay cost bound)
 	WALSegments    int        // segment count
+	WALSyncs       int64      // fsyncs issued; group commit keeps this below the batches applied
 	LastCompaction Generation // generation of the newest base snapshot
 	// CompactError is the last failed maintenance cycle ("" when
 	// healthy). A persistent error — say ENOSPC on the snapshot temp
@@ -128,6 +141,7 @@ func (s *Store) PersistStats() PersistStats {
 		Persistent:     true,
 		WALBytes:       s.wal.bytes(),
 		WALSegments:    s.wal.segments(),
+		WALSyncs:       s.wal.syncs(),
 		LastCompaction: s.lastCompact,
 	}
 	if s.compactErr != nil {
@@ -142,20 +156,21 @@ func snapshotName(gen Generation) string {
 }
 
 // writeSnapshot atomically writes the option set as the base snapshot of
-// generation gen with op-sequence watermark seq: temp file, fsync,
-// rename, directory fsync.
-func writeSnapshot(dir string, gen Generation, seq uint64, pts []vec.Vector) error {
+// generation gen with op-sequence watermark seq and shard count shards:
+// temp file, fsync, rename, directory fsync.
+func writeSnapshot(dir string, gen Generation, seq uint64, pts []vec.Vector, shards int) error {
 	d := 0
 	if len(pts) > 0 {
 		d = pts[0].Dim()
 	}
-	payload := make([]byte, 8+8+4+4+len(pts)*d*8)
+	payload := make([]byte, 8+8+4+4+4+len(pts)*d*8)
 	le := binary.LittleEndian
 	le.PutUint64(payload[0:], uint64(gen))
 	le.PutUint64(payload[8:], seq)
 	le.PutUint32(payload[16:], uint32(len(pts)))
 	le.PutUint32(payload[20:], uint32(d))
-	off := 24
+	le.PutUint32(payload[24:], uint32(shards))
+	off := 28
 	for _, p := range pts {
 		for _, x := range p {
 			le.PutUint64(payload[off:], math.Float64bits(x))
@@ -194,34 +209,47 @@ func writeSnapshot(dir string, gen Generation, seq uint64, pts []vec.Vector) err
 	return syncDir(dir)
 }
 
-// readSnapshot loads and checksums one base snapshot file.
-func readSnapshot(path string) (gen Generation, seq uint64, pts []vec.Vector, err error) {
+// readSnapshot loads and checksums one base snapshot file, accepting
+// both the current format and the legacy shard-less one (whose shard
+// count reads as 0).
+func readSnapshot(path string) (gen Generation, seq uint64, pts []vec.Vector, shards int, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, 0, err
 	}
-	if len(data) < len(snapMagic)+24+4 || string(data[:len(snapMagic)]) != snapMagic {
-		return 0, 0, nil, fmt.Errorf("%s: not a snapshot file", path)
+	headerLen := 28
+	switch {
+	case len(data) >= len(snapMagic) && string(data[:len(snapMagic)]) == snapMagic:
+	case len(data) >= len(snapMagicV1) && string(data[:len(snapMagicV1)]) == snapMagicV1:
+		headerLen = 24 // legacy: no shard-count word
+	default:
+		return 0, 0, nil, 0, fmt.Errorf("%s: not a snapshot file", path)
+	}
+	if len(data) < len(snapMagic)+headerLen+4 {
+		return 0, 0, nil, 0, fmt.Errorf("%s: not a snapshot file", path)
 	}
 	le := binary.LittleEndian
 	payload := data[len(snapMagic) : len(data)-4]
 	sum := le.Uint32(data[len(data)-4:])
 	if crc32.ChecksumIEEE(payload) != sum {
-		return 0, 0, nil, fmt.Errorf("%s: checksum mismatch", path)
+		return 0, 0, nil, 0, fmt.Errorf("%s: checksum mismatch", path)
 	}
 	gen = Generation(le.Uint64(payload[0:]))
 	seq = le.Uint64(payload[8:])
 	n := int(le.Uint32(payload[16:]))
 	d := int(le.Uint32(payload[20:]))
+	if headerLen == 28 {
+		shards = int(le.Uint32(payload[24:]))
+	}
 	// Bound each factor by the payload before multiplying, so a corrupt
 	// (but CRC-colliding) header can neither overflow the size check nor
 	// drive a giant allocation.
-	rest := len(payload) - 24
+	rest := len(payload) - headerLen
 	if n <= 0 || d <= 0 || d > rest/8 || n != rest/(d*8) || rest%(d*8) != 0 {
-		return 0, 0, nil, fmt.Errorf("%s: malformed shape n=%d d=%d (%d payload bytes)", path, n, d, len(payload))
+		return 0, 0, nil, 0, fmt.Errorf("%s: malformed shape n=%d d=%d (%d payload bytes)", path, n, d, len(payload))
 	}
 	pts = make([]vec.Vector, n)
-	off := 24
+	off := headerLen
 	for i := range pts {
 		p := vec.New(d)
 		for j := 0; j < d; j++ {
@@ -230,7 +258,7 @@ func readSnapshot(path string) (gen Generation, seq uint64, pts []vec.Vector, er
 		}
 		pts[i] = p
 	}
-	return gen, seq, pts, nil
+	return gen, seq, pts, shards, nil
 }
 
 // listSnapshots returns the directory's base snapshot paths, newest
@@ -337,7 +365,8 @@ func Open(cfg PersistConfig, boot []vec.Vector) (*Store, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: open: empty directory needs a bootstrap dataset: %w", err)
 		}
-		if err := writeSnapshot(cfg.Dir, 1, 0, own); err != nil {
+		s.shards = cfg.Shards
+		if err := writeSnapshot(cfg.Dir, 1, 0, own, s.shards); err != nil {
 			return nil, fmt.Errorf("store: open: base snapshot: %w", err)
 		}
 		rs.pts, rs.gen = own, 1
@@ -348,7 +377,7 @@ func Open(cfg PersistConfig, boot []vec.Vector) (*Store, error) {
 		// atomic, so this is disk damage, not a crash artifact).
 		var firstErr error
 		for _, path := range snaps {
-			gen, seq, pts, err := readSnapshot(path)
+			gen, seq, pts, shards, err := readSnapshot(path)
 			if err != nil {
 				if firstErr == nil {
 					firstErr = err
@@ -357,6 +386,14 @@ func Open(cfg PersistConfig, boot []vec.Vector) (*Store, error) {
 			}
 			rs.pts, rs.gen, rs.seq = pts, gen, seq
 			s.lastCompact = gen
+			// The persisted shard count wins, so a reopened dataset
+			// keeps its layout; a legacy (pre-shard) snapshot adopts the
+			// opener's configuration and records it on the next
+			// compaction.
+			s.shards = shards
+			if s.shards == 0 {
+				s.shards = cfg.Shards
+			}
 			break
 		}
 		if rs.pts == nil {
@@ -420,6 +457,7 @@ func Open(cfg PersistConfig, boot []vec.Vector) (*Store, error) {
 	s.seq = rs.seq
 	s.log = rs.log
 	s.walOps = rs.ops
+	s.initWritePath()
 
 	w, err := openWAL(cfg.Dir, segs, rs.gen+1, cfg.Sync == SyncAlways)
 	if err != nil {
@@ -508,9 +546,6 @@ func (s *Store) maintain() {
 	if s.wal.broken != nil {
 		return
 	}
-	s.mu.RLock()
-	snap, seq := s.snap, s.seq
-	s.mu.RUnlock()
 	setErr := func(err error) {
 		s.mu.Lock()
 		s.compactErr = err
@@ -519,7 +554,10 @@ func (s *Store) maintain() {
 
 	if s.wal.bytes() < s.cfg.CompactBytes && s.walOps < s.cfg.CompactOps {
 		if s.wal.activeSize() >= s.cfg.SegmentBytes {
-			if err := s.wal.roll(snap.Gen + 1); err != nil {
+			s.mu.RLock()
+			gen := s.snap.Gen
+			s.mu.RUnlock()
+			if err := s.wal.roll(gen + 1); err != nil {
 				setErr(fmt.Errorf("store: wal roll: %w", err))
 			} else {
 				// Below the compaction thresholds the last compaction
@@ -531,9 +569,19 @@ func (s *Store) maintain() {
 		return
 	}
 
+	// Compaction deletes WAL records, so the base snapshot must cover
+	// every record on disk. We hold writeMu — no new batch can be built
+	// or appended — but group-committed batches may still be between
+	// their fsync and their publish; wait them out so the published
+	// snapshot is the WAL tail.
+	s.drainPending()
+	s.mu.RLock()
+	snap, seq := s.snap, s.seq
+	s.mu.RUnlock()
+
 	sealed := s.wal.sealedCount()
 	opsCovered := s.walOps
-	if err := writeSnapshot(s.cfg.Dir, snap.Gen, seq, snap.Scorer.Points()); err != nil {
+	if err := writeSnapshot(s.cfg.Dir, snap.Gen, seq, snap.Scorer.Points(), s.shards); err != nil {
 		setErr(fmt.Errorf("store: compact: snapshot: %w", err))
 		return
 	}

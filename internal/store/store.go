@@ -6,6 +6,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -82,9 +83,21 @@ type Snapshot struct {
 // per-subset cache entries avoiding the dirty slots stay valid.
 // Whole-dataset ("all options active") entries are invalidated by any
 // op, since every op changes dataset membership.
+//
+// On a sharded store (Shards() > 1), ShardsTouched routes the batch to
+// the owning shards' invalidation paths: it lists, sorted and
+// deduplicated, every shard that gained or lost a dirty slot — the
+// shard of each dirty slot's old contents and of its new contents; an
+// insert touches exactly one shard. It is the batch-level routing
+// summary for consumers that track whole shards (replication,
+// metrics); the engine's caches deliberately re-derive routing from
+// Dirty per cached configuration, because a configuration's active set
+// restricts which of a batch's slots — and hence shards — actually
+// touch it.
 type Delta struct {
-	From, To Generation
-	Dirty    []int
+	From, To      Generation
+	Dirty         []int
+	ShardsTouched []int
 }
 
 // logLimit bounds the retained in-memory op log; beyond it the oldest
@@ -104,18 +117,40 @@ var ErrDurability = errors.New("store: durability failure")
 
 // Store is a generation-numbered dataset store. Reads (Snapshot, Len,
 // Log) and writes (Apply) may run concurrently; writers serialize among
-// themselves. A store built by New is in-memory; one built by Open also
+// themselves on validation and the WAL append, but under SyncAlways
+// they *coalesce* on the fsync: concurrent Apply batches group-commit
+// behind one shared flush instead of each paying its own (see
+// walWriter.waitSync), and then publish strictly in generation order.
+// A store built by New is in-memory; one built by Open also
 // write-ahead-logs every batch and compacts the log into base snapshots
 // (see persist.go).
 //
-// Lock discipline: writeMu serializes the writers (Apply, maintenance,
-// Close) and owns every WAL file operation, including the per-batch
-// fsync; mu guards the published state (snap, seq, log, closed) and is
-// held only for quick reads and the publish step — never across disk
-// I/O — so readers never stall behind a writer's fsync or a compaction.
-// Acquisition order is always writeMu before mu.
+// Lock discipline: writeMu serializes batch building and WAL appends
+// (and owns every WAL file operation except the group fsync); mu guards
+// the published state (snap, seq, log, closed) and is held only for
+// quick reads and the publish step — never across disk I/O — so readers
+// never stall behind a writer's fsync or a compaction. pubMu guards the
+// publish-ordering gate (the built-but-unpublished backlog). writeMu is
+// never acquired while holding the others.
 type Store struct {
 	writeMu sync.Mutex // serializes writers; owns WAL I/O (held before mu)
+
+	// tail is the last *built* batch's state (guarded by writeMu). With
+	// group commit it can run ahead of the published snapshot while
+	// batches wait on the shared fsync; builds stack on the tail so WAL
+	// order equals generation order.
+	tail struct {
+		pts []vec.Vector
+		gen Generation
+		seq uint64
+	}
+
+	// Publish-ordering gate: batches become visible strictly in
+	// generation order, however their fsync waits interleave.
+	pubMu     sync.Mutex
+	pubCond   *sync.Cond
+	published Generation // last generation made visible to readers
+	pending   int        // built-but-unpublished batches
 
 	mu   sync.RWMutex
 	snap Snapshot
@@ -131,6 +166,7 @@ type Store struct {
 	lastCompact Generation // generation of the newest base snapshot (mu)
 	compactErr  error      // last failed maintenance cycle, retried on the next Apply (mu)
 	closed      bool
+	shards      int // shard count recorded in the snapshot metadata (0 = unsharded/legacy)
 
 	// Snapshot GC observability: finalizer-driven counters of scorer
 	// generations still reachable (the current one plus any pinned by
@@ -151,16 +187,41 @@ type gcCounters struct {
 // New builds an in-memory store over an initial dataset of options in
 // [0,1]^d, published as generation 1. The slice is copied; the vectors
 // are adopted as-is and must not be mutated afterwards. For a durable
-// store, use Open.
+// store, use Open; for a sharded in-memory store, NewSharded.
 func New(pts []vec.Vector) (*Store, error) {
+	return NewSharded(pts, 0)
+}
+
+// NewSharded is New recording a shard count: Apply then routes each
+// batch to the owning shards' invalidation paths via
+// Delta.ShardsTouched. shards <= 1 means unsharded.
+func NewSharded(pts []vec.Vector, shards int) (*Store, error) {
 	own, err := checkDataset(pts)
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{gc: &gcCounters{}}
+	s := &Store{gc: &gcCounters{}, shards: shards}
 	s.snap = Snapshot{Gen: 1, Scorer: s.track(topk.NewScorerAt(own, 1))}
+	s.initWritePath()
 	return s, nil
 }
+
+// initWritePath seeds the build tail and publish gate from the current
+// snapshot; constructors call it once the recovered/bootstrapped state
+// is in place.
+func (s *Store) initWritePath() {
+	s.pubCond = sync.NewCond(&s.pubMu)
+	s.tail.pts = s.snap.Scorer.Points()
+	s.tail.gen = s.snap.Gen
+	s.tail.seq = s.seq
+	s.published = s.snap.Gen
+}
+
+// Shards reports the shard count the store records in its snapshot
+// metadata (0 = unsharded/legacy). For a durable store reopened from
+// disk this is the persisted layout, which wins over the opener's
+// configuration so a dataset keeps its sharding across restarts.
+func (s *Store) Shards() int { return s.shards }
 
 // CheckDataset validates an initial dataset — non-empty, consistent
 // dimensions, every component finite and in [0,1] — without adopting
@@ -315,15 +376,14 @@ func applyOp(pts []vec.Vector, d, i int, op Op, rec *AppliedOp, dirty map[int]bo
 	return pts, nil
 }
 
-// buildBatch validates a batch against the cur snapshot and builds the
-// successor state: the copy-on-write points slice, the log records and
-// the dirty-slot set. The store is not touched; the first offending
-// op's error rejects the whole batch.
-func buildBatch(cur Snapshot, ops []Op) (pts []vec.Vector, recs []AppliedOp, dirty map[int]bool, err error) {
-	old := cur.Scorer.Points()
+// buildBatch validates a batch against the predecessor point set and
+// builds the successor state: the copy-on-write points slice, the log
+// records and the dirty-slot set. The store is not touched; the first
+// offending op's error rejects the whole batch.
+func buildBatch(old []vec.Vector, ops []Op) (pts []vec.Vector, recs []AppliedOp, dirty map[int]bool, err error) {
 	pts = make([]vec.Vector, len(old), len(old)+len(ops))
 	copy(pts, old)
-	d := cur.Scorer.Dim()
+	d := old[0].Dim()
 
 	dirty = make(map[int]bool)
 	recs = make([]AppliedOp, len(ops))
@@ -336,97 +396,178 @@ func buildBatch(cur Snapshot, ops []Op) (pts []vec.Vector, recs []AppliedOp, dir
 	return pts, recs, dirty, nil
 }
 
-// publishLocked installs a built batch as generation gen: the new
-// snapshot becomes current, the records gain their sequence numbers and
-// enter the bounded in-memory log. Callers hold the write lock and have
-// already made the batch durable when the store is persistent.
-func (s *Store) publishLocked(gen Generation, pts []vec.Vector, recs []AppliedOp, dirty map[int]bool) (Snapshot, Delta) {
-	from := s.snap.Gen
-	s.snap = Snapshot{Gen: gen, Scorer: s.track(topk.NewScorerAt(pts, uint64(gen)))}
-	for i := range recs {
-		s.seq++
-		recs[i].Seq = s.seq
-		recs[i].Gen = gen
-		s.log = append(s.log, recs[i])
+// shardsTouched routes a batch's dirty slots to the shards whose state
+// they invalidate: the shard of each dirty slot's old contents and of
+// its new contents (sorted, deduplicated). nil when the store is
+// unsharded.
+func (s *Store) shardsTouched(old, pts []vec.Vector, dirty map[int]bool) []int {
+	if s.shards <= 1 {
+		return nil
 	}
+	set := make(map[int]bool, 2*len(dirty))
+	for slot := range dirty {
+		if slot < len(old) {
+			set[topk.ShardOfPoint(old[slot], s.shards)] = true
+		}
+		if slot < len(pts) {
+			set[topk.ShardOfPoint(pts[slot], s.shards)] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for sh := range set {
+		out = append(out, sh)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// publishLocked installs a built batch as generation gen: the new
+// snapshot becomes current and the pre-sequenced records enter the
+// bounded in-memory log. Callers hold mu and have already made the
+// batch durable when the store is persistent.
+func (s *Store) publishLocked(gen Generation, pts []vec.Vector, recs []AppliedOp) Snapshot {
+	s.snap = Snapshot{Gen: gen, Scorer: s.track(topk.NewScorerAt(pts, uint64(gen)))}
+	s.log = append(s.log, recs...)
+	s.seq = recs[len(recs)-1].Seq
 	if len(s.log) > logLimit {
 		tail := make([]AppliedOp, logLimit/2)
 		copy(tail, s.log[len(s.log)-logLimit/2:])
 		s.log = tail
 	}
-
-	dirtyList := make([]int, 0, len(dirty))
-	for i := range dirty {
-		dirtyList = append(dirtyList, i)
-	}
-	return s.snap, Delta{From: from, To: gen, Dirty: dirtyList}
+	return s.snap
 }
 
 // Apply applies a batch of ops atomically: either every op validates and
 // the batch publishes one new generation, or the store is unchanged and
 // the first offending op's error is returned. The returned Snapshot is
-// the new generation; the Delta lists the slots incremental cache
-// invalidation must drop. An empty batch is a no-op returning the
-// current snapshot.
+// the new generation; the Delta lists the slots (and, on a sharded
+// store, the shards) incremental cache invalidation must drop. An empty
+// batch is a no-op returning the current snapshot.
 //
 // On a durable store the batch is encoded as one WAL record and — under
 // SyncAlways — fsynced before the generation publishes, so a batch whose
 // Apply returned is recovered by the next Open even across a crash. A
 // WAL write failure rejects the batch and leaves the store unchanged.
-// All disk I/O — the per-batch fsync and any due WAL maintenance
-// (segment roll or snapshot/compaction) — runs under the writer lock
-// only, never the read lock, so concurrent readers pin snapshots and
-// read stats without stalling behind it.
+// Concurrent Apply calls serialize on validation and the WAL append but
+// group-commit the fsync: one shared flush covers every batch appended
+// before it, and the batches then publish strictly in generation order.
+// No disk I/O ever runs under the read lock, so concurrent readers pin
+// snapshots and read stats without stalling behind a flush or a
+// compaction.
 func (s *Store) Apply(ops []Op) (Snapshot, Delta, error) {
 	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
 
-	// Only writers mutate snap/seq/closed and we are the only writer, so
-	// the brief read lock yields a stable view for the whole batch.
 	s.mu.RLock()
-	cur, seq, closed := s.snap, s.seq, s.closed
+	cur, closed := s.snap, s.closed
 	s.mu.RUnlock()
 
 	if closed {
+		s.writeMu.Unlock()
 		return cur, Delta{}, ErrClosed
 	}
 	if len(ops) == 0 {
+		s.writeMu.Unlock()
 		return cur, Delta{From: cur.Gen, To: cur.Gen}, nil
 	}
-	pts, recs, dirty, err := buildBatch(cur, ops)
+
+	// Build against the tail — the last built batch — so a batch queued
+	// behind an in-flight group commit stacks correctly on top of it.
+	old := s.tail.pts
+	pts, recs, dirty, err := buildBatch(old, ops)
 	if err != nil {
+		s.writeMu.Unlock()
 		return cur, Delta{}, err
 	}
-	gen := cur.Gen + 1
+	gen := s.tail.gen + 1
+	firstSeq := s.tail.seq + 1
+	for i := range recs {
+		recs[i].Seq = firstSeq + uint64(i)
+		recs[i].Gen = gen
+	}
+
+	var ticket uint64
 	if s.wal != nil {
-		payload := encodeBatch(gen, seq+1, recs)
+		payload := encodeBatch(gen, firstSeq, recs)
 		if len(payload) > maxRecordBytes {
 			// Not a disk fault: the batch itself is too large to ever be
 			// a valid WAL record (recovery would classify it as a torn
 			// tail and drop it). Reject it before anything is written.
+			s.writeMu.Unlock()
 			return cur, Delta{}, fmt.Errorf("store: batch encodes to %d bytes, over the %d-byte WAL record limit; split it", len(payload), maxRecordBytes)
 		}
-		// The durable write, fsync included, happens before readers can
-		// see the new generation — and without blocking them.
-		if err := s.wal.append(payload); err != nil {
+		ticket, err = s.wal.append(payload)
+		if err != nil {
+			s.writeMu.Unlock()
 			return cur, Delta{}, fmt.Errorf("%w: wal append: %v", ErrDurability, err)
 		}
 		s.walOps += len(recs)
 	}
 
-	s.mu.Lock()
-	snap, delta := s.publishLocked(gen, pts, recs, dirty)
-	s.mu.Unlock()
+	// The batch is built (and written): claim its generation on the tail
+	// and a slot in the publish backlog, then let the next writer in —
+	// it can build and append while this batch waits on the fsync.
+	s.tail.pts, s.tail.gen, s.tail.seq = pts, gen, recs[len(recs)-1].Seq
+	s.pubMu.Lock()
+	s.pending++
+	s.pubMu.Unlock()
+	s.writeMu.Unlock()
 
 	if s.wal != nil {
+		// Group commit: returns once a shared fsync covers this batch's
+		// record (immediately under SyncNone).
+		if err := s.wal.waitSync(ticket); err != nil {
+			s.pubMu.Lock()
+			s.pending--
+			s.pubCond.Broadcast()
+			s.pubMu.Unlock()
+			return cur, Delta{}, fmt.Errorf("%w: wal fsync: %v", ErrDurability, err)
+		}
+	}
+
+	// Publish strictly in generation order; the durable write (fsync
+	// included) happened before readers can see the new generation.
+	s.pubMu.Lock()
+	for s.published != gen-1 {
+		s.pubCond.Wait()
+	}
+	s.mu.Lock()
+	snap := s.publishLocked(gen, pts, recs)
+	s.mu.Unlock()
+	s.published = gen
+	s.pending--
+	s.pubCond.Broadcast()
+	s.pubMu.Unlock()
+
+	dirtyList := make([]int, 0, len(dirty))
+	for i := range dirty {
+		dirtyList = append(dirtyList, i)
+	}
+	delta := Delta{From: gen - 1, To: gen, Dirty: dirtyList, ShardsTouched: s.shardsTouched(old, pts, dirty)}
+
+	if s.wal != nil {
+		s.writeMu.Lock()
 		s.maintain()
+		s.writeMu.Unlock()
 	}
 	return snap, delta, nil
 }
 
+// drainPending waits until every built batch has published. Callers
+// hold writeMu, so no new builds can start; the in-flight ones need
+// only pubMu and mu to finish.
+func (s *Store) drainPending() {
+	s.pubMu.Lock()
+	for s.pending > 0 {
+		s.pubCond.Wait()
+	}
+	s.pubMu.Unlock()
+}
+
 // Close syncs and closes the WAL. Further Apply calls fail with
 // ErrClosed; reads keep serving the in-memory state. Closing an
-// in-memory store only blocks writes. Close is idempotent.
+// in-memory store only blocks writes. In-flight Apply calls waiting on
+// a group commit are drained first — Close never strands an
+// acknowledged-in-progress batch. Close is idempotent.
 func (s *Store) Close() error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -437,6 +578,9 @@ func (s *Store) Close() error {
 	if wasClosed {
 		return nil
 	}
+	// No new builds can start (writeMu is held and closed is set); wait
+	// for the built backlog to flush and publish before closing the WAL.
+	s.drainPending()
 	var err error
 	if s.wal != nil {
 		err = s.wal.close()

@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"toprr/internal/vec"
 )
@@ -226,16 +227,37 @@ func syncDir(dir string) error {
 }
 
 // walWriter appends batch records to the active WAL segment and tracks
-// the sealed ones. File I/O (f, broken) is serialized by the store's
-// writer lock, NOT self-locked; only the size/segment metadata carries
-// its own mutex, so stats readers can observe it while an append or a
-// compaction fsync is in flight.
+// the sealed ones. File writes (f, broken) are serialized by the
+// store's writer lock, NOT self-locked; the size/segment metadata
+// carries its own mutex so stats readers can observe it while an append
+// is in flight.
+//
+// Fsyncs are group-committed: append writes the record and returns a
+// monotone ticket without syncing; waitSync (called after the writer
+// lock is released) blocks until a sync covers the ticket. Concurrent
+// callers elect one leader, whose single fsync covers every record
+// appended before it started, so N concurrent Apply batches pay one
+// disk flush instead of N — they coalesce instead of serializing on the
+// platter. Single-caller behavior is unchanged: its own waitSync leads
+// and syncs its own record. Segment swaps (roll, restart, close) first
+// quiesce the group: they wait out an in-flight leader, sync the active
+// file themselves and advance the watermark past every append, so no
+// leader ever syncs a closed file and no waiter is left behind.
 type walWriter struct {
 	dir    string
 	f      *os.File
 	path   string
-	always bool  // fsync after every append (SyncAlways)
-	broken error // first append failure; sticky so a half-written tail is never appended past
+	always bool  // group-commit fsync per batch (SyncAlways)
+	broken error // first append/sync failure; sticky so a half-written tail is never appended past
+
+	appendSeq atomic.Uint64 // tickets: records appended so far
+	syncCount atomic.Int64  // fsyncs issued (observability: PersistStats.WALSyncs)
+
+	gcMu      sync.Mutex // group-commit state below
+	gcCond    *sync.Cond
+	syncedSeq uint64 // ticket watermark made durable
+	syncing   bool   // a leader's fsync is in flight
+	gcErr     error  // first sync failure; sticky
 
 	mu     sync.Mutex // guards size and sealed (metadata for stats readers)
 	size   int64      // bytes of the active segment, magic included
@@ -248,6 +270,7 @@ type walWriter struct {
 // exist.
 func openWAL(dir string, segs []segmentInfo, nextGen Generation, always bool) (*walWriter, error) {
 	w := &walWriter{dir: dir, always: always}
+	w.gcCond = sync.NewCond(&w.gcMu)
 	if len(segs) == 0 {
 		if err := w.openSegment(nextGen); err != nil {
 			return nil, err
@@ -294,14 +317,25 @@ func (w *walWriter) openSegment(gen Generation) error {
 	return nil
 }
 
-// append writes one record (header + payload) to the active segment,
-// fsyncing when the writer runs in SyncAlways mode. The first failure is
-// sticky: a partial tail may be on disk, so further appends would land
-// after garbage and are refused until the store reopens (recovery
-// truncates the tear).
-func (w *walWriter) append(payload []byte) error {
+// append writes one record (header + payload) to the active segment —
+// without syncing — and returns the record's group-commit ticket; under
+// SyncAlways the caller must waitSync the ticket (after releasing the
+// writer lock) before treating the batch as durable. The first failure
+// is sticky: a partial tail may be on disk, so further appends would
+// land after garbage and are refused until the store reopens (recovery
+// truncates the tear). A sticky group-sync failure likewise breaks the
+// writer: records after a failed flush would be acknowledged on top of
+// an undurable prefix.
+func (w *walWriter) append(payload []byte) (uint64, error) {
 	if w.broken != nil {
-		return w.broken
+		return 0, w.broken
+	}
+	w.gcMu.Lock()
+	gcErr := w.gcErr
+	w.gcMu.Unlock()
+	if gcErr != nil {
+		w.broken = gcErr
+		return 0, gcErr
 	}
 	rec := make([]byte, walHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
@@ -309,26 +343,100 @@ func (w *walWriter) append(payload []byte) error {
 	copy(rec[walHeaderSize:], payload)
 	if _, err := w.f.Write(rec); err != nil {
 		w.broken = err
-		return err
+		return 0, err
 	}
-	if w.always {
-		if err := w.f.Sync(); err != nil {
-			w.broken = err
-			return err
-		}
-	}
+	ticket := w.appendSeq.Add(1)
 	w.mu.Lock()
 	w.size += int64(len(rec))
 	w.mu.Unlock()
-	return nil
+	return ticket, nil
 }
+
+// waitSync blocks until a group fsync covers ticket (a no-op unless the
+// writer runs SyncAlways). The first caller to find no sync in flight
+// becomes the leader: it snapshots the append watermark, fsyncs once
+// outside the lock, and wakes every waiter the flush covered — however
+// many batches queued behind it. Waiters whose ticket is already under
+// the watermark return without touching the disk at all. A sync failure
+// is sticky and fails every waiter above the watermark.
+func (w *walWriter) waitSync(ticket uint64) error {
+	if !w.always {
+		return nil
+	}
+	w.gcMu.Lock()
+	defer w.gcMu.Unlock()
+	for {
+		if w.syncedSeq >= ticket {
+			return nil
+		}
+		if w.gcErr != nil {
+			return w.gcErr
+		}
+		if w.syncing {
+			w.gcCond.Wait()
+			continue
+		}
+		w.syncing = true
+		// Everything appended before the fsync starts is covered by it.
+		// The leader's own append happened-after any segment swap (both
+		// order through the store's writer lock), so f is stable here.
+		target := w.appendSeq.Load()
+		f := w.f
+		w.gcMu.Unlock()
+		err := f.Sync()
+		w.syncCount.Add(1)
+		w.gcMu.Lock()
+		w.syncing = false
+		if err != nil {
+			if w.gcErr == nil {
+				w.gcErr = err
+			}
+		} else if target > w.syncedSeq {
+			w.syncedSeq = target
+		}
+		w.gcCond.Broadcast()
+	}
+}
+
+// quiesce drains the group-commit machinery before a segment swap: it
+// waits out an in-flight leader, syncs the active file itself (holding
+// the leader slot so no new fsync can race the swap), and advances the
+// watermark past every append — the caller holds the writer lock, so no
+// new records can arrive and every present or future waiter is
+// satisfied without touching the old file.
+func (w *walWriter) quiesce() error {
+	w.gcMu.Lock()
+	for w.syncing {
+		w.gcCond.Wait()
+	}
+	w.syncing = true
+	w.gcMu.Unlock()
+	err := w.f.Sync()
+	w.syncCount.Add(1)
+	w.gcMu.Lock()
+	w.syncing = false
+	if err != nil {
+		if w.gcErr == nil {
+			w.gcErr = err
+		}
+	} else if t := w.appendSeq.Load(); t > w.syncedSeq {
+		w.syncedSeq = t
+	}
+	w.gcCond.Broadcast()
+	w.gcMu.Unlock()
+	return err
+}
+
+// syncs reports the fsyncs issued so far; with group commit this can be
+// far below the batches appended.
+func (w *walWriter) syncs() int64 { return w.syncCount.Load() }
 
 // roll seals the active segment and starts a fresh one named for gen.
 // The new segment opens before the old one closes, so a failed roll
 // leaves the writer on the old, still-open segment and appends keep
 // working (the roll retries on a later maintenance cycle).
 func (w *walWriter) roll(gen Generation) error {
-	if err := w.f.Sync(); err != nil {
+	if err := w.quiesce(); err != nil {
 		return err
 	}
 	oldF, oldPath := w.f, w.path
@@ -412,9 +520,10 @@ func (w *walWriter) segments() int {
 	return len(w.sealed) + 1
 }
 
-// close syncs and closes the active segment.
+// close syncs (draining any in-flight group commit) and closes the
+// active segment.
 func (w *walWriter) close() error {
-	if err := w.f.Sync(); err != nil {
+	if err := w.quiesce(); err != nil {
 		w.f.Close()
 		return err
 	}

@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -170,11 +171,17 @@ func (s *Scorer) TopK(w vec.Vector, k int, active []int) *Result {
 	for i := 0; i < k; i++ {
 		ordered[i] = all[i].idx
 	}
+	return newResult(ordered, all[k-1].score)
+}
+
+// newResult assembles a Result from a score-ordered index list and the
+// k-th score, precomputing the canonical set and order identities.
+func newResult(ordered []int, kthScore float64) *Result {
 	sorted := append([]int(nil), ordered...)
 	sort.Ints(sorted)
 	return &Result{
 		Ordered:  ordered,
-		KthScore: all[k-1].score,
+		KthScore: kthScore,
 		setKey:   joinInts(sorted),
 		orderKey: joinInts(ordered),
 	}
@@ -186,6 +193,11 @@ func (s *Scorer) TopK(w vec.Vector, k int, active []int) *Result {
 // configuration; the TopRR recursion creates a fresh cache whenever
 // Lemma 5 changes the active set or k. It is safe for concurrent use —
 // the parallel solver shares one cache across its workers.
+//
+// A cache built by NewShardedCache runs in sharded mode (see shard.go):
+// the evaluation plane is split into per-shard memos with independent
+// locks, and lookups merge per-shard partials into the exact global
+// result. Sharded and unsharded caches return identical Results.
 type Cache struct {
 	scorer    *Scorer
 	k         int
@@ -195,7 +207,8 @@ type Cache struct {
 	m         map[string]*Result
 	hits      int
 	misses    int
-	evictions int // results not memoized because the cache was full
+	evictions int      // results not memoized because the cache was full
+	sh        *sharded // non-nil: sharded evaluation plane (shard.go)
 }
 
 // NewCache builds a cache for top-k queries with the given parameters.
@@ -238,10 +251,28 @@ func (c *Cache) Get(w vec.Vector) *Result {
 	return r
 }
 
+// LookupCtx is Lookup with context-aware sharded evaluation: in sharded
+// mode, missing per-shard partials are computed (concurrently when the
+// work is large), ctx cancellation stops unstarted sibling shards and
+// returns the context error, and acc (optional) receives per-shard work
+// attribution. For unsharded caches it is exactly Lookup — cancellation
+// between whole lookups is the driver's job there.
+func (c *Cache) LookupCtx(ctx context.Context, w vec.Vector, acc *ShardAccum) (*Result, bool, error) {
+	if c.sh != nil {
+		return c.lookupSharded(ctx, w, acc)
+	}
+	r, hit := c.Lookup(w)
+	return r, hit, nil
+}
+
 // Lookup is Get, additionally reporting whether the result was served
 // from the cache — so callers sharing a cache can attribute misses to
 // their own queries.
 func (c *Cache) Lookup(w vec.Vector) (*Result, bool) {
+	if c.sh != nil {
+		r, hit, _ := c.lookupSharded(context.Background(), w, nil)
+		return r, hit
+	}
 	if c.m == nil { // pass-through mode
 		c.mu.Lock()
 		c.misses++
@@ -275,22 +306,44 @@ func (c *Cache) Lookup(w vec.Vector) (*Result, bool) {
 }
 
 // Stats reports cache hits and misses (total queries = hits + misses).
+// A sharded cache counts at the merged-lookup level — a hit means every
+// shard served from memory — so the figures stay comparable with
+// unsharded caches.
 func (c *Cache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
 }
 
-// Evictions reports results the cache declined to memoize because it was
-// full.
+// Evictions reports results the cache declined to memoize because it
+// was full; a sharded cache sums its shard memos' refusals and the
+// partials dropped by per-shard invalidation.
 func (c *Cache) Evictions() int {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.evictions
+	n := c.evictions
+	c.mu.Unlock()
+	if c.sh != nil {
+		for _, sm := range c.sh.memos {
+			sm.mu.Lock()
+			n += sm.evictions
+			sm.mu.Unlock()
+		}
+	}
+	return n
 }
 
-// Len reports the number of memoized vertices.
+// Len reports the number of memoized vertices (for a sharded cache, the
+// total memoized partials across shards).
 func (c *Cache) Len() int {
+	if c.sh != nil {
+		n := 0
+		for _, sm := range c.sh.memos {
+			sm.mu.Lock()
+			n += len(sm.m)
+			sm.mu.Unlock()
+		}
+		return n
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
@@ -304,6 +357,10 @@ func (c *Cache) Len() int {
 // or a new-generation solve, is identical under both scorers, so the
 // same Cache object safely serves both sides.
 func (c *Cache) rebind(sc *Scorer) {
+	if c.sh != nil {
+		c.rebindSharded(sc)
+		return
+	}
 	c.mu.Lock()
 	c.scorer = sc
 	c.mu.Unlock()

@@ -42,14 +42,32 @@
 // generation's geometry. WithCacheLimits bounds both caches;
 // CacheStats reports occupancy and evictions.
 //
+// # The sharded solve plane
+//
+// An engine's solve plane is sharded (WithShards; default derived from
+// GOMAXPROCS): the option set splits into stable content-hashed
+// shards, each with its own top-k memo (the hyperplane cache likewise
+// stripes its lock and budget S ways, by option pair),
+// and solves fan out with one worker per shard (capped at GOMAXPROCS)
+// over the channel scheduler, assembling through the per-shard
+// constraint-intersection merge stage. Sharded and unsharded solves
+// produce identical regions; sharding buys parallelism without
+// cache-lock contention, per-shard incremental invalidation under
+// mutations (an insert invalidates one shard, not the whole
+// whole-dataset configuration), split cache budgets, and the per-shard
+// breakdowns in CacheStats.ShardStats and Stats.ShardStats. A durable
+// engine persists the shard count; a reopened dataset keeps its
+// layout.
+//
 // # Durability
 //
 // By default an Engine is in-memory: a restart reverts the dataset to
 // whatever the process loads next. WithPersistence(dir) makes it
 // durable — every Apply batch is write-ahead-logged and fsynced before
-// its generation publishes, OpenEngine recovers the dataset from the
-// directory on boot, and a snapshot/compaction cycle keeps the log
-// bounded. Engine.Close releases the log cleanly. The recovery
+// its generation publishes (concurrent batches group-commit behind one
+// shared fsync instead of serializing on the disk), OpenEngine
+// recovers the dataset from the directory on boot, and a
+// snapshot/compaction cycle keeps the log bounded. Engine.Close releases the log cleanly. The recovery
 // contract — what is durable when Apply returns, and the crash
 // windows — is specified in docs/PERSISTENCE.md.
 package toprr

@@ -36,10 +36,18 @@ type Engine struct {
 	store        *store.Store
 	defaults     Options
 	batchWorkers int
+	shards       int                 // shard count of the solve plane (>= 1 after OpenEngine)
 	persist      store.PersistConfig // zero Dir = in-memory engine
 	hyperplanes  *core.HyperplaneCache
 	caches       *topk.Registry
-	applyMu      sync.Mutex // serializes Apply's store-mutation + cache-advance pair
+
+	// Cache advances must follow the store's generation order even
+	// though concurrent Apply calls group-commit and return in fsync
+	// order; advanced tracks the last generation whose delta reached the
+	// caches and advanceCond parks out-of-order advancers.
+	advanceMu   sync.Mutex
+	advanceCond *sync.Cond
+	advanced    Generation
 
 	limitsMu   sync.Mutex // guards the cache-limit pair below
 	maxConfigs int
@@ -80,6 +88,40 @@ func WithBatchWorkers(n int) EngineOption {
 	return func(e *Engine) { e.batchWorkers = n }
 }
 
+// WithShards partitions the engine's solve plane into n shards: the
+// option set splits into n stable subsets (hashed by option contents,
+// so assignments survive swap-delete relocation), each with its own
+// top-k memo — the hyperplane cache likewise stripes its lock and
+// budget n ways, by option pair — and solves fan their work out
+// over the shards — per-vertex evaluations merge exact per-shard
+// partial results, queries default to n parallel workers on the channel
+// scheduler, and the assemble stage intersects per-shard constraint
+// chunks. Sharded and unsharded solves produce identical regions;
+// sharding buys parallelism without cache-lock contention, per-shard
+// incremental invalidation under mutations, and per-shard cache
+// budgets.
+//
+// n = 0 (the default) derives the count from GOMAXPROCS (capped at 8);
+// n = 1 disables sharding. A durable engine persists the count in its
+// snapshot metadata, and a reopened dataset keeps its recorded layout —
+// WithShards then only seeds fresh (or pre-shard) directories.
+func WithShards(n int) EngineOption {
+	return func(e *Engine) { e.shards = n }
+}
+
+// defaultShards derives the GOMAXPROCS-based shard count used when
+// WithShards is absent or zero.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
 // WithCacheLimits bounds the engine's shared top-k caches: maxConfigs
 // caps the interned (k, candidate-set) configurations and
 // maxEntriesPerConfig caps the memoized vertices of each. Zero keeps the
@@ -116,25 +158,42 @@ func OpenEngine(pts []vec.Vector, opts ...EngineOption) (*Engine, error) {
 	for _, o := range opts {
 		o(e)
 	}
+	if e.shards < 0 || e.shards > topk.MaxShards {
+		return nil, fmt.Errorf("toprr: shard count %d out of range [0, %d]", e.shards, topk.MaxShards)
+	}
+	if e.shards == 0 {
+		e.shards = defaultShards()
+	}
 	var (
 		st  *store.Store
 		err error
 	)
 	if e.persist.Dir != "" {
+		e.persist.Shards = e.shards
 		st, err = store.Open(e.persist, pts)
 	} else {
-		st, err = store.New(pts)
+		st, err = store.NewSharded(pts, e.shards)
 	}
 	if err != nil {
 		return nil, err
 	}
 	e.store = st
+	// A reopened dataset keeps the shard layout its snapshot records;
+	// the engine's configuration only seeds fresh directories.
+	if n := st.Shards(); n > 0 {
+		e.shards = n
+	}
 	snap := st.Snapshot()
-	e.hyperplanes = core.NewHyperplaneCache(snap.Scorer)
-	e.caches = topk.NewRegistry(snap.Scorer)
+	e.hyperplanes = core.NewShardedHyperplaneCache(snap.Scorer, e.shards)
+	e.caches = topk.NewShardedRegistry(snap.Scorer, e.shards)
 	e.caches.SetLimits(e.maxConfigs, e.maxEntries)
+	e.advanceCond = sync.NewCond(&e.advanceMu)
+	e.advanced = snap.Gen
 	return e, nil
 }
+
+// Shards reports the engine's shard count (1 = unsharded).
+func (e *Engine) Shards() int { return e.shards }
 
 // SetCacheLimits adjusts the cache limits of a live engine, with the
 // same semantics as WithCacheLimits (zero keeps the current value for
@@ -166,15 +225,14 @@ func (e *Engine) CacheLimits() (maxConfigs, maxEntriesPerConfig int) {
 	return e.maxConfigs, e.maxEntries
 }
 
-// Close releases the engine's durable resources: the WAL is synced and
-// closed, after which Apply fails and reads keep serving the in-memory
-// state. Closing is idempotent, and a no-op beyond blocking writes for
-// in-memory engines. A crash without Close loses nothing an Apply
-// acknowledged under the default sync mode; Close exists so a clean
-// shutdown releases file handles deterministically.
+// Close releases the engine's durable resources: in-flight Apply calls
+// drain, then the WAL is synced and closed, after which Apply fails and
+// reads keep serving the in-memory state. Closing is idempotent, and a
+// no-op beyond blocking writes for in-memory engines. A crash without
+// Close loses nothing an Apply acknowledged under the default sync
+// mode; Close exists so a clean shutdown releases file handles
+// deterministically.
 func (e *Engine) Close() error {
-	e.applyMu.Lock()
-	defer e.applyMu.Unlock()
 	return e.store.Close()
 }
 
@@ -206,23 +264,36 @@ func (e *Engine) Log(since uint64) []AppliedOp { return e.store.Log(since) }
 // one new generation, whose number is returned. In-flight solves are
 // unaffected — they keep their pinned snapshot — and the engine's shared
 // caches advance incrementally: inserting, deleting or upgrading option
-// p drops only the hyperplanes and top-k configurations involving p, not
-// the warm state of the rest of the dataset. On error the dataset and
-// the returned generation are unchanged. Apply calls serialize among
-// themselves; reads never block writes.
+// p drops only the hyperplanes and, on a sharded engine, only the
+// per-shard top-k state of the shards owning p — not the warm state of
+// the rest of the dataset. On error the dataset and the returned
+// generation are unchanged.
+//
+// Concurrent Apply calls overlap: on a durable engine their WAL fsyncs
+// group-commit behind one shared flush instead of serializing on the
+// disk, and the cache advances then apply strictly in generation order.
+// Reads never block writes.
 func (e *Engine) Apply(ctx context.Context, ops []Op) (Generation, error) {
 	if err := ctx.Err(); err != nil {
 		return e.store.Generation(), err
 	}
-	e.applyMu.Lock()
-	defer e.applyMu.Unlock()
 	snap, delta, err := e.store.Apply(ops)
 	if err != nil {
 		return e.store.Generation(), err
 	}
 	if delta.To != delta.From {
+		// The store publishes generations in order, but concurrent Apply
+		// callers can reach this point out of order; the gate replays
+		// the deltas onto the caches in the order they were published.
+		e.advanceMu.Lock()
+		for e.advanced != delta.From {
+			e.advanceCond.Wait()
+		}
 		e.hyperplanes.Advance(snap.Scorer, delta.Dirty)
 		e.caches.Advance(snap.Scorer, delta.Dirty)
+		e.advanced = delta.To
+		e.advanceCond.Broadcast()
+		e.advanceMu.Unlock()
 	}
 	return snap.Gen, nil
 }
@@ -253,8 +324,12 @@ func (e *Engine) problem(snap Snapshot, q Query) (Problem, error) {
 }
 
 // options resolves a query's options and injects the engine's shared
-// caches (which themselves verify the solve's pinned generation on every
-// access).
+// caches (which themselves verify the solve's pinned generation on
+// every access) and the sharded solve plane: solves on a sharded engine
+// run with the engine's shard count, fan out over the channel scheduler
+// with one worker per shard unless the query pins its own worker count,
+// and assemble through the per-shard constraint-intersection merge
+// stage unless the query names its own assembler.
 func (e *Engine) options(q Query) Options {
 	opt := e.defaults
 	if q.Options != nil {
@@ -262,6 +337,22 @@ func (e *Engine) options(q Query) Options {
 	}
 	opt.Hyperplanes = e.hyperplanes
 	opt.TopKCaches = e.caches
+	opt.Shards = e.shards
+	if e.shards > 1 {
+		if opt.Workers == 0 {
+			// One worker per shard, capped at the CPUs actually
+			// available: extra workers on an oversubscribed box only buy
+			// scheduling overhead, while extra shards still buy finer
+			// invalidation and budget slicing.
+			opt.Workers = e.shards
+			if procs := runtime.GOMAXPROCS(0); opt.Workers > procs {
+				opt.Workers = procs
+			}
+		}
+		if opt.Assembler == nil {
+			opt.Assembler = core.ParallelClipAssembler{Shards: e.shards}
+		}
+	}
 	return opt
 }
 
@@ -378,14 +469,22 @@ type CacheStats struct {
 	Evictions             int
 	LiveGenerations       int
 	RetainedSnapshotBytes int64
+	Shards                int // the engine's shard count (1 = unsharded)
+	// ShardStats breaks the shared caches down per shard — memoized
+	// partials, hit/miss totals, and the hyperplane stripe occupancy —
+	// on sharded engines (nil otherwise).
+	ShardStats []ShardCacheStats
 }
+
+// ShardCacheStats is one shard's slice of an engine's shared caches.
+type ShardCacheStats = topk.ShardCacheStats
 
 // CacheStats snapshots the engine's shared-cache occupancy and snapshot
 // GC counters.
 func (e *Engine) CacheStats() CacheStats {
 	hits, misses := e.caches.Stats()
 	live, retained := e.store.GCStats()
-	return CacheStats{
+	cs := CacheStats{
 		Generation:            e.store.Generation(),
 		Hyperplanes:           e.hyperplanes.Len(),
 		TopKConfigs:           e.caches.Len(),
@@ -394,7 +493,17 @@ func (e *Engine) CacheStats() CacheStats {
 		Evictions:             e.hyperplanes.Evictions() + e.caches.Evictions(),
 		LiveGenerations:       live,
 		RetainedSnapshotBytes: retained,
+		Shards:                e.shards,
+		ShardStats:            e.caches.ShardStats(),
 	}
+	if cs.ShardStats != nil {
+		for i, n := range e.hyperplanes.StripeLens() {
+			if i < len(cs.ShardStats) {
+				cs.ShardStats[i].Hyperplanes = n
+			}
+		}
+	}
+	return cs
 }
 
 // PersistStats snapshots the engine's durable layer: WAL size and

@@ -47,6 +47,7 @@ type Registry struct {
 	ttl           time.Duration // idle-eviction TTL (0 = never evict)
 	budgetConfigs int           // process-wide interned top-k configurations (0 = per-engine default)
 	budgetEntries int           // per-configuration memoized-vertex cap (0 = per-engine default)
+	shards        int           // default shard count for new datasets (0 = engine auto)
 	persist       store.PersistConfig
 
 	mu      sync.Mutex
@@ -99,6 +100,14 @@ func WithRegistryPersistence(cfg PersistConfig) RegistryOption {
 // destroying the tenant.
 func WithIdleTTL(d time.Duration) RegistryOption {
 	return func(r *Registry) { r.ttl = d }
+}
+
+// WithRegistryShards sets the default shard count new datasets are
+// created with (see WithShards; 0 keeps the per-engine GOMAXPROCS
+// default). Datasets reopened from disk keep the shard layout their
+// snapshots record regardless.
+func WithRegistryShards(n int) RegistryOption {
+	return func(r *Registry) { r.shards = n }
 }
 
 // WithCacheBudget sets the process-wide cache budget: totalConfigs
@@ -177,11 +186,17 @@ func (r *Registry) persistFor(name string) PersistConfig {
 }
 
 // openEngineFor opens one tenant's engine outside the registry lock.
-func (r *Registry) openEngineFor(name string, boot []vec.Vector) (*Engine, error) {
-	if r.root == "" {
-		return OpenEngine(boot)
+// shards > 0 overrides the registry default for a newly created
+// dataset; reopened datasets keep their persisted layout either way.
+func (r *Registry) openEngineFor(name string, boot []vec.Vector, shards int) (*Engine, error) {
+	if shards == 0 {
+		shards = r.shards
 	}
-	return OpenEngine(boot, WithPersistenceConfig(r.persistFor(name)))
+	opts := []EngineOption{WithShards(shards)}
+	if r.root != "" {
+		opts = append(opts, WithPersistenceConfig(r.persistFor(name)))
+	}
+	return OpenEngine(boot, opts...)
 }
 
 // rebalanceLocked re-apportions the cache budget over the resident
@@ -244,7 +259,7 @@ func (r *Registry) engineLocked(t *tenant) (*Engine, error) {
 	}
 	t.opening = true
 	r.mu.Unlock()
-	eng, err := r.openEngineFor(t.name, nil) // state exists on disk; no bootstrap
+	eng, err := r.openEngineFor(t.name, nil, 0) // state exists on disk; no bootstrap
 	r.mu.Lock()
 	t.opening = false
 	t.ready.Broadcast()
@@ -272,8 +287,18 @@ func (r *Registry) engineLocked(t *tenant) (*Engine, error) {
 // taken (including by an undiscovered directory that appeared behind
 // the registry's back).
 func (r *Registry) Create(name string, pts []vec.Vector) (*Engine, error) {
+	return r.CreateWithShards(name, pts, 0)
+}
+
+// CreateWithShards is Create with an explicit solve-plane shard count
+// for the new dataset (see WithShards; 0 uses the registry default,
+// falling back to the per-engine GOMAXPROCS derivation).
+func (r *Registry) CreateWithShards(name string, pts []vec.Vector, shards int) (*Engine, error) {
 	if err := store.ValidateDatasetName(name); err != nil {
 		return nil, err
+	}
+	if shards < 0 || shards > MaxShards {
+		return nil, fmt.Errorf("toprr: shard count %d out of range [0, %d]", shards, MaxShards)
 	}
 	r.mu.Lock()
 	if r.closed {
@@ -303,7 +328,7 @@ func (r *Registry) Create(name string, pts []vec.Vector) (*Engine, error) {
 		}
 	}
 	if err == nil {
-		eng, err = r.openEngineFor(name, pts)
+		eng, err = r.openEngineFor(name, pts, shards)
 	}
 
 	r.mu.Lock()

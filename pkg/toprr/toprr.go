@@ -49,6 +49,19 @@ const (
 	TASStar = core.TASStar
 )
 
+// MaxShards bounds the shard count of a sharded solve plane
+// (WithShards, Registry.CreateWithShards).
+const MaxShards = topk.MaxShards
+
+// ShardStat is one shard's share of a solve's work (Stats.ShardStats).
+type ShardStat = core.ShardStat
+
+// ParallelClipAssembler is the sharded merge stage: per-shard
+// constraint chunks clipped concurrently, then intersected into the
+// final region. Sharded engines install it by default; set it
+// explicitly to use the sharded merge with package-level Solve.
+type ParallelClipAssembler = core.ParallelClipAssembler
+
 // Versioned-store vocabulary, re-exported so callers never import
 // internal/store. An Engine's dataset is a sequence of generations;
 // Apply publishes a new one, Snapshot pins one for reading.
