@@ -215,6 +215,49 @@ func BenchmarkImpactClipOR(b *testing.B) {
 	}
 }
 
+// assembleInstance builds a solved mid-size instance whose Vall feeds
+// the assemble benchmarks (mirrors the alloc experiment's workload).
+func assembleInstance(b *testing.B) (*topk.Scorer, []core.ImpactVertex) {
+	b.Helper()
+	ds := dataset.Generate(dataset.Independent, 2000, 4, 7)
+	rng := rand.New(rand.NewSource(11))
+	wr := bench.RandomRegion(3, 0.05, 1, rng)
+	prob := core.NewProblem(ds.Pts, 10, wr)
+	res, err := core.Solve(prob, core.Options{Alg: core.TASStar, Seed: 5})
+	if err != nil {
+		b.Fatalf("instance solve: %v", err)
+	}
+	return prob.Scorer, res.Vall
+}
+
+func BenchmarkAssembleBuffered(b *testing.B) {
+	scorer, vall := assembleInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := core.ClipAssembler{}.Assemble(scorer, vall, 5000)
+		if len(out.Constraints) == 0 {
+			b.Fatal("empty constraints")
+		}
+	}
+}
+
+func BenchmarkAssembleStreaming(b *testing.B) {
+	scorer, vall := assembleInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := core.ClipAssembler{}.NewStream(scorer, 5000)
+		for _, iv := range vall {
+			st.Push(iv)
+		}
+		out := st.Finish()
+		if len(out.Constraints) == 0 {
+			b.Fatal("empty constraints")
+		}
+	}
+}
+
 func BenchmarkDatasetGeneration(b *testing.B) {
 	for _, dist := range []dataset.Distribution{dataset.Independent, dataset.Correlated, dataset.Anticorrelated} {
 		b.Run(dist.String(), func(b *testing.B) {

@@ -1,0 +1,185 @@
+package main
+
+// Baseline comparison: -compare diffs a fresh run's records against the
+// committed bench/BASELINE.json, turning the BENCH_*.json trajectory
+// into an enforced contract instead of an archive. Gated metrics fail
+// the run when they regress more than regressionTolerance over the
+// baseline; wall-clock and ns/op are reported but never gated, because
+// the baseline was captured on different hardware. See
+// docs/PERFORMANCE.md for how to read and refresh the baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// regressionTolerance is the fractional headroom a gated metric gets
+// over its baseline value before the comparison fails: work counters
+// drift slightly under parallel scheduling and allocation counts under
+// map growth, so an exact match would flap.
+const regressionTolerance = 0.20
+
+// Absolute slack floors keep the relative gate from flapping on tiny
+// baselines (a 4-alloc benchmark must not fail because it hit 5).
+const (
+	allocsSlack = 16      // allocs/op
+	bytesSlack  = 4096    // B/op
+	countSlack  = 64      // work counters (regions, LP, QP)
+	mallocSlack = 100_000 // whole-experiment mallocs
+	heapSlack   = 1 << 22 // whole-experiment alloc_bytes (4 MiB)
+)
+
+// baseline is the committed reference trajectory: one record per
+// experiment, in the same schema the runner writes to BENCH_<id>.json.
+type baseline struct {
+	Note    string   `json:"note"`
+	Records []record `json:"records"`
+}
+
+// loadBaseline reads and validates a baseline file.
+func loadBaseline(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	if len(b.Records) == 0 {
+		return nil, fmt.Errorf("baseline %s holds no records", path)
+	}
+	return &b, nil
+}
+
+// gate checks one gated metric: fresh may exceed base by the relative
+// tolerance or the absolute slack, whichever is larger. It returns a
+// failure description, or "" when the metric passes.
+func gate(name string, fresh, base float64, slack float64) string {
+	limit := base * (1 + regressionTolerance)
+	if base+slack > limit {
+		limit = base + slack
+	}
+	if fresh > limit {
+		return fmt.Sprintf("%s regressed: %.4g > %.4g (baseline %.4g, tolerance %.0f%% or +%.4g)",
+			name, fresh, limit, base, regressionTolerance*100, slack)
+	}
+	return ""
+}
+
+// compareRecord diffs one experiment's fresh record against its
+// baseline record and returns the failures.
+func compareRecord(fresh, base record) []string {
+	var fails []string
+	add := func(msg string) {
+		if msg != "" {
+			fails = append(fails, fmt.Sprintf("%s: %s", fresh.ID, msg))
+		}
+	}
+	add(gate("regions_processed", float64(fresh.RegionsProcessed), float64(base.RegionsProcessed), countSlack))
+	add(gate("lp_calls", float64(fresh.LPCalls), float64(base.LPCalls), countSlack))
+	add(gate("qp_calls", float64(fresh.QPCalls), float64(base.QPCalls), countSlack))
+	if base.AllocBytes > 0 {
+		add(gate("alloc_bytes", float64(fresh.AllocBytes), float64(base.AllocBytes), heapSlack))
+		add(gate("mallocs", float64(fresh.Mallocs), float64(base.Mallocs), mallocSlack))
+	}
+	fails = append(fails, compareAllocRows(fresh, base)...)
+	return fails
+}
+
+// allocRows extracts the alloc experiment's per-benchmark rows
+// (bench, ns/op, B/op, allocs/op) as name -> [ns, bytes, allocs].
+func allocRows(r record) map[string][3]float64 {
+	out := make(map[string][3]float64)
+	for _, t := range r.Tables {
+		if t.ID != "Alloc" {
+			continue
+		}
+		for _, row := range t.Rows {
+			if len(row) < 4 {
+				continue
+			}
+			ns, err1 := strconv.ParseFloat(row[1], 64)
+			bpo, err2 := strconv.ParseFloat(row[2], 64)
+			apo, err3 := strconv.ParseFloat(row[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				continue
+			}
+			out[row[0]] = [3]float64{ns, bpo, apo}
+		}
+	}
+	return out
+}
+
+// compareAllocRows gates B/op and allocs/op per benchmark row of the
+// alloc experiment. ns/op is machine-dependent and never gated. Rows
+// present only on one side are skipped (new benchmarks enter the gate
+// when the baseline is refreshed).
+func compareAllocRows(fresh, base record) []string {
+	baseRows := allocRows(base)
+	if len(baseRows) == 0 {
+		return nil
+	}
+	var fails []string
+	for name, f := range allocRows(fresh) {
+		b, ok := baseRows[name]
+		if !ok {
+			continue
+		}
+		if msg := gate("B/op", f[1], b[1], bytesSlack); msg != "" {
+			fails = append(fails, fmt.Sprintf("%s/%s: %s", fresh.ID, name, msg))
+		}
+		if msg := gate("allocs/op", f[2], b[2], allocsSlack); msg != "" {
+			fails = append(fails, fmt.Sprintf("%s/%s: %s", fresh.ID, name, msg))
+		}
+	}
+	return fails
+}
+
+// compareAgainstBaseline diffs the run's records against the baseline
+// file and returns an error when any gated metric regressed. Fresh
+// experiments without a baseline record (and vice versa) are reported
+// as skipped, so adding an experiment does not break CI until the
+// baseline is refreshed to cover it.
+func compareAgainstBaseline(path string, fresh []record, w io.Writer) error {
+	b, err := loadBaseline(path)
+	if err != nil {
+		return err
+	}
+	byID := make(map[string]record, len(b.Records))
+	for _, r := range b.Records {
+		byID[r.ID] = r
+	}
+	var fails []string
+	compared := 0
+	fmt.Fprintf(w, "# baseline comparison vs %s\n", path)
+	for _, f := range fresh {
+		base, ok := byID[f.ID]
+		if !ok {
+			fmt.Fprintf(w, "  %-8s not in baseline — skipped (refresh the baseline to gate it)\n", f.ID)
+			continue
+		}
+		compared++
+		rf := compareRecord(f, base)
+		fails = append(fails, rf...)
+		status := "ok"
+		if len(rf) > 0 {
+			status = fmt.Sprintf("REGRESSED (%d metrics)", len(rf))
+		}
+		fmt.Fprintf(w, "  %-8s %s  (wall %.2fs vs baseline %.2fs — advisory)\n", f.ID, status, f.WallSeconds, base.WallSeconds)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no experiment of this run appears in baseline %s", path)
+	}
+	for _, msg := range fails {
+		fmt.Fprintf(w, "  FAIL %s\n", msg)
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("%d gated metrics regressed >%.0f%% vs %s", len(fails), regressionTolerance*100, path)
+	}
+	fmt.Fprintf(w, "  all gated metrics within tolerance\n")
+	return nil
+}

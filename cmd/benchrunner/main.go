@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,6 +29,9 @@ import (
 )
 
 // record is the machine-readable result of one experiment run.
+// AllocBytes and Mallocs are runtime.MemStats deltas (TotalAlloc and
+// Mallocs, both monotone) across the run, so the memory trajectory is
+// tracked next to the wall-clock one and can be gated by -compare.
 type record struct {
 	ID               string    `json:"id"`
 	Caption          string    `json:"caption"`
@@ -37,6 +41,8 @@ type record struct {
 	RegionsProcessed int64     `json:"regions_processed"`
 	LPCalls          int64     `json:"lp_calls"`
 	QPCalls          int64     `json:"qp_calls"`
+	AllocBytes       uint64    `json:"alloc_bytes"`
+	Mallocs          uint64    `json:"mallocs"`
 	Tables           []tableJS `json:"tables"`
 }
 
@@ -70,6 +76,7 @@ func main() {
 		budget  = flag.Int("maxregions", bench.DefaultScale.MaxRegions, "per-query recursion budget (0 = solver default)")
 		timeout = flag.Duration("timeout", bench.DefaultScale.Timeout, "per-query wall-clock budget (0 = unlimited)")
 		jsonDir = flag.String("jsondir", ".", "directory for BENCH_<id>.json records ('' = disable)")
+		compare = flag.String("compare", "", "baseline JSON (e.g. bench/BASELINE.json) to diff the run against; >20% regression on a gated metric exits nonzero")
 	)
 	flag.Parse()
 
@@ -96,37 +103,52 @@ func main() {
 	}
 
 	fmt.Printf("# TopRR experiment runner — scale=%.3g queries=%d timeout=%v\n\n", s.N, s.Queries, s.Timeout)
+	var records []record
 	for _, e := range selected {
 		start := time.Now()
 		before := toprr.ReadCounters()
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		tables := e.Run(s)
+		runtime.ReadMemStats(&msAfter)
 		delta := toprr.ReadCounters().Sub(before)
 		wall := time.Since(start)
 
 		for _, table := range tables {
 			fmt.Println(table.String())
 		}
-		fmt.Printf("(%s finished in %.1fs; %d regions, %d LP calls, %d QP calls)\n\n",
-			e.ID, wall.Seconds(), delta.RegionsProcessed, delta.LPSolves, delta.QPSolves)
+		fmt.Printf("(%s finished in %.1fs; %d regions, %d LP calls, %d QP calls, %.1f MB allocated)\n\n",
+			e.ID, wall.Seconds(), delta.RegionsProcessed, delta.LPSolves, delta.QPSolves,
+			float64(msAfter.TotalAlloc-msBefore.TotalAlloc)/(1<<20))
 
+		r := record{
+			ID:               e.ID,
+			Caption:          e.Caption,
+			Scale:            s.N,
+			Queries:          s.Queries,
+			WallSeconds:      wall.Seconds(),
+			RegionsProcessed: delta.RegionsProcessed,
+			LPCalls:          delta.LPSolves,
+			QPCalls:          delta.QPSolves,
+			AllocBytes:       msAfter.TotalAlloc - msBefore.TotalAlloc,
+			Mallocs:          msAfter.Mallocs - msBefore.Mallocs,
+		}
+		for _, t := range tables {
+			r.Tables = append(r.Tables, tableJS{ID: t.ID, Caption: t.Caption, Header: t.Header, Rows: t.Rows})
+		}
+		records = append(records, r)
 		if *jsonDir != "" {
-			r := record{
-				ID:               e.ID,
-				Caption:          e.Caption,
-				Scale:            s.N,
-				Queries:          s.Queries,
-				WallSeconds:      wall.Seconds(),
-				RegionsProcessed: delta.RegionsProcessed,
-				LPCalls:          delta.LPSolves,
-				QPCalls:          delta.QPSolves,
-			}
-			for _, t := range tables {
-				r.Tables = append(r.Tables, tableJS{ID: t.ID, Caption: t.Caption, Header: t.Header, Rows: t.Rows})
-			}
 			if err := writeRecord(*jsonDir, r); err != nil {
 				fmt.Fprintf(os.Stderr, "benchrunner: writing JSON record: %v\n", err)
 				os.Exit(1)
 			}
+		}
+	}
+
+	if *compare != "" {
+		if err := compareAgainstBaseline(*compare, records, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }

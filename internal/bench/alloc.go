@@ -1,0 +1,155 @@
+package bench
+
+// The allocation experiment: testing.Benchmark wrappers around the hot
+// operations whose allocation behaviour the repo gates — oR assembly
+// (buffered and streaming), the incremental clip fold, warm top-k cache
+// lookups and polytope splitting — emitting ns/op, B/op and allocs/op
+// rows so the memory trajectory lands in BENCH_alloc.json alongside the
+// wall-clock trajectories. cmd/benchrunner's -compare mode diffs these
+// rows against the committed bench/BASELINE.json.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/core"
+	"toprr/internal/dataset"
+	"toprr/internal/geom"
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// AllocBenchNames lists the benchmark rows the alloc experiment emits,
+// in emission order. compare mode keys on these names.
+var AllocBenchNames = []string{
+	"impact_clip_or",
+	"assemble_buffered",
+	"assemble_streaming",
+	"topk_warm_lookup",
+	"sharded_topk_warm_lookup",
+	"polytope_split",
+}
+
+// allocInstance builds the fixed TopRR instance the assemble rows
+// measure: a solved mid-size problem whose Vall feeds the assemblers.
+func allocInstance() (*topk.Scorer, []core.ImpactVertex) {
+	ds := dataset.Generate(dataset.Independent, 2000, 4, 7)
+	rng := rand.New(rand.NewSource(11))
+	wr := RandomRegion(3, 0.05, 1, rng)
+	prob := core.NewProblem(ds.Pts, 10, wr)
+	res, err := core.Solve(prob, core.Options{Alg: core.TASStar, Seed: 5})
+	if err != nil {
+		panic("bench: alloc instance solve failed: " + err.Error())
+	}
+	return prob.Scorer, res.Vall
+}
+
+// clipORHalfspaces mirrors the repo-root BenchmarkImpactClipOR setup: a
+// pinned-seed batch of impact-like halfspaces clipped against the box.
+func clipORHalfspaces() []geom.Halfspace {
+	rng := rand.New(rand.NewSource(3))
+	hs := make([]geom.Halfspace, 200)
+	for i := range hs {
+		a := vec.Of(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		hs[i] = geom.NewHalfspace(a, a.Sum()*0.55)
+	}
+	return hs
+}
+
+// allocBenchmarks returns the named benchmark bodies. Kept as a map so
+// Alloc and tests agree on the set.
+func allocBenchmarks() map[string]func(b *testing.B) {
+	scorer, vall := allocInstance()
+	hs := clipORHalfspaces()
+	lo, hi := vec.New(4), vec.Of(1, 1, 1, 1)
+
+	wds := dataset.Generate(dataset.Independent, 1000, 4, 7)
+	wscorer := topk.NewScorer(wds.Pts)
+	wcache := topk.NewCache(wscorer, 10, nil)
+	w := vec.Of(0.3, 0.25, 0.2)
+	wcache.Get(w) // warm
+	shcache := topk.NewShardedCache(wscorer, 10, nil, 4, 0, nil)
+	shcache.Get(w) // warm
+
+	box5 := geom.NewBox(vec.New(5), vec.Of(1, 1, 1, 1, 1))
+	h5 := geom.NewHalfspace(vec.Of(1, -1, 0.5, -0.5, 0.25), 0.1)
+
+	return map[string]func(b *testing.B){
+		"impact_clip_or": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := geom.NewBox(lo, hi)
+				for _, h := range hs {
+					p = p.Clip(h)
+					if p.IsEmpty() {
+						b.Fatal("unexpected empty oR")
+					}
+				}
+			}
+		},
+		"assemble_buffered": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out := core.ClipAssembler{}.Assemble(scorer, vall, 5000)
+				if len(out.Constraints) == 0 {
+					b.Fatal("empty constraints")
+				}
+			}
+		},
+		"assemble_streaming": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := core.ClipAssembler{}.NewStream(scorer, 5000)
+				for _, iv := range vall {
+					st.Push(iv)
+				}
+				out := st.Finish()
+				if len(out.Constraints) == 0 {
+					b.Fatal("empty constraints")
+				}
+			}
+		},
+		"topk_warm_lookup": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wcache.Get(w)
+			}
+		},
+		"sharded_topk_warm_lookup": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				shcache.Get(w)
+			}
+		},
+		"polytope_split": func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				box5.Split(h5)
+			}
+		},
+	}
+}
+
+// Alloc runs the allocation micro-benchmarks and renders one row per
+// operation. Scale is ignored: the workloads are pinned so B/op and
+// allocs/op stay comparable across commits and machines.
+func Alloc(s Scale) []*Table {
+	t := &Table{
+		ID:      "Alloc",
+		Caption: "hot-path allocation profile (pinned workloads; gated by bench/BASELINE.json)",
+		Header:  []string{"bench", "ns/op", "B/op", "allocs/op"},
+	}
+	benches := allocBenchmarks()
+	for _, name := range AllocBenchNames {
+		fn, ok := benches[name]
+		if !ok {
+			continue
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%d", r.NsPerOp()),
+			fmt.Sprintf("%d", r.AllocedBytesPerOp()),
+			fmt.Sprintf("%d", r.AllocsPerOp()),
+		})
+	}
+	return []*Table{t}
+}

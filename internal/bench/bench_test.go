@@ -123,8 +123,8 @@ func TestScaleN(t *testing.T) {
 
 func TestFindAndAll(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(all))
+	if len(all) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

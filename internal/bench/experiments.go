@@ -60,6 +60,7 @@ func All() []Experiment {
 		{"fig13", "Lemma 7 effect on |Vall|", Fig13},
 		{"fig14", "k-switch effect on |Vall|", Fig14},
 		{"shards", "Sharded solve plane scaling (S=1/2/4/8)", ShardScaling},
+		{"alloc", "Hot-path allocation profile (ns/op, B/op, allocs/op)", Alloc},
 	}
 }
 

@@ -48,12 +48,25 @@ func SolveContext(ctx context.Context, p Problem, o Options) (*Result, error) {
 		prob: p,
 		opt:  o,
 		rng:  rand.New(rand.NewSource(o.Seed + 1)),
-		vall: make(map[string]ImpactVertex),
+		vall: make(map[uint64]ImpactVertex),
 	}
 	s.stats.InputOptions = p.Scorer.Len()
 	if o.Shards > 1 {
 		s.acc = topk.NewShardAccum(o.Shards)
 		s.stats.Shards = o.Shards
+	}
+
+	// The assembler is resolved before the partition so that, when it
+	// supports streaming, impact vertices flow into assembly as regions
+	// are confirmed instead of being buffered until the end. Both
+	// built-in assemblers stream; a custom Assembler without NewStream
+	// falls back to the buffered call below.
+	asm := o.Assembler
+	if asm == nil {
+		asm = ClipAssembler{}
+	}
+	if sa, ok := asm.(StreamAssembler); ok {
+		s.stream = sa.NewStream(p.Scorer, o.ORVertexBudget)
 	}
 
 	// Stage 1 — prefilter: discard options that can never rank among
@@ -91,14 +104,17 @@ func SolveContext(ctx context.Context, p Problem, o Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	asm := o.Assembler
-	if asm == nil {
-		asm = ClipAssembler{}
-	}
 	vall := s.sortedVall()
-	ao := asm.Assemble(p.Scorer, vall, o.ORVertexBudget)
+	var ao AssembleOutput
+	if s.stream != nil {
+		ao = s.stream.Finish()
+	} else {
+		ao = asm.Assemble(p.Scorer, vall, o.ORVertexBudget)
+	}
 	s.stats.ImpactClips = ao.Clips
 	s.stats.VallSize = len(vall)
+	s.stats.StreamedVertices = s.streamed
+	s.stats.UniqueImpacts = len(ao.Constraints) - 2*p.Scorer.Dim()
 	if o.Shards > 1 {
 		s.stats.ShardStats = s.shardStats(active, ao.ShardClips)
 	}
@@ -135,11 +151,28 @@ type solver struct {
 	opt         Options
 	mu          sync.Mutex
 	rng         *rand.Rand
-	vall        map[string]ImpactVertex
+	vall        map[uint64]ImpactVertex // keyed by the quantized vertex hash
+	stream      AssembleStream          // non-nil when the assembler streams
+	streamed    int                     // vertices pushed into the stream
 	stats       Stats
 	acc         *topk.ShardAccum // per-shard work attribution (sharded solves only)
 	collectSets map[int]bool     // non-nil when the UTK filter wants top-k set members
 	onAccept    func(region *geom.Polytope, cache *topk.Cache)
+	allOpts     []int // lazily built identity active set (guarded by mu)
+}
+
+// allOptions returns the identity active set [0, n), built once per
+// solve and shared read-only afterwards.
+func (s *solver) allOptions() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.allOpts == nil {
+		s.allOpts = make([]int, s.prob.Scorer.Len())
+		for i := range s.allOpts {
+			s.allOpts[i] = i
+		}
+	}
+	return s.allOpts
 }
 
 // addStats applies a mutation to the stats under the solver lock.
@@ -267,7 +300,7 @@ func (s *solver) process(ctx context.Context, rc regionCtx) ([]regionCtx, error)
 	// the interior is rank-invariant, and — because the k-th highest
 	// score is a continuous function of w — the impact halfspaces at the
 	// region's vertices are exact, so accepting is sound.
-	if children, ok := s.trySplit(rc.region, cache, s.escalationPairs(results, cache)); ok {
+	if children, ok := s.tryEscalationSplit(rc.region, cache, results); ok {
 		return children, nil
 	}
 	s.addStats(func(st *Stats) { st.DegenerateStops++ })
@@ -276,50 +309,63 @@ func (s *solver) process(ctx context.Context, rc regionCtx) ([]regionCtx, error)
 }
 
 // trySplit attempts the candidate pairs in order and splits the region
-// on the first hyperplane that strictly divides it. Candidates are
-// screened with a cheap vertex-side count before paying for the full
-// geometric split, so grazing hyperplanes (the common degenerate case)
-// cost O(|V|) instead of a polytope construction.
+// on the first hyperplane that strictly divides it.
 func (s *solver) trySplit(region *geom.Polytope, cache *topk.Cache, pairs [][2]int) ([]regionCtx, bool) {
 	for _, pair := range pairs {
-		hs, ok := s.splitHyperplane(pair[0], pair[1])
-		if !ok {
-			continue
+		if children, ok := s.trySplitPair(region, cache, pair); ok {
+			return children, true
 		}
-		var nNeg, nPos int
-		for _, v := range region.Verts {
-			switch geom.Side(hs.Eval(v.Point)) {
-			case -1:
-				nNeg++
-			case 1:
-				nPos++
-			}
-			if nNeg > 0 && nPos > 0 {
-				break
-			}
-		}
-		if nNeg == 0 || nPos == 0 {
-			continue
-		}
-		neg, pos := region.Split(hs)
-		if neg.IsEmpty() || pos.IsEmpty() {
-			continue
-		}
-		s.addStats(func(st *Stats) { st.Splits++ })
-		return []regionCtx{
-			{region: neg, cache: cache},
-			{region: pos, cache: cache},
-		}, true
 	}
 	return nil, false
 }
 
-// escalationPairs enumerates (union-of-top-k-sets x active) option pairs
-// for the degenerate-split fallback, in a deterministic order so runs
-// are reproducible.
-func (s *solver) escalationPairs(results []*topk.Result, cache *topk.Cache) [][2]int {
+// trySplitPair attempts one candidate pair. The pair is screened with a
+// cheap vertex-side count before paying for the full geometric split,
+// so grazing hyperplanes (the common degenerate case) cost O(|V|)
+// instead of a polytope construction.
+func (s *solver) trySplitPair(region *geom.Polytope, cache *topk.Cache, pair [2]int) ([]regionCtx, bool) {
+	hs, ok := s.splitHyperplane(pair[0], pair[1])
+	if !ok {
+		return nil, false
+	}
+	var nNeg, nPos int
+	for _, v := range region.Verts {
+		switch geom.Side(hs.Eval(v.Point)) {
+		case -1:
+			nNeg++
+		case 1:
+			nPos++
+		}
+		if nNeg > 0 && nPos > 0 {
+			break
+		}
+	}
+	if nNeg == 0 || nPos == 0 {
+		return nil, false
+	}
+	neg, pos := region.Split(hs)
+	if neg.IsEmpty() || pos.IsEmpty() {
+		return nil, false
+	}
+	s.addStats(func(st *Stats) { st.Splits++ })
+	return []regionCtx{
+		{region: neg, cache: cache},
+		{region: pos, cache: cache},
+	}, true
+}
+
+// tryEscalationSplit attempts the degenerate-split fallback pairs —
+// every (x, y) with x in the union of the vertices' top-k sets and y
+// active — in a deterministic order, streaming them into the split
+// attempt instead of materializing the union x active product (whose
+// pair list and dedup map used to dominate the solve's allocations).
+// Each unordered pair is attempted at its first occurrence in the scan,
+// exactly the order the materialized list produced: a pair whose both
+// ends are in the (sorted) union is skipped when seen from its larger
+// end, having already been attempted from the smaller one.
+func (s *solver) tryEscalationSplit(region *geom.Polytope, cache *topk.Cache, results []*topk.Result) ([]regionCtx, bool) {
 	inUnion := make(map[int]bool)
-	var union []int
+	union := make([]int, 0, len(results[0].Ordered))
 	for _, r := range results {
 		for _, idx := range r.Ordered {
 			if !inUnion[idx] {
@@ -331,30 +377,23 @@ func (s *solver) escalationPairs(results []*topk.Result, cache *topk.Cache) [][2
 	sort.Ints(union)
 	active := cache.Active()
 	if active == nil {
-		active = make([]int, s.prob.Scorer.Len())
-		for i := range active {
-			active[i] = i
-		}
+		active = s.allOptions()
 	}
-	seen := make(map[[2]int]bool)
-	var out [][2]int
 	for _, x := range union {
 		for _, y := range active {
-			if x == y {
+			if x == y || (inUnion[y] && y < x) {
 				continue
 			}
-			key := [2]int{x, y}
+			pair := [2]int{x, y}
 			if y < x {
-				key = [2]int{y, x}
+				pair = [2]int{y, x}
 			}
-			if seen[key] {
-				continue
+			if children, ok := s.trySplitPair(region, cache, pair); ok {
+				return children, true
 			}
-			seen[key] = true
-			out = append(out, key)
 		}
 	}
-	return out
+	return nil, false
 }
 
 // firstViolation returns indices of the first vertex pair violating the
@@ -387,30 +426,45 @@ func (s *solver) sameTopKm1(results []*topk.Result) bool {
 	if k == 1 {
 		return true
 	}
-	base := prefixSetKey(results[0], k-1)
 	for _, r := range results[1:] {
-		if prefixSetKey(r, k-1) != base {
+		if !samePrefixSet(results[0], r, k-1) {
 			return false
 		}
 	}
 	return true
 }
 
-// prefixSetKey returns a canonical identity for the set of the first
-// lambda entries of a top-k result.
-func prefixSetKey(r *topk.Result, lambda int) string {
-	ix := append([]int(nil), r.Ordered[:lambda]...)
-	// Insertion sort: lambda is tiny.
+// samePrefixSet reports whether the first lambda entries of two top-k
+// results form the same option set. It sorts copies in small stack
+// buffers and compares elementwise — no canonical string key is ever
+// materialized, so the comparison is allocation-free for lambda <= 64.
+func samePrefixSet(ra, rb *topk.Result, lambda int) bool {
+	var bufA, bufB [64]int
+	var a, b []int
+	if lambda <= len(bufA) {
+		a, b = bufA[:lambda], bufB[:lambda]
+	} else {
+		a, b = make([]int, lambda), make([]int, lambda)
+	}
+	copy(a, ra.Ordered[:lambda])
+	copy(b, rb.Ordered[:lambda])
+	sortSmall(a)
+	sortSmall(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortSmall is an insertion sort: prefix lengths are tiny.
+func sortSmall(ix []int) {
 	for i := 1; i < len(ix); i++ {
 		for j := i; j > 0 && ix[j] < ix[j-1]; j-- {
 			ix[j], ix[j-1] = ix[j-1], ix[j]
 		}
 	}
-	var b []byte
-	for _, x := range ix {
-		b = append(b, []byte(fmt.Sprintf("%d,", x))...)
-	}
-	return string(b)
 }
 
 // lemma5 implements the consistent top-λ pruning of Section 5.1: if all
@@ -440,10 +494,9 @@ func (s *solver) lemma5(ctx context.Context, verts []vec.Vector, cache *topk.Cac
 	})
 	lambda := 0
 	for l := k - 1; l >= 1; l-- {
-		base := prefixSetKey(results[0], l)
 		same := true
 		for _, r := range results[1:] {
-			if prefixSetKey(r, l) != base {
+			if !samePrefixSet(results[0], r, l) {
 				same = false
 				break
 			}
@@ -488,9 +541,16 @@ func (s *solver) accept(region *geom.Polytope, cache *topk.Cache, verts []vec.Ve
 	s.mu.Lock()
 	s.stats.Regions++
 	for i, v := range verts {
-		key := v.Key(1e-10)
+		key := v.Hash(vallQuantum)
 		if _, ok := s.vall[key]; !ok {
-			s.vall[key] = ImpactVertex{W: v, KthScore: results[i].KthScore}
+			iv := ImpactVertex{W: v, KthScore: results[i].KthScore}
+			s.vall[key] = iv
+			// Streaming assembly: new-unique vertices flow into the
+			// assembler the moment their region is confirmed.
+			if s.stream != nil {
+				s.stream.Push(iv)
+				s.streamed++
+			}
 		}
 	}
 	if s.collectSets != nil {
@@ -670,7 +730,7 @@ func utkFilter(ctx context.Context, p Problem, opt Options) ([]int, error) {
 		prob:        p,
 		opt:         opt,
 		rng:         rand.New(rand.NewSource(1)),
-		vall:        make(map[string]ImpactVertex),
+		vall:        make(map[uint64]ImpactVertex),
 		collectSets: make(map[int]bool),
 	}
 	s.stats.InputOptions = p.Scorer.Len()

@@ -1,0 +1,64 @@
+package core
+
+// CI-enforced zero-allocation invariants for the solve hot path (see
+// docs/PERFORMANCE.md): warm hyperplane interning and streaming impact
+// dedup allocate nothing once their tables reach steady state.
+
+import (
+	"testing"
+
+	"toprr/internal/dataset"
+	"toprr/internal/race"
+	"toprr/internal/topk"
+)
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("alloc counts are inflated under -race")
+	}
+}
+
+func TestAllocsWarmHyperplaneInterning(t *testing.T) {
+	skipUnderRace(t)
+	ds := dataset.Generate(dataset.Independent, 200, 4, 5)
+	scorer := topk.NewScorer(ds.Pts)
+	c := NewShardedHyperplaneCache(scorer, 4)
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			hs, ok := computeSplitHyperplane(scorer, i, j)
+			c.storeFor(scorer, i, j, hpEntry{hs: hs, ok: ok})
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 40; i++ {
+			for j := i + 1; j < 40; j++ {
+				if _, ok := c.lookupFor(scorer, i, j); !ok {
+					t.Fatal("missing interned pair")
+				}
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm hyperplane lookups allocate %.1f per run, want 0", allocs)
+	}
+}
+
+func TestAllocsStreamPushDuplicate(t *testing.T) {
+	skipUnderRace(t)
+	scorer, vall := streamTestInstance(t)
+	st := ClipAssembler{}.NewStream(scorer, 5000)
+	for _, iv := range vall {
+		st.Push(iv)
+	}
+	// Re-pushing the same vertices hits the dedup fast path: hash, probe,
+	// compare — no clone, no key string, no growth.
+	allocs := testing.AllocsPerRun(50, func() {
+		for _, iv := range vall {
+			st.Push(iv)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("duplicate stream pushes allocate %.1f per run, want 0", allocs)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"sort"
-	"sync"
 
 	"toprr/internal/geom"
 	"toprr/internal/topk"
@@ -13,6 +12,11 @@ import (
 // collected impact vertices Vall, it produces oR per Theorem 1 — the
 // intersection of the option box with the impact halfspaces of every
 // vertex. Implementations must be deterministic for a given Vall.
+//
+// Assemblers that also implement StreamAssembler consume impact
+// vertices as the partition stage produces them; the solver prefers
+// that path (see stream.go) and only buffers Vall for assemblers that
+// lack it.
 type Assembler interface {
 	// Name identifies the assembler in stats and logs.
 	Name() string
@@ -46,6 +50,21 @@ type ClipAssembler struct{}
 // Name implements Assembler.
 func (ClipAssembler) Name() string { return "clip" }
 
+// NewStream implements StreamAssembler.
+func (ClipAssembler) NewStream(scorer *topk.Scorer, vertexBudget int) AssembleStream {
+	return &clipStream{set: impactSet{scorer: scorer}, budget: vertexBudget}
+}
+
+// Assemble implements Assembler. It is the buffered equivalent of the
+// streaming path: push everything, finish once.
+func (a ClipAssembler) Assemble(scorer *topk.Scorer, vall []ImpactVertex, vertexBudget int) AssembleOutput {
+	st := a.NewStream(scorer, vertexBudget)
+	for _, iv := range vall {
+		st.Push(iv)
+	}
+	return st.Finish()
+}
+
 // optionBox returns the [0,1]^d option-space box.
 func optionBox(d int) *geom.Polytope {
 	lo, hi := vec.New(d), vec.New(d)
@@ -58,63 +77,34 @@ func optionBox(d int) *geom.Polytope {
 // dedupImpact deduplicates the impact halfspaces of Vall on a quantized
 // grid and orders them deepest-cut first (higher threshold binds more
 // of the box), with a deterministic tie-break so runs are reproducible.
-// Both assemblers share it, so their constraint lists are identical.
+// Identity is the composite uint64 hash of the quantized halfspace —
+// no per-vertex clone or string key is ever built. Both assemblers and
+// the streaming path share this dedup, so their constraint lists are
+// identical.
 func dedupImpact(scorer *topk.Scorer, vall []ImpactVertex) []geom.Halfspace {
-	type keyed struct {
-		h   geom.Halfspace
-		key string
-	}
-	seen := make(map[string]bool, len(vall))
-	impactKeyed := make([]keyed, 0, len(vall))
+	set := impactSet{scorer: scorer}
 	for _, iv := range vall {
-		h := iv.ImpactHalfspace(scorer)
-		key := append(h.A.Clone(), h.B).Key(1e-9)
-		if seen[key] {
-			continue
-		}
-		seen[key] = true
-		impactKeyed = append(impactKeyed, keyed{h: h, key: key})
+		set.add(iv)
 	}
-	sort.Slice(impactKeyed, func(i, j int) bool {
-		if impactKeyed[i].h.B != impactKeyed[j].h.B {
-			return impactKeyed[i].h.B > impactKeyed[j].h.B
-		}
-		return impactKeyed[i].key < impactKeyed[j].key
-	})
-	impact := make([]geom.Halfspace, len(impactKeyed))
-	for i, k := range impactKeyed {
-		impact[i] = k.h
-	}
-	return impact
+	return set.sorted()
 }
 
-// clipFold runs the sequential incremental clip of impact against box:
-// the explicit polytope (nil when the enumeration exceeds
-// vertexBudget) and the number of halfspaces that actually cut.
+// clipFold runs the sequential incremental clip of impact against box
+// inside an arena-backed geom.Fold: the explicit polytope (nil when the
+// enumeration exceeds vertexBudget) and the number of halfspaces that
+// actually cut.
 func clipFold(box *geom.Polytope, impact []geom.Halfspace, vertexBudget int) (or *geom.Polytope, clips int) {
-	or = box
+	f := geom.NewFold(box)
+	defer f.Release()
 	for _, h := range impact {
-		next := or.Clip(h)
-		if next != or {
+		if f.Clip(h) {
 			clips++
 		}
-		or = next
-		if or.NumVertices() > vertexBudget {
+		if f.Current().NumVertices() > vertexBudget {
 			return nil, clips
 		}
 	}
-	return or, clips
-}
-
-// Assemble implements Assembler.
-func (ClipAssembler) Assemble(scorer *topk.Scorer, vall []ImpactVertex, vertexBudget int) AssembleOutput {
-	box := optionBox(scorer.Dim())
-	impact := dedupImpact(scorer, vall)
-	out := AssembleOutput{
-		Constraints: append(append([]geom.Halfspace(nil), box.HS...), impact...),
-	}
-	out.OR, out.Clips = clipFold(box, impact, vertexBudget)
-	return out
+	return f.Detach(), clips
 }
 
 // ParallelClipAssembler is the sharded merge stage: the deduplicated
@@ -142,114 +132,30 @@ type ParallelClipAssembler struct {
 // Name implements Assembler.
 func (ParallelClipAssembler) Name() string { return "clip-sharded" }
 
-// Assemble implements Assembler.
-func (a ParallelClipAssembler) Assemble(scorer *topk.Scorer, vall []ImpactVertex, vertexBudget int) AssembleOutput {
-	s := a.Shards
-	if s > topk.MaxShards {
-		s = topk.MaxShards
-	}
-	impact := dedupImpact(scorer, vall)
-	box := optionBox(scorer.Dim())
-	out := AssembleOutput{
-		Constraints: append(append([]geom.Halfspace(nil), box.HS...), impact...),
-	}
-	// Sequential path, reusing the already-deduplicated impact list:
-	// too few constraints for the fan-out to pay for itself, or an
-	// over-budget intermediate in the chunked phases below. Its clips
-	// are attributed to shard 0, keeping sum(ShardClips) == Clips.
-	sequential := func() AssembleOutput {
-		out.OR, out.Clips = clipFold(box, impact, vertexBudget)
-		out.ShardClips = make([]int, a.Shards)
-		if a.Shards > 0 {
-			out.ShardClips[0] = out.Clips
-		}
-		return out
-	}
-	if s < 2 || len(impact) < 2*s {
-		return sequential()
-	}
-	out.ShardClips = make([]int, s)
-
-	// Round-robin assignment keeps the deepest cuts (the front of the
-	// deduplicated order) spread across chunks.
-	chunks := make([][]geom.Halfspace, s)
-	for i, h := range impact {
-		chunks[i%s] = append(chunks[i%s], h)
-	}
-
-	// Phase 1 — clip each chunk against the box concurrently. Each
-	// chunk's polytope prunes that chunk's redundant halfspaces, so the
-	// fold below only pays for constraints that still matter. A chunk
-	// holds only ~1/S of the constraints, so its intermediate polytope
-	// can exceed the vertex budget where the sequential deepest-cut
-	// fold would not; over-budget falls back to the sequential path
-	// below rather than dropping the geometry, so OR presence matches
-	// the unsharded assembler exactly.
-	polys := make([]*geom.Polytope, s)
-	over := make([]bool, s)
-	var wg sync.WaitGroup
-	for i := range chunks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			or := box
-			for _, h := range chunks[i] {
-				next := or.Clip(h)
-				if next != or {
-					out.ShardClips[i]++
-				}
-				or = next
-				if or.NumVertices() > vertexBudget {
-					over[i] = true
-					return
-				}
-			}
-			polys[i] = or
-		}(i)
-	}
-	wg.Wait()
-	for _, o := range over {
-		if o {
-			return sequential()
-		}
-	}
-	for i := range out.ShardClips {
-		out.Clips += out.ShardClips[i]
-	}
-
-	// Phase 2 — intersect the per-shard polytopes in shard order. Each
-	// polytope's H-representation describes exactly its region, so
-	// clipping by it is intersection; empty chunks short-circuit. An
-	// over-budget intermediate falls back to the sequential fold for
-	// the same reason as phase 1.
-	or := polys[0]
-	for i := 1; i < s && !or.IsEmpty(); i++ {
-		for _, h := range polys[i].HS {
-			next := or.Clip(h)
-			if next != or {
-				out.ShardClips[i]++
-				out.Clips++
-			}
-			or = next
-			if or.NumVertices() > vertexBudget {
-				return sequential()
-			}
-		}
-	}
-	out.OR = or
-	return out
+// NewStream implements StreamAssembler.
+func (a ParallelClipAssembler) NewStream(scorer *topk.Scorer, vertexBudget int) AssembleStream {
+	return &clipStream{set: impactSet{scorer: scorer}, budget: vertexBudget, shards: a.Shards}
 }
 
-// sortedVall returns Vall in a deterministic order.
+// Assemble implements Assembler, buffered equivalent of the stream.
+func (a ParallelClipAssembler) Assemble(scorer *topk.Scorer, vall []ImpactVertex, vertexBudget int) AssembleOutput {
+	st := a.NewStream(scorer, vertexBudget)
+	for _, iv := range vall {
+		st.Push(iv)
+	}
+	return st.Finish()
+}
+
+// sortedVall returns Vall in a deterministic order: lexicographic over
+// the quantized vertex coordinates, independent of map iteration and of
+// the order workers confirmed regions in.
 func (s *solver) sortedVall() []ImpactVertex {
-	keys := make([]string, 0, len(s.vall))
-	for k := range s.vall {
-		keys = append(keys, k)
+	out := make([]ImpactVertex, 0, len(s.vall))
+	for _, iv := range s.vall {
+		out = append(out, iv)
 	}
-	sort.Strings(keys)
-	out := make([]ImpactVertex, len(keys))
-	for i, k := range keys {
-		out[i] = s.vall[k]
-	}
+	sort.Slice(out, func(i, j int) bool {
+		return lexLessQ(out[i].W, out[j].W, vallQuantum)
+	})
 	return out
 }

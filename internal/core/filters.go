@@ -29,10 +29,9 @@ func FilterSizes(p Problem) (rSkyband, withLemma5 int) {
 	}
 	lambda := 0
 	for l := p.K - 1; l >= 1; l-- {
-		base := prefixSetKey(results[0], l)
 		same := true
 		for _, r := range results[1:] {
-			if prefixSetKey(r, l) != base {
+			if !samePrefixSet(results[0], r, l) {
 				same = false
 				break
 			}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"toprr/internal/geom"
+	"toprr/internal/oamap"
 	"toprr/internal/topk"
 )
 
@@ -30,11 +31,14 @@ type HyperplaneCache struct {
 	stripes []hpStripe
 }
 
-// hpStripe is one independently locked slice of the cache.
+// hpStripe is one independently locked slice of the cache. The entry
+// table is an open-addressed map keyed by the packed pair — warm
+// lookups are allocation-free (a CI-gated invariant, see
+// docs/PERFORMANCE.md).
 type hpStripe struct {
 	mu        sync.RWMutex
 	scorer    *topk.Scorer
-	m         map[int64]hpEntry
+	m         oamap.Map[hpEntry]
 	limit     int
 	evictions int // entries dropped by Advance or refused at the cap
 }
@@ -72,7 +76,6 @@ func NewShardedHyperplaneCache(scorer *topk.Scorer, shards int) *HyperplaneCache
 	}
 	for i := range c.stripes {
 		c.stripes[i].scorer = scorer
-		c.stripes[i].m = make(map[int64]hpEntry)
 		c.stripes[i].limit = limit
 	}
 	return c
@@ -80,7 +83,7 @@ func NewShardedHyperplaneCache(scorer *topk.Scorer, shards int) *HyperplaneCache
 
 // pairKey packs an ordered option pair (the hyperplane's halfspace
 // orientation depends on the order).
-func pairKey(i, j int) int64 { return int64(i)<<32 | int64(uint32(j)) }
+func pairKey(i, j int) uint64 { return uint64(i)<<32 | uint64(uint32(j)) }
 
 // stripeFor maps a pair to its owning stripe with a cheap avalanche mix
 // so adjacent slots spread across stripes.
@@ -88,7 +91,7 @@ func (c *HyperplaneCache) stripeFor(i, j int) *hpStripe {
 	if len(c.stripes) == 1 {
 		return &c.stripes[0]
 	}
-	h := uint64(pairKey(i, j))
+	h := pairKey(i, j)
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
@@ -104,8 +107,7 @@ func (c *HyperplaneCache) lookupFor(sc *topk.Scorer, i, j int) (hpEntry, bool) {
 	if s.scorer != sc {
 		return hpEntry{}, false
 	}
-	e, ok := s.m[pairKey(i, j)]
-	return e, ok
+	return s.m.Get(pairKey(i, j))
 }
 
 // storeFor records the hyperplane for the ordered pair (i, j), unless
@@ -118,8 +120,8 @@ func (c *HyperplaneCache) storeFor(sc *topk.Scorer, i, j int, e hpEntry) {
 	if s.scorer != sc {
 		return
 	}
-	if len(s.m) < s.limit {
-		s.m[pairKey(i, j)] = e
+	if s.m.Len() < s.limit {
+		s.m.Put(pairKey(i, j), e)
 	} else {
 		s.evictions++
 	}
@@ -149,12 +151,18 @@ func (c *HyperplaneCache) Advance(sc *topk.Scorer, dirty []int) {
 		s := &c.stripes[si]
 		s.mu.Lock()
 		if len(dirtySet) > 0 {
-			for key := range s.m {
+			// Range must not mutate the map, so collect first, then drop.
+			var drop []uint64
+			s.m.Range(func(key uint64, _ hpEntry) bool {
 				i, j := int(key>>32), int(uint32(key))
 				if dirtySet[i] || dirtySet[j] {
-					delete(s.m, key)
-					s.evictions++
+					drop = append(drop, key)
 				}
+				return true
+			})
+			for _, key := range drop {
+				s.m.Delete(key)
+				s.evictions++
 			}
 		}
 		s.scorer = sc
@@ -168,7 +176,7 @@ func (c *HyperplaneCache) Len() int {
 	for si := range c.stripes {
 		s := &c.stripes[si]
 		s.mu.RLock()
-		n += len(s.m)
+		n += s.m.Len()
 		s.mu.RUnlock()
 	}
 	return n
@@ -181,7 +189,7 @@ func (c *HyperplaneCache) StripeLens() []int {
 	for si := range c.stripes {
 		s := &c.stripes[si]
 		s.mu.RLock()
-		out[si] = len(s.m)
+		out[si] = s.m.Len()
 		s.mu.RUnlock()
 	}
 	return out

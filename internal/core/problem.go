@@ -118,21 +118,23 @@ func (o Options) withDefaults() Options {
 // Stats captures the instrumentation the paper reports in Sections 6.4
 // and 6.5, plus the per-shard work breakdown of sharded solves.
 type Stats struct {
-	InputOptions    int           // |D|
-	FilteredOptions int           // |D'| after the r-skyband filter
-	ProcessedMin    int           // smallest active set seen (Lemma 5 shrinks it)
-	Regions         int           // confirmed regions (kIPRs, or Lemma 7 accepts)
-	Splits          int           // split operations performed
-	Lemma5Prunes    int           // options removed by Lemma 5 across the recursion
-	Lemma7Accepts   int           // non-kIPR regions accepted by Lemma 7
-	DegenerateStops int           // regions accepted because no valid cut existed (ties)
-	VallSize        int           // |Vall| (Theorem 1 vertex set)
-	TopKQueries     int           // top-k computations incl. cache hits
-	TopKMisses      int           // top-k computations that did real work
-	ImpactClips     int           // impact halfspaces applied to build oR
-	Shards          int           // shard count of the evaluation plane (0/1 = unsharded)
-	ShardStats      []ShardStat   // per-shard work breakdown (sharded solves only)
-	Elapsed         time.Duration // wall-clock time of Solve
+	InputOptions     int           // |D|
+	FilteredOptions  int           // |D'| after the r-skyband filter
+	ProcessedMin     int           // smallest active set seen (Lemma 5 shrinks it)
+	Regions          int           // confirmed regions (kIPRs, or Lemma 7 accepts)
+	Splits           int           // split operations performed
+	Lemma5Prunes     int           // options removed by Lemma 5 across the recursion
+	Lemma7Accepts    int           // non-kIPR regions accepted by Lemma 7
+	DegenerateStops  int           // regions accepted because no valid cut existed (ties)
+	VallSize         int           // |Vall| (Theorem 1 vertex set)
+	TopKQueries      int           // top-k computations incl. cache hits
+	TopKMisses       int           // top-k computations that did real work
+	ImpactClips      int           // impact halfspaces applied to build oR
+	StreamedVertices int           // vertices streamed into the assembler during partition (0 = buffered)
+	UniqueImpacts    int           // deduplicated impact halfspaces in the H-representation
+	Shards           int           // shard count of the evaluation plane (0/1 = unsharded)
+	ShardStats       []ShardStat   // per-shard work breakdown (sharded solves only)
+	Elapsed          time.Duration // wall-clock time of Solve
 }
 
 // ShardStat is one shard's share of a solve's work: its population of

@@ -37,7 +37,7 @@ func ReverseTopKContext(ctx context.Context, pts []vec.Vector, k int, wr *geom.P
 		prob: p,
 		opt:  opt,
 		rng:  rand.New(rand.NewSource(opt.Seed + 1)),
-		vall: make(map[string]ImpactVertex),
+		vall: make(map[uint64]ImpactVertex),
 	}
 	s.stats.InputOptions = p.Scorer.Len()
 	active, err := SkybandPrefilter{}.Filter(ctx, p)

@@ -1,0 +1,293 @@
+package core
+
+// Streaming assembly: the partition stage pushes impact vertices into
+// the assembler as regions are confirmed, instead of buffering the
+// whole Vall slice and handing it over at the end. The stream
+// deduplicates impact halfspaces on arrival under quantized uint64
+// hashes, so by the time the partition finishes, the assemble stage
+// only has the (far smaller) unique constraint set left to sort and
+// fold.
+//
+// Exactness contract: a streaming assembly is bit-identical to the
+// buffered Assemble call over the same vertex set, regardless of
+// arrival order. Dedup and the deepest-cut sort are arrival-order
+// independent by construction — when several vertices quantize to the
+// same impact halfspace, the representative kept is the one the
+// buffered path (which walks Vall in sorted order) would keep: the
+// vertex with the lexicographically smallest quantized weight vector.
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"toprr/internal/geom"
+	"toprr/internal/oamap"
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// impactQuantum is the grid on which impact halfspaces are
+// deduplicated; it matches the historical string-key quantum.
+const impactQuantum = 1e-9
+
+// vallQuantum is the grid on which Vall vertices are deduplicated and
+// ordered.
+const vallQuantum = 1e-10
+
+// StreamAssembler is implemented by assemblers that can consume impact
+// vertices incrementally as the partition stage confirms regions. The
+// solver streams by default whenever Options.Assembler implements it
+// (both built-in assemblers do); a custom Assembler without NewStream
+// falls back to the buffered call.
+type StreamAssembler interface {
+	Assembler
+	// NewStream opens a streaming assembly for one solve. The returned
+	// stream accepts Push from multiple goroutines and is finalized by a
+	// single Finish call.
+	NewStream(scorer *topk.Scorer, vertexBudget int) AssembleStream
+}
+
+// AssembleStream is an in-progress streaming assembly.
+type AssembleStream interface {
+	// Push feeds one impact vertex. Duplicate impact halfspaces (on the
+	// quantized grid) are absorbed. Safe for concurrent use.
+	Push(iv ImpactVertex)
+	// Finish completes the assembly and returns the output. It must be
+	// called exactly once, after every Push has returned.
+	Finish() AssembleOutput
+}
+
+// lexLessQ orders vectors by their quantized coordinates,
+// lexicographically. It is the allocation-free replacement for
+// comparing quantized string keys.
+func lexLessQ(a, b vec.Vector, quantum float64) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for t := 0; t < n; t++ {
+		qa := int64(math.Round(a[t] / quantum))
+		qb := int64(math.Round(b[t] / quantum))
+		if qa != qb {
+			return qa < qb
+		}
+	}
+	return len(a) < len(b)
+}
+
+// lexLessStrict is lexLessQ with quantized ties broken by the raw
+// coordinates, so any two distinct vectors have a strict order. The
+// dedup representative rule needs this: the solver's Vall vertices are
+// unique on the quantized grid, but Push accepts arbitrary vertices and
+// must stay arrival-order independent even for sub-quantum twins.
+func lexLessStrict(a, b vec.Vector, quantum float64) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for t := 0; t < n; t++ {
+		qa := int64(math.Round(a[t] / quantum))
+		qb := int64(math.Round(b[t] / quantum))
+		if qa != qb {
+			return qa < qb
+		}
+	}
+	for t := 0; t < n; t++ {
+		if a[t] != b[t] {
+			return a[t] < b[t]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// impactEntry is one unique impact halfspace with the vertex that
+// contributed it (the representative used for order-independent dedup).
+type impactEntry struct {
+	h geom.Halfspace
+	w vec.Vector
+}
+
+// impactSet accumulates deduplicated impact halfspaces under quantized
+// uint64 composite hashes (coefficients and threshold). Not
+// goroutine-safe; clipStream serializes access.
+type impactSet struct {
+	scorer *topk.Scorer
+	idx    oamap.Map[int32] // composite hash -> index into list
+	list   []impactEntry
+}
+
+// add absorbs one vertex's impact halfspace. No per-vertex clone, no
+// string key: the identity is a 64-bit FNV-1a digest of the quantized
+// coefficients folded with the quantized threshold (collisions merge
+// two constraints with probability ~2^-64 per pair — consciously
+// accepted). On a duplicate, the representative with the smaller
+// quantized vertex wins, making the kept halfspace independent of
+// arrival order.
+func (s *impactSet) add(iv ImpactVertex) {
+	// The identity is computed without materializing the halfspace: its
+	// coefficient vector is FullWeight(W) — W with the derived last
+	// weight appended — so its digest extends W's digest by one fold,
+	// and the threshold is the vertex's k-th score. The halfspace itself
+	// is only built when the entry is (re)inserted.
+	key := vec.HashFold(iv.W.Hash(impactQuantum), 1-iv.W.Sum(), impactQuantum)
+	key = vec.HashFold(key, iv.KthScore, impactQuantum)
+	if i, ok := s.idx.Get(key); ok {
+		if lexLessStrict(iv.W, s.list[i].w, vallQuantum) {
+			s.list[i] = impactEntry{h: iv.ImpactHalfspace(s.scorer), w: iv.W}
+		}
+		return
+	}
+	s.idx.Put(key, int32(len(s.list)))
+	s.list = append(s.list, impactEntry{h: iv.ImpactHalfspace(s.scorer), w: iv.W})
+}
+
+// sorted returns the unique impact halfspaces deepest-cut first (B
+// descending; ties broken by the quantized coefficients so runs are
+// reproducible). It reorders the internal list, so no add may follow.
+func (s *impactSet) sorted() []geom.Halfspace {
+	sort.Slice(s.list, func(i, j int) bool {
+		if s.list[i].h.B != s.list[j].h.B {
+			return s.list[i].h.B > s.list[j].h.B
+		}
+		return lexLessQ(s.list[i].h.A, s.list[j].h.A, impactQuantum)
+	})
+	out := make([]geom.Halfspace, len(s.list))
+	for i, e := range s.list {
+		out[i] = e.h
+	}
+	return out
+}
+
+// clipStream is the streaming state shared by ClipAssembler (shards
+// <= 1) and ParallelClipAssembler (shards > 1).
+type clipStream struct {
+	mu     sync.Mutex
+	set    impactSet
+	budget int
+	shards int
+	pushed int
+}
+
+// Push implements AssembleStream.
+func (st *clipStream) Push(iv ImpactVertex) {
+	st.mu.Lock()
+	st.set.add(iv)
+	st.pushed++
+	st.mu.Unlock()
+}
+
+// Pushed returns the number of vertices streamed so far.
+func (st *clipStream) Pushed() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.pushed
+}
+
+// Finish implements AssembleStream.
+func (st *clipStream) Finish() AssembleOutput {
+	st.mu.Lock()
+	impact := st.set.sorted()
+	d := st.set.scorer.Dim()
+	budget, shards := st.budget, st.shards
+	st.mu.Unlock()
+	return assembleFromImpact(d, impact, budget, shards)
+}
+
+// assembleFromImpact is the shared fold stage: box constraints plus the
+// already-deduplicated, deepest-cut-first impact halfspaces, clipped
+// sequentially (shards < 2) or via the chunked parallel merge. Both
+// Assemble (buffered) and Finish (streaming) end here, which is what
+// makes the two paths bit-identical by construction.
+func assembleFromImpact(d int, impact []geom.Halfspace, vertexBudget, shards int) AssembleOutput {
+	box := optionBox(d)
+	out := AssembleOutput{
+		Constraints: append(append(make([]geom.Halfspace, 0, len(box.HS)+len(impact)), box.HS...), impact...),
+	}
+	s := shards
+	if s > topk.MaxShards {
+		s = topk.MaxShards
+	}
+	// Sequential path: too few constraints for the fan-out to pay for
+	// itself, or an over-budget intermediate in the chunked phases
+	// below. Its clips are attributed to shard 0, keeping
+	// sum(ShardClips) == Clips.
+	sequential := func() AssembleOutput {
+		out.OR, out.Clips = clipFold(box, impact, vertexBudget)
+		if shards > 0 {
+			out.ShardClips = make([]int, shards)
+			out.ShardClips[0] = out.Clips
+		}
+		return out
+	}
+	if s < 2 || len(impact) < 2*s {
+		return sequential()
+	}
+
+	// Round-robin assignment keeps the deepest cuts (the front of the
+	// deduplicated order) spread across chunks.
+	chunks := make([][]geom.Halfspace, s)
+	for i, h := range impact {
+		chunks[i%s] = append(chunks[i%s], h)
+	}
+
+	// Phase 1 — clip each chunk against the box concurrently, each
+	// goroutine folding inside its own arena-backed geom.Fold. A chunk
+	// holds only ~1/S of the constraints, so its intermediate polytope
+	// can exceed the vertex budget where the sequential deepest-cut fold
+	// would not; over-budget falls back to the sequential path so OR
+	// presence matches the unsharded assembler exactly.
+	shardClips := make([]int, s)
+	polys := make([]*geom.Polytope, s)
+	over := make([]bool, s)
+	var wg sync.WaitGroup
+	for i := range chunks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := geom.NewFold(box)
+			defer f.Release()
+			for _, h := range chunks[i] {
+				if f.Clip(h) {
+					shardClips[i]++
+				}
+				if f.Current().NumVertices() > vertexBudget {
+					over[i] = true
+					return
+				}
+			}
+			polys[i] = f.Detach()
+		}(i)
+	}
+	wg.Wait()
+	for _, o := range over {
+		if o {
+			return sequential()
+		}
+	}
+
+	// Phase 2 — intersect the per-shard polytopes in shard order. Each
+	// polytope's H-representation describes exactly its region, so
+	// clipping by it is intersection; empty chunks short-circuit. An
+	// over-budget intermediate falls back to the sequential fold for the
+	// same reason as phase 1.
+	f := geom.NewFold(polys[0])
+	for i := 1; i < s && !f.Current().IsEmpty(); i++ {
+		for _, h := range polys[i].HS {
+			if f.Clip(h) {
+				shardClips[i]++
+			}
+			if f.Current().NumVertices() > vertexBudget {
+				f.Release()
+				return sequential()
+			}
+		}
+	}
+	out.OR = f.Detach()
+	f.Release()
+	out.ShardClips = shardClips
+	for _, c := range shardClips {
+		out.Clips += c
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package geom
+
+// Allocation gates for the clip hot path. These are the CI-enforced
+// invariants docs/PERFORMANCE.md documents: redundant clips inside a
+// Fold allocate nothing, and effective clips allocate only the handful
+// of result headers (the vertex storage itself comes from the arenas).
+
+import (
+	"testing"
+
+	"toprr/internal/race"
+	"toprr/internal/vec"
+)
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("alloc counts are inflated under -race")
+	}
+}
+
+func TestAllocsRedundantFoldClip(t *testing.T) {
+	skipUnderRace(t)
+	d := 4
+	f := NewFold(NewBox(vec.New(d), vec.Of(1, 1, 1, 1)))
+	defer f.Release()
+	redundant := NewHalfspace(vec.Of(1, 0, 0, 0), -5)
+	f.Clip(redundant) // warm the scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		f.Clip(redundant)
+	})
+	if allocs != 0 {
+		t.Fatalf("redundant Fold.Clip allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestAllocsEffectiveFoldClipBounded(t *testing.T) {
+	skipUnderRace(t)
+	d := 4
+	hs := randomHalfspaces(d, 60, 21)
+	// Warm arenas and scratch to their steady-state sizes, then measure
+	// a full fold: the per-clip budget covers only the result headers
+	// (HS slice, vertex slice, polytope struct, bits headers), not the
+	// vertex storage, which the arenas recycle.
+	lo, hi := vec.New(d), vec.Of(1, 1, 1, 1)
+	run := func() int {
+		f := NewFold(NewBox(lo, hi))
+		n := 0
+		for _, h := range hs {
+			if f.Clip(h) {
+				n++
+			}
+		}
+		f.Release()
+		return n
+	}
+	effective := run()
+	if effective < 5 {
+		t.Fatalf("degenerate workload: only %d effective clips", effective)
+	}
+	allocs := testing.AllocsPerRun(20, func() { run() })
+	// NewBox itself allocates ~4 per halfspace + corners; give the fold
+	// 8 header allocations per effective clip on top.
+	budget := float64(60 + 8*effective)
+	if allocs > budget {
+		t.Fatalf("fold of %d clips (%d effective) allocates %.0f per run, budget %.0f",
+			len(hs), effective, allocs, budget)
+	}
+}

@@ -1,0 +1,128 @@
+package geom
+
+// Per-solve slab allocation for the clip hot path. Assembling oR clips
+// the option box by hundreds-to-thousands of impact halfspaces; without
+// reuse every clip heap-allocates evaluation buffers, cut points and
+// tight-set bitsets that die one clip later. An Arena bump-allocates
+// vertex storage from recycled blocks, and a Scratch bundles the
+// transient buffers Split/Clip need, recycled through a sync.Pool.
+//
+// Ownership rule for every pooled object in this package (Scratch via
+// GetScratch/Release, Fold via NewFold/Release): the object is owned by
+// exactly one goroutine from Get until Release, and no reference into
+// its buffers — including any *Polytope whose storage an Arena backs —
+// may outlive Release. Anything that must escape a solve is deep-copied
+// out first (Fold.Detach). Violating this rule is a data race: the pool
+// hands the same buffers to another goroutine after Release.
+
+import (
+	"sync"
+
+	"toprr/internal/vec"
+)
+
+// arenaChunk is the block size (in elements) arenas allocate at a time.
+const arenaChunk = 4096
+
+// Arena is a bump allocator over chunked slabs of float64 (vertex
+// coordinates) and uint64 (tight-set words). Reset recycles all slabs
+// without freeing them, invalidating every slice previously returned.
+// The zero Arena is ready to use. Not goroutine-safe.
+type Arena struct {
+	fblocks [][]float64
+	fbi     int
+	foff    int
+	ublocks [][]uint64
+	ubi     int
+	uoff    int
+}
+
+// Floats returns an owned, zero-length-capacity-exact slice of n floats
+// from the arena. Contents are unspecified (callers overwrite).
+func (a *Arena) Floats(n int) []float64 {
+	for {
+		if a.fbi < len(a.fblocks) {
+			blk := a.fblocks[a.fbi]
+			if a.foff+n <= len(blk) {
+				s := blk[a.foff : a.foff+n : a.foff+n]
+				a.foff += n
+				return s
+			}
+			a.fbi++
+			a.foff = 0
+			continue
+		}
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		a.fblocks = append(a.fblocks, make([]float64, size))
+	}
+}
+
+// Uints returns an owned slice of n uint64 words from the arena.
+// Contents are unspecified (callers overwrite).
+func (a *Arena) Uints(n int) []uint64 {
+	for {
+		if a.ubi < len(a.ublocks) {
+			blk := a.ublocks[a.ubi]
+			if a.uoff+n <= len(blk) {
+				s := blk[a.uoff : a.uoff+n : a.uoff+n]
+				a.uoff += n
+				return s
+			}
+			a.ubi++
+			a.uoff = 0
+			continue
+		}
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		a.ublocks = append(a.ublocks, make([]uint64, size))
+	}
+}
+
+// Reset recycles the arena: every slice previously returned by Floats or
+// Uints becomes invalid and its storage is reused by later allocations.
+func (a *Arena) Reset() {
+	a.fbi, a.foff = 0, 0
+	a.ubi, a.uoff = 0, 0
+}
+
+// Scratch holds the transient buffers one Split/Clip call chain needs:
+// evaluations, candidate points, tight pairs and halfspace staging. See
+// the package ownership rule above: one goroutine from GetScratch until
+// Release, no retained references afterward.
+type Scratch struct {
+	evals   []float64
+	seen    map[uint64]struct{}
+	uniq    []vec.Vector
+	cut     []vec.Vector
+	negPts  []vec.Vector
+	posPts  []vec.Vector
+	pairH   []int32
+	pairV   []int32
+	keptNew []int32
+	hsBuf   []Halfspace
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &Scratch{seen: make(map[uint64]struct{}, 64)}
+}}
+
+// GetScratch leases a Scratch from the shared pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// Release returns the scratch to the pool. The caller must hold no
+// references into its buffers past this call.
+func (s *Scratch) Release() { scratchPool.Put(s) }
+
+// evalsFor returns the evaluation buffer resized to n.
+func (s *Scratch) evalsFor(n int) []float64 {
+	if cap(s.evals) < n {
+		s.evals = make([]float64, n)
+	}
+	s.evals = s.evals[:n]
+	return s.evals
+}

@@ -1,0 +1,102 @@
+package geom
+
+import "sync"
+
+// Fold incrementally intersects halfspaces into a polytope — the oR
+// assembly loop of Theorem 1 — while keeping every intermediate
+// polytope's vertex storage inside two ping-pong arenas. Each effective
+// clip writes the surviving geometry into the idle arena and recycles
+// the one backing the previous step, so a fold of thousands of clips
+// touches a constant amount of slab memory instead of allocating (and
+// abandoning) every intermediate vertex set.
+//
+// A Fold follows the package ownership rule (see arena.go): it is owned
+// by one goroutine from NewFold until Release, Current's result aliases
+// arena storage and must not be retained across the next Clip or
+// Release, and the final polytope escapes only via Detach.
+type Fold struct {
+	cur    *Polytope
+	arenas [2]Arena
+	// live is the arena index backing cur's storage, or -1 while cur is
+	// still the caller-owned starting polytope (or an empty result).
+	live    int
+	scratch *Scratch
+	clips   int
+}
+
+var foldPool = sync.Pool{New: func() any { return new(Fold) }}
+
+// NewFold leases a Fold from the shared pool, starting from polytope
+// start (which is never mutated).
+func NewFold(start *Polytope) *Fold {
+	f := foldPool.Get().(*Fold)
+	f.cur = start
+	f.live = -1
+	f.clips = 0
+	if f.scratch == nil {
+		f.scratch = GetScratch()
+	}
+	return f
+}
+
+// Clip intersects the current polytope with h and reports whether the
+// polytope changed (false means the clip was redundant). Redundant clips
+// cost one evaluation pass and no arena traffic.
+func (f *Fold) Clip(h Halfspace) bool {
+	f.clips++
+	next := 0
+	if f.live == 0 {
+		next = 1
+	}
+	out := f.cur.clipPosInto(h, f.scratch, &f.arenas[next])
+	if out == f.cur {
+		return false
+	}
+	// The new polytope's storage lives in arenas[next] (or nowhere, when
+	// it is empty); the previous step's arena is now garbage.
+	if f.live >= 0 {
+		f.arenas[f.live].Reset()
+	}
+	f.cur = out
+	if out.IsEmpty() {
+		f.live = -1
+		f.arenas[next].Reset()
+	} else {
+		f.live = next
+	}
+	return true
+}
+
+// Current returns the polytope as folded so far. The result may alias
+// arena storage: it is only valid until the next Clip or Release, and
+// must never be retained — use Detach for a result that escapes.
+func (f *Fold) Current() *Polytope { return f.cur }
+
+// Clips returns the number of Clip calls so far (redundant or not).
+func (f *Fold) Clips() int { return f.clips }
+
+// Detach deep-copies the current polytope out of the arenas and returns
+// it; the copy is an ordinary heap polytope safe to retain after
+// Release. When the current polytope never entered an arena (no
+// effective clip, or an empty result) it is returned as-is.
+func (f *Fold) Detach() *Polytope {
+	if f.live < 0 {
+		return f.cur
+	}
+	p := f.cur
+	verts := make([]Vertex, len(p.Verts))
+	for i, v := range p.Verts {
+		verts[i] = Vertex{Point: v.Point.Clone(), Tight: v.Tight.Clone()}
+	}
+	return &Polytope{Dim: p.Dim, HS: p.HS, Verts: verts}
+}
+
+// Release recycles the fold's arenas and scratch back to the pool. Any
+// un-Detached Current result is invalid after this call.
+func (f *Fold) Release() {
+	f.cur = nil
+	f.arenas[0].Reset()
+	f.arenas[1].Reset()
+	f.live = -1
+	foldPool.Put(f)
+}

@@ -1,0 +1,133 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+func randomHalfspaces(d, n int, seed int64) []Halfspace {
+	rng := rand.New(rand.NewSource(seed))
+	hs := make([]Halfspace, n)
+	for i := range hs {
+		a := make(vec.Vector, d)
+		for j := range a {
+			a[j] = rng.Float64()*2 - 1
+		}
+		hs[i] = NewHalfspace(a, a.Sum()*0.3)
+	}
+	return hs
+}
+
+// TestFoldMatchesClipChain checks that a Fold over a halfspace sequence
+// produces exactly the polytope the plain Clip chain does — same
+// halfspaces, same vertices in the same order, same tight sets.
+func TestFoldMatchesClipChain(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 5} {
+		for seed := int64(0); seed < 6; seed++ {
+			hs := randomHalfspaces(d, 60, seed*100+int64(d))
+			lo, hi := vec.New(d), vec.New(d)
+			for j := range hi {
+				hi[j] = 1
+			}
+			want := NewBox(lo, hi)
+			for _, h := range hs {
+				want = want.Clip(h)
+			}
+
+			f := NewFold(NewBox(lo, hi))
+			for _, h := range hs {
+				f.Clip(h)
+			}
+			got := f.Detach()
+			f.Release()
+
+			assertSamePolytope(t, got, want)
+		}
+	}
+}
+
+// TestFoldDetachSurvivesRelease ensures Detach's copy shares nothing
+// with the arenas: releasing and reusing the fold must not corrupt it.
+func TestFoldDetachSurvivesRelease(t *testing.T) {
+	d := 4
+	lo, hi := vec.New(d), vec.Of(1, 1, 1, 1)
+	hs := randomHalfspaces(d, 40, 9)
+
+	f := NewFold(NewBox(lo, hi))
+	for _, h := range hs {
+		f.Clip(h)
+	}
+	got := f.Detach()
+	snapshot := got.CanonicalKey()
+	f.Release()
+
+	// Churn the pool so the same arenas get rewritten.
+	for i := 0; i < 4; i++ {
+		g := NewFold(NewBox(lo, hi))
+		for _, h := range randomHalfspaces(d, 40, int64(50+i)) {
+			g.Clip(h)
+		}
+		g.Release()
+	}
+	if got.CanonicalKey() != snapshot {
+		t.Fatal("detached polytope mutated after Release")
+	}
+}
+
+func TestFoldEmptyResult(t *testing.T) {
+	d := 3
+	f := NewFold(NewBox(vec.New(d), vec.Of(1, 1, 1)))
+	// x1 >= 2 is infeasible within the unit box.
+	if !f.Clip(NewHalfspace(vec.Of(1, 0, 0), 2)) {
+		t.Fatal("infeasible clip reported as redundant")
+	}
+	if !f.Current().IsEmpty() {
+		t.Fatal("expected empty polytope")
+	}
+	got := f.Detach()
+	f.Release()
+	if !got.IsEmpty() {
+		t.Fatal("detached empty polytope not empty")
+	}
+}
+
+func TestFoldRedundantClipReportsFalse(t *testing.T) {
+	d := 2
+	f := NewFold(NewBox(vec.New(d), vec.Of(1, 1)))
+	defer f.Release()
+	if f.Clip(NewHalfspace(vec.Of(1, 0), -5)) {
+		t.Fatal("redundant clip reported as a change")
+	}
+	if f.Clips() != 1 {
+		t.Fatalf("Clips = %d", f.Clips())
+	}
+}
+
+func assertSamePolytope(t *testing.T, got, want *Polytope) {
+	t.Helper()
+	if got.Dim != want.Dim {
+		t.Fatalf("Dim %d != %d", got.Dim, want.Dim)
+	}
+	if len(got.HS) != len(want.HS) {
+		t.Fatalf("|HS| %d != %d", len(got.HS), len(want.HS))
+	}
+	for i := range got.HS {
+		if !got.HS[i].A.Equal(want.HS[i].A, 0) || got.HS[i].B != want.HS[i].B {
+			t.Fatalf("HS[%d] %v != %v", i, got.HS[i], want.HS[i])
+		}
+	}
+	if len(got.Verts) != len(want.Verts) {
+		t.Fatalf("|Verts| %d != %d", len(got.Verts), len(want.Verts))
+	}
+	for i := range got.Verts {
+		if !got.Verts[i].Point.Equal(want.Verts[i].Point, 0) {
+			t.Fatalf("vertex %d %v != %v", i, got.Verts[i].Point, want.Verts[i].Point)
+		}
+		gt, wt := got.Verts[i].Tight, want.Verts[i].Tight
+		if !gt.Contains(wt) || !wt.Contains(gt) {
+			t.Fatalf("tight set %d differs", i)
+		}
+	}
+}

@@ -82,48 +82,89 @@ func FromHalfspaces(hs []Halfspace, lo, hi vec.Vector) *Polytope {
 // drops halfspaces that are tight at no vertex (which, for a bounded
 // polytope, are provably redundant).
 func newFromParts(dim int, hs []Halfspace, pts []vec.Vector) *Polytope {
+	s := GetScratch()
+	defer s.Release()
+	return newFromPartsS(dim, hs, pts, s, nil)
+}
+
+// newFromPartsS is newFromParts with caller-provided scratch buffers and
+// an optional destination arena. With dst nil the resulting vertices
+// alias the input points (the historical behaviour); with dst non-nil
+// every vertex point and tight set is copied into dst, so the result
+// lives entirely in the arena and the inputs may be recycled.
+//
+// Vertex dedup uses quantized uint64 hashes (vec.Vector.Hash) instead of
+// string keys: equal quantized coordinates always collide into one
+// vertex, and the ~2^-64 chance of an accidental cross-point collision
+// is consciously accepted for a zero-allocation identity.
+func newFromPartsS(dim int, hs []Halfspace, pts []vec.Vector, s *Scratch, dst *Arena) *Polytope {
 	// Deduplicate vertex points on a quantized grid.
-	seen := make(map[string]bool, len(pts))
-	uniq := pts[:0:0]
+	clear(s.seen)
+	uniq := s.uniq[:0]
 	for _, p := range pts {
-		k := p.Key(vertexQuantum)
-		if seen[k] {
+		k := p.Hash(vertexQuantum)
+		if _, dup := s.seen[k]; dup {
 			continue
 		}
-		seen[k] = true
+		s.seen[k] = struct{}{}
 		uniq = append(uniq, p)
 	}
+	s.uniq = uniq
 	if len(uniq) == 0 {
 		return &Polytope{Dim: dim}
 	}
 	// Keep only halfspaces tight at some vertex; every facet of a
 	// bounded polytope carries at least one vertex, so never-tight
-	// halfspaces cannot be facets.
-	type tightInfo struct {
-		h     Halfspace
-		verts []int
-	}
-	kept := make([]tightInfo, 0, len(hs))
-	for _, h := range hs {
-		ti := tightInfo{h: h}
+	// halfspaces cannot be facets. Tight (halfspace, vertex) pairs are
+	// staged flat in scratch so this pass allocates nothing.
+	pairH := s.pairH[:0]
+	pairV := s.pairV[:0]
+	keptNew := s.keptNew[:0]
+	nk := 0
+	for hi, h := range hs {
+		tight := false
 		for vi, p := range uniq {
 			if almostEqual(h.A.Dot(p), h.B) {
-				ti.verts = append(ti.verts, vi)
+				pairH = append(pairH, int32(hi))
+				pairV = append(pairV, int32(vi))
+				tight = true
 			}
 		}
-		if len(ti.verts) > 0 {
-			kept = append(kept, ti)
+		if tight {
+			keptNew = append(keptNew, int32(nk))
+			nk++
+		} else {
+			keptNew = append(keptNew, -1)
+		}
+	}
+	s.pairH, s.pairV, s.keptNew = pairH, pairV, keptNew
+
+	out := make([]Halfspace, nk)
+	for hi, h := range hs {
+		if ni := keptNew[hi]; ni >= 0 {
+			out[ni] = h
 		}
 	}
 	verts := make([]Vertex, len(uniq))
+	words := (nk + 63) / 64
 	for i, p := range uniq {
-		verts[i] = Vertex{Point: p, Tight: NewBits(len(kept))}
+		pt := p
+		var tb Bits
+		if dst != nil {
+			pt = vec.Vector(dst.Floats(len(p)))
+			copy(pt, p)
+			tb = Bits(dst.Uints(words))
+			for w := range tb {
+				tb[w] = 0
+			}
+		} else {
+			tb = NewBits(nk)
+		}
+		verts[i] = Vertex{Point: pt, Tight: tb}
 	}
-	out := make([]Halfspace, len(kept))
-	for hi, ti := range kept {
-		out[hi] = ti.h
-		for _, vi := range ti.verts {
-			verts[vi].Tight.Set(hi)
+	for idx := range pairH {
+		if ni := keptNew[pairH[idx]]; ni >= 0 {
+			verts[pairV[idx]].Tight.Set(int(ni))
 		}
 	}
 	return &Polytope{Dim: dim, HS: out, Verts: verts}
@@ -229,8 +270,10 @@ func (p *Polytope) Split(h Halfspace) (neg, pos *Polytope) {
 	if p.IsEmpty() {
 		return p, p
 	}
-	evals := make([]float64, len(p.Verts))
-	var nNeg, nPos, nOn int
+	s := GetScratch()
+	defer s.Release()
+	evals := s.evalsFor(len(p.Verts))
+	var nNeg, nPos int
 	for i, v := range p.Verts {
 		evals[i] = h.Eval(v.Point)
 		switch Side(evals[i]) {
@@ -238,8 +281,6 @@ func (p *Polytope) Split(h Halfspace) (neg, pos *Polytope) {
 			nNeg++
 		case 1:
 			nPos++
-		default:
-			nOn++
 		}
 	}
 	// When the hyperplane does not cross the interior, the far side is
@@ -249,24 +290,16 @@ func (p *Polytope) Split(h Halfspace) (neg, pos *Polytope) {
 	// a single point (e.g. when an existing option sits at the top
 	// corner of the option space).
 	if nNeg == 0 || nPos == 0 {
-		var facePts []vec.Vector
-		for i, v := range p.Verts {
-			if Side(evals[i]) == 0 {
-				facePts = append(facePts, v.Point)
-			}
-		}
-		face := &Polytope{Dim: p.Dim}
-		if len(facePts) > 0 {
-			faceHS := append(append([]Halfspace(nil), p.HS...), h, h.Flip())
-			face = newFromParts(p.Dim, faceHS, facePts)
-		}
+		face := p.boundaryFace(h, s, nil)
 		if nNeg == 0 { // entirely on the >= side
 			return face, p
 		}
 		return p, face // entirely on the <= side
 	}
-	// New vertices on the cutting hyperplane: one per crossing edge.
-	var cut []vec.Vector
+	// New vertices on the cutting hyperplane: one per crossing edge. Cut
+	// points are heap-allocated here because they escape into the
+	// results; the arena-backed path is Fold.
+	cut := s.cut[:0]
 	for i := range p.Verts {
 		if Side(evals[i]) != -1 {
 			continue
@@ -282,7 +315,9 @@ func (p *Polytope) Split(h Halfspace) (neg, pos *Polytope) {
 			cut = append(cut, p.Verts[i].Point.Lerp(p.Verts[j].Point, t))
 		}
 	}
-	var negPts, posPts []vec.Vector
+	s.cut = cut
+	negPts := s.negPts[:0]
+	posPts := s.posPts[:0]
 	for i, v := range p.Verts {
 		switch Side(evals[i]) {
 		case -1:
@@ -296,10 +331,33 @@ func (p *Polytope) Split(h Halfspace) (neg, pos *Polytope) {
 	}
 	negPts = append(negPts, cut...)
 	posPts = append(posPts, cut...)
+	s.negPts, s.posPts = negPts, posPts
 
-	negHS := append(append([]Halfspace(nil), p.HS...), h.Flip())
-	posHS := append(append([]Halfspace(nil), p.HS...), h)
-	return newFromParts(p.Dim, negHS, negPts), newFromParts(p.Dim, posHS, posPts)
+	hsBuf := append(append(s.hsBuf[:0], p.HS...), h.Flip())
+	s.hsBuf = hsBuf
+	neg = newFromPartsS(p.Dim, hsBuf, negPts, s, nil)
+	hsBuf[len(hsBuf)-1] = h
+	pos = newFromPartsS(p.Dim, hsBuf, posPts, s, nil)
+	return neg, pos
+}
+
+// boundaryFace builds the (possibly empty, lower-dimensional) face of p
+// spanned by the vertices lying exactly on h's boundary hyperplane. The
+// caller must have h's evaluations in s.evals.
+func (p *Polytope) boundaryFace(h Halfspace, s *Scratch, dst *Arena) *Polytope {
+	facePts := s.posPts[:0]
+	for i, v := range p.Verts {
+		if Side(s.evals[i]) == 0 {
+			facePts = append(facePts, v.Point)
+		}
+	}
+	s.posPts = facePts
+	if len(facePts) == 0 {
+		return &Polytope{Dim: p.Dim}
+	}
+	hsBuf := append(append(s.hsBuf[:0], p.HS...), h, h.Flip())
+	s.hsBuf = hsBuf
+	return newFromPartsS(p.Dim, hsBuf, facePts, s, dst)
 }
 
 // Clip intersects the polytope with halfspace h (keeping the >= side).
@@ -307,21 +365,77 @@ func (p *Polytope) Split(h Halfspace) (neg, pos *Polytope) {
 // unchanged — this redundancy fast path is what keeps the assembly of oR
 // cheap even with thousands of impact halfspaces.
 func (p *Polytope) Clip(h Halfspace) *Polytope {
+	s := GetScratch()
+	defer s.Release()
+	return p.clipPosInto(h, s, nil)
+}
+
+// clipPosInto is the one-sided core of Clip: it computes only the >=
+// side of p cut by h, skipping the neg-side work Split would do. When no
+// vertex violates h the receiver itself is returned unchanged (the
+// redundancy fast path). With dst non-nil the result's vertex storage is
+// carved from dst; the result is then subject to the arena ownership
+// rule (see arena.go) and must be detached before escaping.
+//
+// Output is bit-identical to Split(h)'s pos side: the same candidate
+// points in the same order feed the same reconstruction.
+func (p *Polytope) clipPosInto(h Halfspace, s *Scratch, dst *Arena) *Polytope {
 	if p.IsEmpty() {
 		return p
 	}
-	violated := false
-	for _, v := range p.Verts {
-		if h.Eval(v.Point) < -Eps {
-			violated = true
-			break
+	evals := s.evalsFor(len(p.Verts))
+	var nNeg, nPos int
+	for i, v := range p.Verts {
+		evals[i] = h.Eval(v.Point)
+		switch Side(evals[i]) {
+		case -1:
+			nNeg++
+		case 1:
+			nPos++
 		}
 	}
-	if !violated {
+	if nNeg == 0 { // no vertex violates h: clip is redundant
 		return p
 	}
-	_, pos := p.Split(h)
-	return pos
+	if nPos == 0 { // pos side collapses to the on-boundary face
+		return p.boundaryFace(h, s, dst)
+	}
+	// New vertices on the cutting hyperplane: one per crossing edge,
+	// enumerated in the same (i, j) order as Split so dedup and vertex
+	// order match the two-sided path exactly.
+	cut := s.cut[:0]
+	for i := range p.Verts {
+		if Side(evals[i]) != -1 {
+			continue
+		}
+		for j := range p.Verts {
+			if Side(evals[j]) != 1 {
+				continue
+			}
+			if !p.adjacent(i, j) {
+				continue
+			}
+			t := crossingParam(evals[i], evals[j])
+			if dst != nil {
+				pt := vec.Vector(dst.Floats(p.Dim))
+				cut = append(cut, p.Verts[i].Point.LerpInto(pt, p.Verts[j].Point, t))
+			} else {
+				cut = append(cut, p.Verts[i].Point.Lerp(p.Verts[j].Point, t))
+			}
+		}
+	}
+	s.cut = cut
+	posPts := s.posPts[:0]
+	for i, v := range p.Verts {
+		if Side(evals[i]) != -1 { // pos and on-boundary vertices
+			posPts = append(posPts, v.Point)
+		}
+	}
+	posPts = append(posPts, cut...)
+	s.posPts = posPts
+	hsBuf := append(append(s.hsBuf[:0], p.HS...), h)
+	s.hsBuf = hsBuf
+	return newFromPartsS(p.Dim, hsBuf, posPts, s, dst)
 }
 
 // Facet is a polytope facet in the paper's facet-based representation: a

@@ -1,0 +1,213 @@
+// Package oamap provides a small open-addressed hash map keyed by
+// pre-hashed uint64 identities (vec.Vector.Hash and friends). The solve
+// hot path interns hyperplanes and deduplicates impact vertices at high
+// rates; Go's builtin map is close to optimal for lookups but its
+// iteration order is randomized and its buckets churn pointers, so the
+// hot structures use this map instead: linear probing over flat slices,
+// no per-entry allocation after growth, and deterministic Range order
+// (insertion order) so consumers that enumerate entries stay
+// reproducible run to run.
+//
+// Keys are assumed to already be well-mixed hashes; the map applies a
+// fixed multiplicative scramble before probing so adversarially-aligned
+// keys still spread. The zero Map is ready to use. Maps are not
+// goroutine-safe; callers provide their own locking (the hyperplane
+// cache stripes do).
+package oamap
+
+const (
+	slotEmpty uint8 = iota
+	slotFull
+	slotTombstone
+)
+
+// minCapacity is the table size allocated on first insert.
+const minCapacity = 16
+
+// maxLoadNum/maxLoadDen give the ~70% load factor beyond which the
+// table grows (counting tombstones, which also lengthen probe chains).
+const (
+	maxLoadNum = 7
+	maxLoadDen = 10
+)
+
+// Map is an open-addressed hash map from uint64 keys to values of type
+// V. The zero value is an empty map ready for use.
+type Map[V any] struct {
+	states []uint8
+	keys   []uint64
+	vals   []V
+	// order holds the insertion sequence of live keys (with lazily
+	// compacted deletions) so Range is deterministic.
+	order []uint64
+	// live is the number of full slots; used counts full + tombstone
+	// slots for the growth trigger.
+	live int
+	used int
+	// dead counts deletions not yet compacted out of order.
+	dead int
+}
+
+// scramble finishes the caller-provided hash with a Fibonacci-style
+// multiply so linear probing sees well-spread high bits even when keys
+// share low-bit structure.
+func scramble(k uint64) uint64 {
+	k *= 0x9e3779b97f4a7c15
+	return k ^ (k >> 29)
+}
+
+// Len returns the number of live entries.
+func (m *Map[V]) Len() int { return m.live }
+
+// Get returns the value stored under key and whether it was present.
+func (m *Map[V]) Get(key uint64) (V, bool) {
+	var zero V
+	if m.live == 0 {
+		return zero, false
+	}
+	mask := uint64(len(m.states) - 1)
+	for i := scramble(key) & mask; ; i = (i + 1) & mask {
+		switch m.states[i] {
+		case slotEmpty:
+			return zero, false
+		case slotFull:
+			if m.keys[i] == key {
+				return m.vals[i], true
+			}
+		}
+	}
+}
+
+// Put stores value under key, replacing any existing entry.
+func (m *Map[V]) Put(key uint64, value V) {
+	if len(m.states) == 0 || (m.used+1)*maxLoadDen > len(m.states)*maxLoadNum {
+		m.grow()
+	}
+	mask := uint64(len(m.states) - 1)
+	first := -1
+	for i := scramble(key) & mask; ; i = (i + 1) & mask {
+		switch m.states[i] {
+		case slotEmpty:
+			if first >= 0 {
+				i = uint64(first) // reuse the tombstone seen earlier
+			} else {
+				m.used++
+			}
+			m.states[i] = slotFull
+			m.keys[i] = key
+			m.vals[i] = value
+			m.live++
+			m.order = append(m.order, key)
+			return
+		case slotTombstone:
+			if first < 0 {
+				first = int(i)
+			}
+		case slotFull:
+			if m.keys[i] == key {
+				m.vals[i] = value
+				return
+			}
+		}
+	}
+}
+
+// Delete removes key if present and reports whether it was.
+func (m *Map[V]) Delete(key uint64) bool {
+	if m.live == 0 {
+		return false
+	}
+	var zero V
+	mask := uint64(len(m.states) - 1)
+	for i := scramble(key) & mask; ; i = (i + 1) & mask {
+		switch m.states[i] {
+		case slotEmpty:
+			return false
+		case slotFull:
+			if m.keys[i] == key {
+				m.states[i] = slotTombstone
+				m.vals[i] = zero
+				m.live--
+				m.dead++
+				// Compact order once deletions dominate it, keeping
+				// Range linear amortized.
+				if m.dead > len(m.order)/2 {
+					m.compactOrder()
+				}
+				return true
+			}
+		}
+	}
+}
+
+// Range calls fn for each live entry in insertion order, stopping early
+// if fn returns false. fn must not mutate the map. If deletions are
+// pending, the insertion log is compacted first so a key deleted and
+// re-inserted is visited exactly once.
+func (m *Map[V]) Range(fn func(key uint64, value V) bool) {
+	if m.dead > 0 {
+		m.compactOrder()
+	}
+	for _, k := range m.order {
+		if v, ok := m.Get(k); ok {
+			if !fn(k, v) {
+				return
+			}
+		}
+	}
+}
+
+// compactOrder drops deleted (and superseded duplicate) keys from the
+// insertion log, preserving first-insertion order of live keys.
+func (m *Map[V]) compactOrder() {
+	kept := m.order[:0]
+	emitted := make(map[uint64]struct{}, m.live)
+	for _, k := range m.order {
+		if _, dup := emitted[k]; dup {
+			continue
+		}
+		if _, ok := m.Get(k); ok {
+			emitted[k] = struct{}{}
+			kept = append(kept, k)
+		}
+	}
+	m.order = kept
+	m.dead = 0
+}
+
+// grow doubles the table (or allocates it) and rehashes live entries.
+func (m *Map[V]) grow() {
+	newCap := minCapacity
+	if len(m.states) > 0 {
+		newCap = len(m.states) * 2
+		// If most slots are tombstones, rehashing into the same size
+		// is enough; avoid unbounded doubling under churn.
+		if m.live*maxLoadDen <= len(m.states)*maxLoadNum/2 {
+			newCap = len(m.states)
+		}
+	}
+	oldStates, oldKeys, oldVals := m.states, m.keys, m.vals
+	m.states = make([]uint8, newCap)
+	m.keys = make([]uint64, newCap)
+	m.vals = make([]V, newCap)
+	m.used = 0
+	mask := uint64(newCap - 1)
+	for i, st := range oldStates {
+		if st != slotFull {
+			continue
+		}
+		k := oldKeys[i]
+		for j := scramble(k) & mask; ; j = (j + 1) & mask {
+			if m.states[j] == slotEmpty {
+				m.states[j] = slotFull
+				m.keys[j] = k
+				m.vals[j] = oldVals[i]
+				m.used++
+				break
+			}
+		}
+	}
+	if m.dead > 0 {
+		m.compactOrder()
+	}
+}

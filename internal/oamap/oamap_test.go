@@ -1,0 +1,166 @@
+package oamap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	var m Map[int]
+	if _, ok := m.Get(42); ok {
+		t.Fatal("empty map claims presence")
+	}
+	for i := 0; i < 1000; i++ {
+		m.Put(uint64(i)*0x9e37, i)
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", m.Len())
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := m.Get(uint64(i) * 0x9e37)
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	// Overwrite does not duplicate.
+	m.Put(0, -1)
+	if v, _ := m.Get(0); v != -1 {
+		t.Fatalf("overwrite lost: %d", v)
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("Len after overwrite = %d", m.Len())
+	}
+	for i := 0; i < 500; i++ {
+		if !m.Delete(uint64(i) * 0x9e37) {
+			t.Fatalf("Delete(%d) missed", i)
+		}
+	}
+	if m.Delete(uint64(0)) {
+		t.Fatal("double delete succeeded")
+	}
+	if m.Len() != 500 {
+		t.Fatalf("Len after deletes = %d", m.Len())
+	}
+	for i := 500; i < 1000; i++ {
+		if _, ok := m.Get(uint64(i) * 0x9e37); !ok {
+			t.Fatalf("survivor %d lost", i)
+		}
+	}
+}
+
+func TestRangeInsertionOrder(t *testing.T) {
+	var m Map[string]
+	keys := []uint64{7, 3, 99, 1, 42}
+	for _, k := range keys {
+		m.Put(k, "v")
+	}
+	var got []uint64
+	m.Range(func(k uint64, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(keys) {
+		t.Fatalf("Range visited %d entries, want %d", len(got), len(keys))
+	}
+	for i, k := range keys {
+		if got[i] != k {
+			t.Fatalf("Range order %v, want %v", got, keys)
+		}
+	}
+}
+
+func TestRangeAfterDeleteAndReinsert(t *testing.T) {
+	var m Map[int]
+	m.Put(1, 1)
+	m.Put(2, 2)
+	m.Put(3, 3)
+	m.Delete(2)
+	m.Put(2, 22)
+	visits := map[uint64]int{}
+	m.Range(func(k uint64, v int) bool {
+		visits[k]++
+		return true
+	})
+	for k, n := range visits {
+		if n != 1 {
+			t.Fatalf("key %d visited %d times", k, n)
+		}
+	}
+	if len(visits) != 3 {
+		t.Fatalf("visited %d keys, want 3", len(visits))
+	}
+	if v, _ := m.Get(2); v != 22 {
+		t.Fatalf("reinserted value = %d", v)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	var m Map[int]
+	for i := 0; i < 10; i++ {
+		m.Put(uint64(i), i)
+	}
+	n := 0
+	m.Range(func(uint64, int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestChurnAgainstReference drives random operations against a builtin
+// map oracle, exercising tombstone reuse and same-size rehashing.
+func TestChurnAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var m Map[int]
+	ref := map[uint64]int{}
+	for op := 0; op < 50000; op++ {
+		k := uint64(rng.Intn(200))
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Int()
+			m.Put(k, v)
+			ref[k] = v
+		case 1:
+			got := m.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		case 2:
+			v, ok := m.Get(k)
+			rv, rok := ref[k]
+			if ok != rok || (ok && v != rv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", op, k, v, ok, rv, rok)
+			}
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+	count := 0
+	m.Range(func(k uint64, v int) bool {
+		if rv, ok := ref[k]; !ok || rv != v {
+			t.Fatalf("Range emitted %d=%d not in reference", k, v)
+		}
+		count++
+		return true
+	})
+	if count != len(ref) {
+		t.Fatalf("Range visited %d, want %d", count, len(ref))
+	}
+}
+
+func BenchmarkWarmGet(b *testing.B) {
+	var m Map[int]
+	for i := 0; i < 1024; i++ {
+		m.Put(uint64(i)*0x9e3779b9, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(uint64(i%1024) * 0x9e3779b9)
+	}
+}

@@ -1,0 +1,11 @@
+//go:build race
+
+// Package race reports whether the race detector instruments this
+// build. Allocation-count regression tests consult it: -race adds
+// bookkeeping allocations that would make testing.AllocsPerRun gates
+// flap, so those gates skip themselves under instrumentation while the
+// race lane still exercises the same code paths for safety.
+package race
+
+// Enabled is true when the build is race-instrumented.
+const Enabled = true

@@ -91,7 +91,7 @@ type shardMemo struct {
 	mu        sync.Mutex
 	scorer    *Scorer
 	members   []int // slots owned by this shard (within the cache's active set), ascending
-	m         map[string]*partial
+	m         map[uint64]*partial
 	limit     int // max memoized vertices (0 = unlimited)
 	hits      int
 	misses    int
@@ -104,13 +104,12 @@ type shardMemo struct {
 // comparator is exactly Scorer.TopK's, so merged orderings — ties
 // included — are bit-identical to unsharded results.
 func computePartial(sc *Scorer, members []int, w vec.Vector, k int) *partial {
-	type scored struct {
-		idx   int
-		score float64
-	}
-	all := make([]scored, len(members))
+	ss := sortPool.Get().(*sortScratch)
+	defer sortPool.Put(ss)
+	all, scores := ss.for_(len(members))
+	sc.scoreInto(w, members, scores)
 	for i, idx := range members {
-		all[i] = scored{idx: idx, score: ScorePoint(w, sc.pts[idx])}
+		all[i] = scored{idx: idx, score: scores[i]}
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].score != all[j].score {
@@ -186,7 +185,7 @@ type sharded struct {
 	memos []*shardMemo
 
 	mergedMu    sync.RWMutex
-	merged      map[string]*Result
+	merged      map[uint64]*Result
 	mergedLimit int // max merged vertices (0 = unlimited); mirrors the per-shard entry limit
 }
 
@@ -233,7 +232,7 @@ func NewShardedCache(scorer *Scorer, k int, active []int, shards, entryLimitPerS
 	members := bucketMembers(scorer, active, shards, assign)
 	sh := &sharded{
 		memos:  make([]*shardMemo, shards),
-		merged: make(map[string]*Result),
+		merged: make(map[uint64]*Result),
 		// The merged memo holds one Result per vertex — the same unit
 		// the unsharded cache's map holds — so it gets the whole entry
 		// budget, not a per-shard slice of it; capping it at the
@@ -244,7 +243,7 @@ func NewShardedCache(scorer *Scorer, k int, active []int, shards, entryLimitPerS
 		sh.memos[i] = &shardMemo{
 			scorer:  scorer,
 			members: members[i],
-			m:       make(map[string]*partial),
+			m:       make(map[uint64]*partial),
 			limit:   entryLimitPerShard,
 		}
 	}
@@ -273,7 +272,7 @@ const shardParallelThreshold = 4096
 // fails the lookup, leaving already-computed partials memoized (they
 // are idempotent). hit reports whether every shard served from memory.
 func (c *Cache) lookupSharded(ctx context.Context, w vec.Vector, acc *ShardAccum) (r *Result, hit bool, err error) {
-	key := w.Key(1e-10)
+	key := w.Hash(1e-10)
 
 	// Fast path: the merged memo serves repeat vertices without touching
 	// any shard — a shared read lock, so hitting goroutines never block
@@ -377,7 +376,7 @@ func (c *Cache) lookupSharded(ctx context.Context, w vec.Vector, acc *ShardAccum
 }
 
 // storeMerged memoizes a merged result under the merged-vertex cap.
-func (c *Cache) storeMerged(key string, r *Result) {
+func (c *Cache) storeMerged(key uint64, r *Result) {
 	c.sh.mergedMu.Lock()
 	if c.sh.mergedLimit <= 0 || len(c.sh.merged) < c.sh.mergedLimit {
 		c.sh.merged[key] = r
@@ -428,7 +427,7 @@ func (c *Cache) cloneAdvance(sc *Scorer, assign []uint8, affected map[int]bool) 
 			memos[i] = &shardMemo{
 				scorer:  sc,
 				members: members[i],
-				m:       make(map[string]*partial),
+				m:       make(map[uint64]*partial),
 				limit:   limit,
 			}
 			continue
@@ -446,7 +445,7 @@ func (c *Cache) cloneAdvance(sc *Scorer, assign []uint8, affected map[int]bool) 
 		active: c.active,
 		sh: &sharded{
 			memos:       memos,
-			merged:      make(map[string]*Result),
+			merged:      make(map[uint64]*Result),
 			mergedLimit: c.sh.mergedLimit,
 		},
 	}, evicted

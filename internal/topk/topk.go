@@ -20,6 +20,16 @@ type Scorer struct {
 	pts []vec.Vector
 	d   int    // option-space dimensionality
 	gen uint64 // dataset generation (0 for standalone scorers)
+
+	// Struct-of-arrays mirror of pts for the batch scoring loop, built
+	// lazily on the first top-k query (sync.Once keeps the Scorer safe
+	// for concurrent use). lastCol[i] = pts[i][d-1] and
+	// diff[j][i] = pts[i][j] - pts[i][d-1], exactly the operands of
+	// ScorePoint, so columnar scoring is bit-identical to the scalar
+	// path while the inner loop runs over contiguous float64 columns.
+	soaOnce sync.Once
+	lastCol []float64
+	diff    [][]float64
 }
 
 // NewScorer wraps a dataset of d-dimensional options.
@@ -85,6 +95,67 @@ func ScorePoint(w vec.Vector, p vec.Vector) float64 {
 	return score
 }
 
+// buildSoA materializes the columnar scoring mirror. Called once per
+// Scorer via soaOnce.
+func (s *Scorer) buildSoA() {
+	n := len(s.pts)
+	s.lastCol = make([]float64, n)
+	s.diff = make([][]float64, s.d-1)
+	for j := range s.diff {
+		s.diff[j] = make([]float64, n)
+	}
+	for i, p := range s.pts {
+		last := p[s.d-1]
+		s.lastCol[i] = last
+		for j := 0; j < s.d-1; j++ {
+			s.diff[j][i] = p[j] - last
+		}
+	}
+}
+
+// scoreInto writes ScorePoint(w, pts[idx]) for every member into dst
+// (members nil = the whole dataset, dst sized accordingly) through the
+// struct-of-arrays mirror. Each option accumulates its score in the
+// same operation order as ScorePoint — start at the last attribute,
+// then add wj*(pj - last) in ascending j — so the results are
+// bit-identical to the scalar path while the inner loop streams over
+// contiguous columns and allocates nothing.
+func (s *Scorer) scoreInto(w vec.Vector, members []int, dst []float64) {
+	m := len(w)
+	if m != s.d-1 { // non-reduced weights: scalar fallback
+		if members == nil {
+			for i := range dst {
+				dst[i] = ScorePoint(w, s.pts[i])
+			}
+			return
+		}
+		for t, idx := range members {
+			dst[t] = ScorePoint(w, s.pts[idx])
+		}
+		return
+	}
+	s.soaOnce.Do(s.buildSoA)
+	if members == nil {
+		copy(dst, s.lastCol)
+		for j := 0; j < m; j++ {
+			wj, dj := w[j], s.diff[j]
+			for i := range dst {
+				dst[i] += wj * dj[i]
+			}
+		}
+		return
+	}
+	for t, idx := range members {
+		dst[t] = s.lastCol[idx]
+	}
+	for j := 0; j < m; j++ {
+		wj, dj := w[j], s.diff[j]
+		for t, idx := range members {
+			dst[t] += wj * dj[idx]
+		}
+	}
+}
+
 // Result is the outcome of a top-k query: the k best option indices in
 // score order (ties broken by ascending index for determinism), the k-th
 // score, and canonical identities for set and order comparison. The
@@ -133,6 +204,34 @@ func joinInts(ix []int) string {
 	return b.String()
 }
 
+// scored pairs an option index with its score for sorting.
+type scored struct {
+	idx   int
+	score float64
+}
+
+// sortScratch bundles the transient buffers of one top-k computation,
+// recycled through sortPool. Ownership rule: leased by exactly one
+// TopK/computePartial call from Get until Put — no reference into its
+// buffers may survive the Put (results copy what they keep).
+type sortScratch struct {
+	all    []scored
+	scores []float64
+}
+
+var sortPool = sync.Pool{New: func() any { return new(sortScratch) }}
+
+func (ss *sortScratch) for_(n int) ([]scored, []float64) {
+	if cap(ss.all) < n {
+		ss.all = make([]scored, n)
+	}
+	if cap(ss.scores) < n {
+		ss.scores = make([]float64, n)
+	}
+	ss.all, ss.scores = ss.all[:n], ss.scores[:n]
+	return ss.all, ss.scores
+}
+
 // TopK runs a top-k query at reduced weight vector w over the options
 // listed in active (indices into the dataset). When active is nil the
 // whole dataset is considered. It panics if fewer than k options are
@@ -146,17 +245,15 @@ func (s *Scorer) TopK(w vec.Vector, k int, active []int) *Result {
 	if k <= 0 || k > n {
 		panic(fmt.Sprintf("topk: k=%d out of range for %d options", k, n))
 	}
-	type scored struct {
-		idx   int
-		score float64
-	}
-	all := make([]scored, n)
+	ss := sortPool.Get().(*sortScratch)
+	all, scores := ss.for_(n)
+	s.scoreInto(w, active, scores)
 	for i := 0; i < n; i++ {
 		idx := i
 		if !useAll {
 			idx = active[i]
 		}
-		all[i] = scored{idx: idx, score: ScorePoint(w, s.pts[idx])}
+		all[i] = scored{idx: idx, score: scores[i]}
 	}
 	// The filtered candidate sets TopRR works on are small (tens to a
 	// few hundred options), so a full sort is both simple and fast; ties
@@ -171,7 +268,9 @@ func (s *Scorer) TopK(w vec.Vector, k int, active []int) *Result {
 	for i := 0; i < k; i++ {
 		ordered[i] = all[i].idx
 	}
-	return newResult(ordered, all[k-1].score)
+	r := newResult(ordered, all[k-1].score)
+	sortPool.Put(ss)
+	return r
 }
 
 // newResult assembles a Result from a score-ordered index list and the
@@ -204,7 +303,7 @@ type Cache struct {
 	active    []int
 	limit     int // max memoized vertices (0 = unlimited)
 	mu        sync.Mutex
-	m         map[string]*Result
+	m         map[uint64]*Result
 	hits      int
 	misses    int
 	evictions int      // results not memoized because the cache was full
@@ -213,7 +312,7 @@ type Cache struct {
 
 // NewCache builds a cache for top-k queries with the given parameters.
 func NewCache(scorer *Scorer, k int, active []int) *Cache {
-	return &Cache{scorer: scorer, k: k, active: active, m: make(map[string]*Result)}
+	return &Cache{scorer: scorer, k: k, active: active, m: make(map[uint64]*Result)}
 }
 
 // NewBoundedCache is NewCache with a cap on memoized vertices; past the
@@ -280,7 +379,7 @@ func (c *Cache) Lookup(w vec.Vector) (*Result, bool) {
 		c.mu.Unlock()
 		return sc.TopK(w, c.k, c.active), false
 	}
-	key := w.Key(1e-10)
+	key := w.Hash(1e-10)
 	c.mu.Lock()
 	if r, ok := c.m[key]; ok {
 		c.hits++

@@ -165,6 +165,95 @@ func (v Vector) Key(quantum float64) string {
 	return string(b)
 }
 
+// FNV-1a parameters (64-bit variant).
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// Hash is the allocation-free counterpart of Key: it folds the same
+// quantized coordinates (int64(round(x/quantum))) into a 64-bit FNV-1a
+// digest. Two vectors with equal Key(quantum) always have equal
+// Hash(quantum); distinct keys may collide with probability ~2^-64 per
+// pair, which the dedup and cache layers consciously accept in exchange
+// for a zero-allocation identity on the hot path.
+func (v Vector) Hash(quantum float64) uint64 {
+	h := fnvOffset
+	for _, x := range v {
+		q := uint64(int64(math.Round(x / quantum)))
+		for s := 0; s < 64; s += 8 {
+			h ^= (q >> s) & 0xff
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// HashFold extends an existing Hash digest with one more quantized
+// scalar, so composite identities (e.g. a halfspace's coefficients plus
+// its offset) hash without assembling an intermediate vector.
+func HashFold(h uint64, x, quantum float64) uint64 {
+	q := uint64(int64(math.Round(x / quantum)))
+	for s := 0; s < 64; s += 8 {
+		h ^= (q >> s) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+// AddInPlace sets v = v + u, allocating nothing.
+func (v Vector) AddInPlace(u Vector) {
+	for i := range v {
+		v[i] += u[i]
+	}
+}
+
+// SubInPlace sets v = v - u, allocating nothing.
+func (v Vector) SubInPlace(u Vector) {
+	for i := range v {
+		v[i] -= u[i]
+	}
+}
+
+// ScaleInPlace sets v = a*v, allocating nothing.
+func (v Vector) ScaleInPlace(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// AddScaledInPlace sets v = v + a*u, allocating nothing.
+func (v Vector) AddScaledInPlace(a float64, u Vector) {
+	for i := range v {
+		v[i] += a * u[i]
+	}
+}
+
+// LerpInto writes (1-t)*v + t*u into dst and returns it, reusing dst's
+// storage when it has sufficient capacity. The arithmetic matches Lerp
+// exactly (same operation order), so results are bit-identical.
+func (v Vector) LerpInto(dst Vector, u Vector, t float64) Vector {
+	if cap(dst) < len(v) {
+		dst = make(Vector, len(v))
+	}
+	dst = dst[:len(v)]
+	for i := range dst {
+		dst[i] = (1-t)*v[i] + t*u[i]
+	}
+	return dst
+}
+
+// CopyInto copies v into dst and returns it, reusing dst's storage when
+// it has sufficient capacity.
+func (v Vector) CopyInto(dst Vector) Vector {
+	if cap(dst) < len(v) {
+		dst = make(Vector, len(v))
+	}
+	dst = dst[:len(v)]
+	copy(dst, v)
+	return dst
+}
+
 // Centroid returns the arithmetic mean of the given points. It panics on
 // an empty input.
 func Centroid(pts []Vector) Vector {

@@ -269,3 +269,84 @@ func TestCauchySchwarz(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Hash must agree with Key: equal keys imply equal hashes, and within a
+// modest random sample distinct keys get distinct hashes.
+func TestHashConsistentWithKey(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		v, u := boundedVec(a[:]), boundedVec(b[:])
+		if v.Key(1e-9) == u.Key(1e-9) {
+			return v.Hash(1e-9) == u.Hash(1e-9)
+		}
+		return v.Hash(1e-9) != u.Hash(1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashQuantizes(t *testing.T) {
+	v := Of(0.1, 0.2, 0.3)
+	u := Of(0.1+1e-12, 0.2, 0.3-1e-12)
+	if v.Hash(1e-9) != u.Hash(1e-9) {
+		t.Error("vectors within quantum hash differently")
+	}
+	w := Of(0.1+1e-6, 0.2, 0.3)
+	if v.Hash(1e-9) == w.Hash(1e-9) {
+		t.Error("clearly distinct vectors hash equal")
+	}
+}
+
+func TestHashFoldMatchesAppendedHash(t *testing.T) {
+	f := func(a [3]float64, x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			x = 0.5
+		}
+		x = math.Mod(x, 100)
+		v := boundedVec(a[:])
+		whole := append(v.Clone(), x)
+		return HashFold(v.Hash(1e-9), x, 1e-9) == whole.Hash(1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInPlaceOpsMatchAllocating(t *testing.T) {
+	f := func(a, b [4]float64, s float64) bool {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			s = 2
+		}
+		s = math.Mod(s, 10)
+		v, u := boundedVec(a[:]), boundedVec(b[:])
+
+		add := v.Clone()
+		add.AddInPlace(u)
+		sub := v.Clone()
+		sub.SubInPlace(u)
+		sc := v.Clone()
+		sc.ScaleInPlace(s)
+		as := v.Clone()
+		as.AddScaledInPlace(s, u)
+		le := v.LerpInto(New(len(v)), u, 0.25)
+
+		return add.Equal(v.Add(u), 0) && sub.Equal(v.Sub(u), 0) &&
+			sc.Equal(v.Scale(s), 0) && as.Equal(v.AddScaled(s, u), 0) &&
+			le.Equal(v.Lerp(u, 0.25), 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyIntoReusesCapacity(t *testing.T) {
+	v := Of(1, 2, 3)
+	dst := make(Vector, 0, 8)
+	out := v.CopyInto(dst)
+	if &out[0] != &dst[:1][0] {
+		t.Error("CopyInto reallocated despite sufficient capacity")
+	}
+	if !out.Equal(v, 0) {
+		t.Errorf("CopyInto = %v", out)
+	}
+}
