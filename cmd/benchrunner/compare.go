@@ -87,6 +87,69 @@ func compareRecord(fresh, base record) []string {
 		add(gate("mallocs", float64(fresh.Mallocs), float64(base.Mallocs), mallocSlack))
 	}
 	fails = append(fails, compareAllocRows(fresh, base)...)
+	fails = append(fails, comparePatchRows(fresh, base)...)
+	return fails
+}
+
+// patchSpeedupFloor is the minimum cold-scored / patch-scored ratio the
+// patch experiment must sustain: patched post-insert lookups must score
+// at least this many times fewer options than drop-and-recompute.
+const patchSpeedupFloor = 5.0
+
+// patchRows extracts the patch experiment's per-shard-count rows
+// (shards, entries, patch scored, cold scored, ratio, untouched drops)
+// as shards -> [entries, patchScored, coldScored, ratio, drops].
+func patchRows(r record) map[string][5]float64 {
+	out := make(map[string][5]float64)
+	for _, t := range r.Tables {
+		if t.ID != "Patch" {
+			continue
+		}
+		for _, row := range t.Rows {
+			if len(row) < 6 {
+				continue
+			}
+			var v [5]float64
+			ok := true
+			for i := 0; i < 5; i++ {
+				f, err := strconv.ParseFloat(row[i+1], 64)
+				if err != nil {
+					ok = false
+					break
+				}
+				v[i] = f
+			}
+			if ok {
+				out[row[0]] = v
+			}
+		}
+	}
+	return out
+}
+
+// comparePatchRows gates the patch experiment: the scored-options ratio
+// must stay above the absolute floor, a dominated insert must drop
+// nothing, and the patch-side scored count must not regress over the
+// baseline. The counts are deterministic (pinned seeds, exact work
+// accounting), so the gates cannot flap on machine noise.
+func comparePatchRows(fresh, base record) []string {
+	baseRows := patchRows(base)
+	var fails []string
+	for shards, f := range patchRows(fresh) {
+		if f[3] < patchSpeedupFloor {
+			fails = append(fails, fmt.Sprintf("%s/shards=%s: scored ratio %.1f below the %.0fx floor",
+				fresh.ID, shards, f[3], patchSpeedupFloor))
+		}
+		if f[4] != 0 {
+			fails = append(fails, fmt.Sprintf("%s/shards=%s: untouched insert dropped %.0f cache entries, want 0",
+				fresh.ID, shards, f[4]))
+		}
+		if b, ok := baseRows[shards]; ok {
+			if msg := gate("patch_scored", f[1], b[1], countSlack); msg != "" {
+				fails = append(fails, fmt.Sprintf("%s/shards=%s: %s", fresh.ID, shards, msg))
+			}
+		}
+	}
 	return fails
 }
 

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,11 +33,17 @@ import (
 // AllocBytes and Mallocs are runtime.MemStats deltas (TotalAlloc and
 // Mallocs, both monotone) across the run, so the memory trajectory is
 // tracked next to the wall-clock one and can be gated by -compare.
+// GoVersion, GOMAXPROCS and Shards pin the environment the record was
+// captured under, so trajectories from different toolchains or core
+// counts are not confused for code regressions.
 type record struct {
 	ID               string    `json:"id"`
 	Caption          string    `json:"caption"`
 	Scale            float64   `json:"scale"`
 	Queries          int       `json:"queries"`
+	GoVersion        string    `json:"go_version"`
+	GOMAXPROCS       int       `json:"gomaxprocs"`
+	Shards           int       `json:"shards"`
 	WallSeconds      float64   `json:"wall_seconds"`
 	RegionsProcessed int64     `json:"regions_processed"`
 	LPCalls          int64     `json:"lp_calls"`
@@ -67,7 +74,12 @@ func writeRecord(dir string, r record) error {
 	return f.Close()
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is main's body; it returns the exit code so the profile-flushing
+// defers installed for -cpuprofile/-memprofile run before the process
+// exits (os.Exit would skip them).
+func run() int {
 	var (
 		exp     = flag.String("exp", "all", "comma-separated experiment ids, or 'all' (see -list)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
@@ -77,6 +89,8 @@ func main() {
 		timeout = flag.Duration("timeout", bench.DefaultScale.Timeout, "per-query wall-clock budget (0 = unlimited)")
 		jsonDir = flag.String("jsondir", ".", "directory for BENCH_<id>.json records ('' = disable)")
 		compare = flag.String("compare", "", "baseline JSON (e.g. bench/BASELINE.json) to diff the run against; >20% regression on a gated metric exits nonzero")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	)
 	flag.Parse()
 
@@ -84,7 +98,7 @@ func main() {
 		for _, e := range bench.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Caption)
 		}
-		return
+		return 0
 	}
 
 	s := bench.Scale{N: *scale, Queries: *queries, MaxRegions: *budget, Timeout: *timeout}
@@ -96,10 +110,41 @@ func main() {
 			e, ok := bench.Find(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: -cpuprofile: %v\n", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	fmt.Printf("# TopRR experiment runner — scale=%.3g queries=%d timeout=%v\n\n", s.N, s.Queries, s.Timeout)
@@ -126,6 +171,9 @@ func main() {
 			Caption:          e.Caption,
 			Scale:            s.N,
 			Queries:          s.Queries,
+			GoVersion:        runtime.Version(),
+			GOMAXPROCS:       runtime.GOMAXPROCS(0),
+			Shards:           toprr.DefaultShards(),
 			WallSeconds:      wall.Seconds(),
 			RegionsProcessed: delta.RegionsProcessed,
 			LPCalls:          delta.LPSolves,
@@ -140,7 +188,7 @@ func main() {
 		if *jsonDir != "" {
 			if err := writeRecord(*jsonDir, r); err != nil {
 				fmt.Fprintf(os.Stderr, "benchrunner: writing JSON record: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
@@ -148,7 +196,8 @@ func main() {
 	if *compare != "" {
 		if err := compareAgainstBaseline(*compare, records, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }

@@ -622,6 +622,9 @@ type datasetStatsJSON struct {
 	TopKHits       int             `json:"cache_topk_hits"`
 	TopKMisses     int             `json:"cache_topk_misses"`
 	Evictions      int             `json:"cache_evictions"`
+	PatchedEntries int             `json:"cache_patched_entries"`
+	PatchInserts   int             `json:"cache_patch_inserts"`
+	UntouchedAdvs  int             `json:"cache_untouched_advances"`
 	MaxConfigs     int             `json:"cache_max_configs,omitempty"`
 	LiveGens       int             `json:"live_generations"`
 	RetainedBytes  int64           `json:"retained_snapshot_bytes"`
@@ -671,6 +674,9 @@ func datasetStatsToJSON(ds toprr.DatasetStats) datasetStatsJSON {
 		TopKHits:       ds.Cache.TopKHits,
 		TopKMisses:     ds.Cache.TopKMisses,
 		Evictions:      ds.Cache.Evictions,
+		PatchedEntries: ds.Cache.PatchedEntries,
+		PatchInserts:   ds.Cache.PatchInserts,
+		UntouchedAdvs:  ds.Cache.UntouchedAdvances,
 		MaxConfigs:     ds.MaxConfigs,
 		LiveGens:       ds.Cache.LiveGenerations,
 		RetainedBytes:  ds.Cache.RetainedSnapshotBytes,
@@ -706,18 +712,21 @@ func (s *server) handleDatasetStats(w http.ResponseWriter, r *http.Request, name
 
 // statsTotals aggregates the open tenants.
 type statsTotals struct {
-	Datasets      int   `json:"datasets"`
-	OpenDatasets  int   `json:"open_datasets"`
-	Options       int   `json:"options"`
-	Hyperplanes   int   `json:"cache_hyperplanes"`
-	TopKConfigs   int   `json:"cache_topk_configs"`
-	TopKHits      int   `json:"cache_topk_hits"`
-	TopKMisses    int   `json:"cache_topk_misses"`
-	Evictions     int   `json:"cache_evictions"`
-	LiveGens      int   `json:"live_generations"`
-	RetainedBytes int64 `json:"retained_snapshot_bytes"`
-	WALBytes      int64 `json:"wal_bytes"`
-	WALSegments   int   `json:"wal_segments"`
+	Datasets       int   `json:"datasets"`
+	OpenDatasets   int   `json:"open_datasets"`
+	Options        int   `json:"options"`
+	Hyperplanes    int   `json:"cache_hyperplanes"`
+	TopKConfigs    int   `json:"cache_topk_configs"`
+	TopKHits       int   `json:"cache_topk_hits"`
+	TopKMisses     int   `json:"cache_topk_misses"`
+	Evictions      int   `json:"cache_evictions"`
+	PatchedEntries int   `json:"cache_patched_entries"`
+	PatchInserts   int   `json:"cache_patch_inserts"`
+	UntouchedAdvs  int   `json:"cache_untouched_advances"`
+	LiveGens       int   `json:"live_generations"`
+	RetainedBytes  int64 `json:"retained_snapshot_bytes"`
+	WALBytes       int64 `json:"wal_bytes"`
+	WALSegments    int   `json:"wal_segments"`
 }
 
 // handleStats answers GET /v1/stats: per-dataset breakdowns, totals
@@ -747,6 +756,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		totals.TopKHits += perDS[i].TopKHits
 		totals.TopKMisses += perDS[i].TopKMisses
 		totals.Evictions += perDS[i].Evictions
+		totals.PatchedEntries += perDS[i].PatchedEntries
+		totals.PatchInserts += perDS[i].PatchInserts
+		totals.UntouchedAdvs += perDS[i].UntouchedAdvs
 		totals.LiveGens += perDS[i].LiveGens
 		totals.RetainedBytes += perDS[i].RetainedBytes
 		totals.WALBytes += perDS[i].WALBytes

@@ -306,3 +306,68 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Error("listener still accepting after shutdown")
 	}
 }
+
+// TestStatsExposePatchCounters: a pure-insert ops batch routes through
+// the engine's patch plane, and the cumulative patch counters surface
+// per dataset and in the totals of /v1/stats (the legacy top-level
+// mirror stays pre-tenancy and does not carry them).
+func TestStatsExposePatchCounters(t *testing.T) {
+	ts, engine := testServer(t, 50, time.Minute)
+
+	// Warm a whole-dataset rank memo so the insert has something to
+	// patch, then apply one pure insert and one delete.
+	if _, err := engine.Rank(vec.Of(0.3, 0.25), 5); err != nil {
+		t.Fatal(err)
+	}
+	resp := postJSON(t, ts.URL+"/v1/ops", map[string]any{
+		"ops": []opJSON{{Op: "insert", Point: []float64{0.99, 0.98, 0.97}}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/ops", map[string]any{
+		"ops": []opJSON{{Op: "delete", Index: 0}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Datasets []struct {
+			Name           string `json:"name"`
+			PatchedEntries int    `json:"cache_patched_entries"`
+			PatchInserts   int    `json:"cache_patch_inserts"`
+			UntouchedAdvs  int    `json:"cache_untouched_advances"`
+		} `json:"datasets"`
+		Totals struct {
+			PatchedEntries int `json:"cache_patched_entries"`
+			PatchInserts   int `json:"cache_patch_inserts"`
+		} `json:"totals"`
+	}
+	decodeJSON(t, resp, &stats)
+	if len(stats.Datasets) != 1 || stats.Datasets[0].Name != "default" {
+		t.Fatalf("datasets = %+v", stats.Datasets)
+	}
+	ds := stats.Datasets[0]
+	// Exactly the insert batch went through the patch path (the delete
+	// took the reshape path), and the dominant point cracked the warmed
+	// rank memo.
+	if ds.PatchInserts != 1 {
+		t.Errorf("cache_patch_inserts = %d, want 1", ds.PatchInserts)
+	}
+	if ds.PatchedEntries == 0 {
+		t.Error("cache_patched_entries = 0, want > 0 (dominant insert cracked the rank memo)")
+	}
+	if ds.UntouchedAdvs != 0 {
+		t.Errorf("cache_untouched_advances = %d, want 0", ds.UntouchedAdvs)
+	}
+	if stats.Totals.PatchInserts != ds.PatchInserts || stats.Totals.PatchedEntries != ds.PatchedEntries {
+		t.Errorf("totals %+v do not mirror the single dataset %+v", stats.Totals, ds)
+	}
+}

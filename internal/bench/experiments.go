@@ -61,6 +61,7 @@ func All() []Experiment {
 		{"fig14", "k-switch effect on |Vall|", Fig14},
 		{"shards", "Sharded solve plane scaling (S=1/2/4/8)", ShardScaling},
 		{"alloc", "Hot-path allocation profile (ns/op, B/op, allocs/op)", Alloc},
+		{"patch", "Patch-on-insert vs drop-recompute (options scored to re-warm)", Patch},
 	}
 }
 

@@ -137,14 +137,23 @@ func (c *HyperplaneCache) storeFor(sc *topk.Scorer, i, j int, e hpEntry) {
 func (c *HyperplaneCache) Advance(sc *topk.Scorer, dirty []int) {
 	// Slots at or beyond the old generation's length cannot appear in an
 	// interned pair; filtering them lets a pure insert advance without
-	// scanning the maps at all.
+	// scanning the maps — or allocating — at all.
 	c.stripes[0].mu.RLock()
 	oldLen := c.stripes[0].scorer.Len()
 	c.stripes[0].mu.RUnlock()
-	dirtySet := make(map[int]bool, len(dirty))
+	nOld := 0
 	for _, i := range dirty {
 		if i < oldLen {
-			dirtySet[i] = true
+			nOld++
+		}
+	}
+	var dirtySet map[int]bool
+	if nOld > 0 {
+		dirtySet = make(map[int]bool, nOld)
+		for _, i := range dirty {
+			if i < oldLen {
+				dirtySet[i] = true
+			}
 		}
 	}
 	for si := range c.stripes {
@@ -165,6 +174,24 @@ func (c *HyperplaneCache) Advance(sc *topk.Scorer, dirty []int) {
 				s.evictions++
 			}
 		}
+		s.scorer = sc
+		s.mu.Unlock()
+	}
+}
+
+// AdvanceInsert moves the cache to a new generation produced by a
+// pure-insert batch. Inserted slots cannot appear in an interned pair —
+// both ends of every cached pair predate the batch and are
+// bit-identical across the generations — so every hyperplane is kept
+// and the stripes only rebind to the new scorer. This is what Advance
+// does for such deltas, minus the dirty-slot filtering pass: the
+// engine's mutation path calls it for store.DeltaInsertOnly batches so
+// an insert advances the geometry plane with generation-checked
+// rebinding and no allocation.
+func (c *HyperplaneCache) AdvanceInsert(sc *topk.Scorer) {
+	for si := range c.stripes {
+		s := &c.stripes[si]
+		s.mu.Lock()
 		s.scorer = sc
 		s.mu.Unlock()
 	}

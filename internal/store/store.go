@@ -98,6 +98,46 @@ type Delta struct {
 	From, To      Generation
 	Dirty         []int
 	ShardsTouched []int
+
+	// Kind classifies the batch so consumers can pick a repair strategy
+	// per delta: a pure-insert batch permits patch-on-insert cache
+	// repair (topk.Registry.AdvanceInsert), anything that deletes,
+	// updates or truncates requires the drop path.
+	Kind DeltaKind
+
+	// Inserted lists the new tail slots [oldLen, newLen) in ascending
+	// order when Kind is DeltaInsertOnly, nil otherwise. It is the exact
+	// argument AdvanceInsert's contract asks for — unlike Dirty, whose
+	// order follows map iteration.
+	Inserted []int
+}
+
+// DeltaKind classifies one Apply batch for cache repair.
+type DeltaKind int
+
+const (
+	// DeltaEmpty: no ops; the generation did not move.
+	DeltaEmpty DeltaKind = iota
+	// DeltaInsertOnly: every op was an insert — existing slots are
+	// bit-identical across the two generations and the new options
+	// occupy the tail slots listed in Inserted.
+	DeltaInsertOnly
+	// DeltaReshape: the batch deleted, updated or mixed ops — some
+	// existing slot changed identity and caches must take the drop path
+	// for the dirty slots.
+	DeltaReshape
+)
+
+// String names the kind for logs and metrics.
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaEmpty:
+		return "empty"
+	case DeltaInsertOnly:
+		return "insert-only"
+	default:
+		return "reshape"
+	}
 }
 
 // logLimit bounds the retained in-memory op log; beyond it the oldest
@@ -396,6 +436,17 @@ func buildBatch(old []vec.Vector, ops []Op) (pts []vec.Vector, recs []AppliedOp,
 	return pts, recs, dirty, nil
 }
 
+// classifyBatch reports the Delta.Kind of a validated non-empty batch:
+// insert-only exactly when every op is an insert.
+func classifyBatch(ops []Op) DeltaKind {
+	for _, op := range ops {
+		if op.Kind != OpInsert {
+			return DeltaReshape
+		}
+	}
+	return DeltaInsertOnly
+}
+
 // shardsTouched routes a batch's dirty slots to the shards whose state
 // they invalidate: the shard of each dirty slot's old contents and of
 // its new contents (sorted, deduplicated). nil when the store is
@@ -542,7 +593,15 @@ func (s *Store) Apply(ops []Op) (Snapshot, Delta, error) {
 	for i := range dirty {
 		dirtyList = append(dirtyList, i)
 	}
-	delta := Delta{From: gen - 1, To: gen, Dirty: dirtyList, ShardsTouched: s.shardsTouched(old, pts, dirty)}
+	delta := Delta{From: gen - 1, To: gen, Dirty: dirtyList, ShardsTouched: s.shardsTouched(old, pts, dirty), Kind: classifyBatch(ops)}
+	if delta.Kind == DeltaInsertOnly {
+		// Inserts land at the tail in op order: the new slots are exactly
+		// [oldLen, newLen), ascending — AdvanceInsert's contract.
+		delta.Inserted = make([]int, 0, len(pts)-len(old))
+		for slot := len(old); slot < len(pts); slot++ {
+			delta.Inserted = append(delta.Inserted, slot)
+		}
+	}
 
 	if s.wal != nil {
 		s.writeMu.Lock()

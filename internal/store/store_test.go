@@ -219,3 +219,47 @@ func TestEmptyApplyIsNoop(t *testing.T) {
 		t.Errorf("empty apply bumped the generation: %+v %+v", snap, delta)
 	}
 }
+
+func TestDeltaClassification(t *testing.T) {
+	s := mustNew(t, pts3())
+
+	// A pure-insert batch: Kind says so and Inserted is exactly the new
+	// tail slots in ascending order (AdvanceInsert's contract).
+	_, delta, err := s.Apply([]Op{Insert(vec.Of(0.2, 0.2)), Insert(vec.Of(0.4, 0.4))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Kind != DeltaInsertOnly {
+		t.Errorf("insert batch Kind = %v, want %v", delta.Kind, DeltaInsertOnly)
+	}
+	if len(delta.Inserted) != 2 || delta.Inserted[0] != 3 || delta.Inserted[1] != 4 {
+		t.Errorf("Inserted = %v, want [3 4]", delta.Inserted)
+	}
+
+	// A delete reshapes: slots move, so no Inserted list even if the batch
+	// also contains inserts.
+	_, delta, err = s.Apply([]Op{Insert(vec.Of(0.6, 0.6)), Delete(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Kind != DeltaReshape || delta.Inserted != nil {
+		t.Errorf("mixed batch = %v/%v, want %v/nil", delta.Kind, delta.Inserted, DeltaReshape)
+	}
+
+	_, delta, err = s.Apply([]Op{Update(1, vec.Of(0.7, 0.7))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Kind != DeltaReshape || delta.Inserted != nil {
+		t.Errorf("update batch = %v/%v, want %v/nil", delta.Kind, delta.Inserted, DeltaReshape)
+	}
+
+	// An empty batch stays the zero Kind.
+	_, delta, err = s.Apply(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Kind != DeltaEmpty || delta.Inserted != nil {
+		t.Errorf("empty batch = %v/%v, want %v/nil", delta.Kind, delta.Inserted, DeltaEmpty)
+	}
+}

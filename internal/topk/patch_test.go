@@ -1,0 +1,331 @@
+package topk
+
+// The randomized patch-vs-recompute oracle (ISSUE 7 / ROADMAP item 3):
+// random mutation sequences — pure-insert batches routed through
+// AdvanceInsert, deletes/updates/mixed batches through Advance — at
+// shard counts 1, 2, 3 and 8, asserting after every advance that each
+// memoized entry served by the patched caches is bit-identical (order,
+// tie-breaks, every score) to a fresh recompute over the new
+// generation. Runs under -race in CI alongside the rest of the package.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+// patchOracleVertex draws a reduced weight vector safely inside the
+// simplex.
+func patchOracleVertex(rng *rand.Rand, d int) vec.Vector {
+	w := vec.New(d - 1)
+	for j := range w {
+		w[j] = rng.Float64() / float64(d)
+	}
+	return w
+}
+
+// swapDelete removes slot i with the store's swap-delete semantics and
+// returns the dirty slots it produces.
+func swapDelete(pts []vec.Vector, i int) ([]vec.Vector, []int) {
+	last := len(pts) - 1
+	dirty := []int{i}
+	if i != last {
+		pts[i] = pts[last]
+		dirty = append(dirty, last)
+	}
+	return pts[:last], dirty
+}
+
+func TestPatchAdvanceOracle(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 8} {
+		shards := shards
+		t.Run(map[int]string{1: "S1", 2: "S2", 3: "S3", 8: "S8"}[shards], func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(40 + shards)))
+			const k = 6
+			n, d := 80, 4
+			pts := randomPts(rng, n, d)
+			gen := uint64(1)
+			sc := NewScorerAt(append([]vec.Vector(nil), pts...), gen)
+			reg := NewShardedRegistry(sc, shards)
+			cache := reg.Get(k, nil)
+
+			verts := make([]vec.Vector, 12)
+			for i := range verts {
+				verts[i] = patchOracleVertex(rng, d)
+			}
+			warm := func() {
+				for _, w := range verts {
+					if _, _, err := cache.LookupCtx(context.Background(), w, nil); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			check := func(round int) {
+				oracle := NewScorer(append([]vec.Vector(nil), pts...))
+				for vi, w := range verts {
+					got, _, err := cache.LookupCtx(context.Background(), w, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := oracle.TopK(w, k, nil)
+					if got.OrderKey() != want.OrderKey() || got.KthScore != want.KthScore {
+						t.Fatalf("round %d vertex %d: got %v (kth %v), want %v (kth %v)",
+							round, vi, got.Ordered, got.KthScore, want.Ordered, want.KthScore)
+					}
+					for i := range want.scores {
+						if got.scores[i] != want.scores[i] {
+							t.Fatalf("round %d vertex %d: score[%d] = %v, want %v",
+								round, vi, i, got.scores[i], want.scores[i])
+						}
+					}
+				}
+			}
+
+			warm()
+			check(0)
+			for round := 1; round <= 30; round++ {
+				var dirty []int
+				var inserted []int
+				switch op := rng.Intn(4); {
+				case op == 0 || len(pts) < k+4: // pure-insert batch
+					batch := 1 + rng.Intn(3)
+					for b := 0; b < batch; b++ {
+						var p vec.Vector
+						if rng.Intn(4) == 0 {
+							// Duplicate an existing option: forces exact
+							// score ties through the splice comparator.
+							p = pts[rng.Intn(len(pts))].Clone()
+						} else {
+							p = randomPts(rng, 1, d)[0]
+						}
+						inserted = append(inserted, len(pts))
+						pts = append(pts, p)
+					}
+				case op == 1: // swap-delete
+					pts, dirty = swapDelete(pts, rng.Intn(len(pts)))
+				case op == 2: // update in place
+					i := rng.Intn(len(pts))
+					pts[i] = randomPts(rng, 1, d)[0]
+					dirty = []int{i}
+				default: // mixed: update + insert in one batch
+					i := rng.Intn(len(pts))
+					pts[i] = randomPts(rng, 1, d)[0]
+					dirty = []int{i, len(pts)}
+					pts = append(pts, randomPts(rng, 1, d)[0])
+				}
+				gen++
+				sc = NewScorerAt(append([]vec.Vector(nil), pts...), gen)
+				if inserted != nil {
+					if sum := reg.AdvanceInsert(sc, inserted); sum.Fallback {
+						t.Fatalf("round %d: pure insert fell back to drop", round)
+					}
+				} else {
+					reg.Advance(sc, dirty)
+				}
+				cache = reg.Get(k, nil)
+				check(round) // patched entries must already be exact
+				warm()       // refill what the drop path lost
+				check(round)
+			}
+
+			patched, pins, _ := reg.PatchStats()
+			if pins == 0 {
+				t.Error("no inserts went through the patch path")
+			}
+			t.Logf("shards=%d: patched %d entries over %d patch-inserted options", shards, patched, pins)
+		})
+	}
+}
+
+// TestPatchAdvanceUntouchedInsert: an insert that cracks no memoized
+// top-k (a dominated option scoring below every memoized k-th) patches
+// nothing, drops nothing — entry count unchanged, merged results kept,
+// post-advance lookups all hits — and reports Changed() == false: the
+// region-delta signal that every standing result survived the batch.
+func TestPatchAdvanceUntouchedInsert(t *testing.T) {
+	for _, shards := range []int{1, 8} {
+		rng := rand.New(rand.NewSource(77))
+		const k, n, d = 5, 400, 4
+		pts := randomPts(rng, n, d)
+		sc1 := NewScorerAt(pts, 1)
+		reg := NewShardedRegistry(sc1, shards)
+		cache := reg.Get(k, nil)
+		for i := 0; i < 10; i++ {
+			cache.Get(patchOracleVertex(rng, d))
+		}
+		entries := cache.Len()
+
+		// The all-zeros option scores 0 under every weight vector while
+		// every random option scores positive: it can crack no top-k.
+		pts2 := append(append([]vec.Vector(nil), pts...), vec.New(d))
+		sc2 := NewScorerAt(pts2, 2)
+		sum := reg.AdvanceInsert(sc2, []int{n})
+		if sum.Changed() || sum.Patched != 0 {
+			t.Fatalf("shards=%d: dominated insert reported changes: %+v", shards, sum)
+		}
+		if sum.Fallback {
+			t.Fatalf("shards=%d: pure insert fell back", shards)
+		}
+		cache = reg.Get(k, nil)
+		if got := cache.Len(); got != entries {
+			t.Errorf("shards=%d: entry count %d -> %d; an untouched advance must drop zero entries", shards, entries, got)
+		}
+		// The successor starts its hit/miss counters fresh (the retired
+		// object's fold into Registry.Stats); what matters is that every
+		// warm vertex still serves from memory — zero new misses.
+		rng = rand.New(rand.NewSource(77)) // replay the same vertices
+		_ = randomPts(rng, n, d)
+		for i := 0; i < 10; i++ {
+			if _, hit := cache.Lookup(patchOracleVertex(rng, d)); !hit {
+				t.Errorf("shards=%d: warm vertex missed after untouched advance", shards)
+			}
+		}
+		if _, misses := cache.Stats(); misses != 0 {
+			t.Errorf("shards=%d: %d misses after untouched advance, want 0", shards, misses)
+		}
+		if _, _, untouched := reg.PatchStats(); untouched != 1 {
+			t.Errorf("shards=%d: untouchedAdvances = %d, want 1", shards, untouched)
+		}
+	}
+}
+
+// TestPatchAdvancePinnedOldGeneration: the successor-object pattern —
+// after AdvanceInsert the retired cache object keeps answering solves
+// pinned to the old generation with old-generation results.
+func TestPatchAdvancePinnedOldGeneration(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		rng := rand.New(rand.NewSource(9))
+		const k, n, d = 4, 60, 4
+		pts := randomPts(rng, n, d)
+		sc1 := NewScorerAt(pts, 1)
+		reg := NewShardedRegistry(sc1, shards)
+		old := reg.Get(k, nil)
+		w := patchOracleVertex(rng, d)
+		old.Get(w)
+
+		// Insert an option that certainly cracks every top-k: near the
+		// all-ones corner it dominates the random points.
+		best := vec.New(d)
+		for j := range best {
+			best[j] = 0.999
+		}
+		pts2 := append(append([]vec.Vector(nil), pts...), best)
+		sc2 := NewScorerAt(pts2, 2)
+		sum := reg.AdvanceInsert(sc2, []int{n})
+		if !sum.Changed() {
+			t.Fatalf("shards=%d: dominant insert patched nothing", shards)
+		}
+
+		oldWant := sc1.TopK(w, k, nil)
+		if got := old.Get(w); got.OrderKey() != oldWant.OrderKey() {
+			t.Errorf("shards=%d: pinned old cache: got %v, want %v", shards, got.Ordered, oldWant.Ordered)
+		}
+		newWant := sc2.TopK(w, k, nil)
+		if got := reg.Get(k, nil).Get(w); got.OrderKey() != newWant.OrderKey() {
+			t.Errorf("shards=%d: patched cache: got %v, want %v", shards, got.Ordered, newWant.Ordered)
+		}
+		if newWant.Ordered[0] != n {
+			t.Fatalf("test setup: dominant option not ranked first (%v)", newWant.Ordered)
+		}
+	}
+}
+
+// TestAdvanceInsertFallback: a delta that breaks the pure-insert
+// contract (non-contiguous slots) must take Advance's drop semantics,
+// not corrupt the patch path.
+func TestAdvanceInsertFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const k, n, d = 3, 30, 3
+	pts := randomPts(rng, n, d)
+	sc1 := NewScorerAt(pts, 1)
+	reg := NewRegistry(sc1)
+	reg.Get(k, nil).Get(patchOracleVertex(rng, d))
+
+	// An update masquerading as an insert: slot 5 changed, same length
+	// plus one appended.
+	pts2 := append(append([]vec.Vector(nil), pts...), patchOracleVertex(rng, d+1))
+	pts2[5] = patchOracleVertex(rng, d+1)
+	sc2 := NewScorerAt(pts2, 2)
+	sum := reg.AdvanceInsert(sc2, []int{5, n})
+	if !sum.Fallback {
+		t.Fatal("non-contiguous delta did not fall back to the drop path")
+	}
+	// The whole-dataset config must have been dropped (drop semantics),
+	// and a fresh one must answer from the new generation.
+	w := patchOracleVertex(rng, d)
+	want := sc2.TopK(w, k, nil)
+	if got := reg.Get(k, nil).Get(w); got.OrderKey() != want.OrderKey() {
+		t.Errorf("post-fallback lookup: got %v, want %v", got.Ordered, want.Ordered)
+	}
+}
+
+// TestAllocsNoopRegistryAdvance gates the satellite fix: a pure-insert
+// delta (all dirty slots at or beyond the old length) reaching an
+// unsharded registry holding only explicit-active configurations is a
+// no-op advance — rebind the survivors, swap the scorer — and must not
+// allocate at all.
+func TestAllocsNoopRegistryAdvance(t *testing.T) {
+	skipUnderRace(t)
+	const runs = 100
+	base := allocDataset(32, 3, 5)
+	sc := NewScorerAt(append([]vec.Vector(nil), base...), 1)
+	r := NewRegistry(sc)
+	r.Get(4, []int{0, 1, 2, 3, 4, 5}).Get(vec.Of(0.3, 0.2))
+	r.Get(2, []int{7, 8, 9}).Get(vec.Of(0.1, 0.4))
+
+	// Pre-build every generation the timed loop advances through: one
+	// appended option per run (the warm-up call included).
+	pts := base
+	scorers := make([]*Scorer, runs+2)
+	dirties := make([][]int, runs+2)
+	for i := range scorers {
+		dirties[i] = []int{len(pts)}
+		pts = append(append([]vec.Vector(nil), pts...), vec.Of(0.5, 0.5, 0.5))
+		scorers[i] = NewScorerAt(pts, uint64(i+2))
+	}
+	step := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		r.Advance(scorers[step], dirties[step])
+		step++
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op Advance allocates %.1f per run, want 0", allocs)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("no-op advances dropped configs: len=%d", r.Len())
+	}
+}
+
+// TestAllocsAdvanceInsertExplicitOnly: AdvanceInsert over a registry
+// with no patchable configuration is the same no-op and likewise must
+// not allocate (unsharded plane; the sharded plane's assignment growth
+// is amortized-append).
+func TestAllocsAdvanceInsertExplicitOnly(t *testing.T) {
+	skipUnderRace(t)
+	const runs = 100
+	base := allocDataset(32, 3, 6)
+	sc := NewScorerAt(append([]vec.Vector(nil), base...), 1)
+	r := NewRegistry(sc)
+	r.Get(3, []int{0, 1, 2, 3}).Get(vec.Of(0.25, 0.25))
+
+	pts := base
+	scorers := make([]*Scorer, runs+2)
+	inserts := make([][]int, runs+2)
+	for i := range scorers {
+		inserts[i] = []int{len(pts)}
+		pts = append(append([]vec.Vector(nil), pts...), vec.Of(0.4, 0.4, 0.4))
+		scorers[i] = NewScorerAt(pts, uint64(i+2))
+	}
+	step := 0
+	allocs := testing.AllocsPerRun(runs, func() {
+		if sum := r.AdvanceInsert(scorers[step], inserts[step]); sum.Fallback {
+			t.Fatal("pure insert fell back")
+		}
+		step++
+	})
+	if allocs != 0 {
+		t.Fatalf("explicit-only AdvanceInsert allocates %.1f per run, want 0", allocs)
+	}
+}

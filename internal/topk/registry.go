@@ -31,6 +31,11 @@ type Registry struct {
 	retiredHits   int // counters of caches dropped by Advance, kept so Stats stays monotone
 	retiredMisses int
 
+	// Patch-on-insert counters (see AdvanceInsert in patch.go).
+	patchedEntries    int // memo entries changed by splices
+	patchInserts      int // inserted options applied through the patch path
+	untouchedAdvances int // patch advances in which no memoized top-k changed
+
 	// Sharded plane (shards > 1): interned caches are sharded, assign
 	// maps each slot of the current generation to its shard, and Advance
 	// invalidates per shard instead of per configuration.
@@ -190,40 +195,61 @@ func (r *Registry) getLocked(k int, active []int) *Cache {
 func (r *Registry) Advance(sc *Scorer, dirty []int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.advanceLocked(sc, dirty)
+}
+
+// advanceLocked is Advance's body; AdvanceInsert (patch.go) reuses it
+// as the fallback for deltas that break the pure-insert contract.
+func (r *Registry) advanceLocked(sc *Scorer, dirty []int) {
 	oldLen, newLen := r.scorer.Len(), sc.Len()
 
-	var newAssign []uint8
+	// Count the dirty slots that existed in the old generation before
+	// allocating anything: a pure insert dirties only slots at or beyond
+	// oldLen, which no interned active set and no old shard assignment
+	// can reference, so such deltas must advance allocation-free (a
+	// CI-gated invariant, see alloc_test.go).
+	nOld := 0
+	for _, i := range dirty {
+		if i < oldLen {
+			nOld++
+		}
+	}
+
+	newAssign := r.assign
 	if r.shards > 1 {
-		// Incrementally advance the slot-to-shard map: only dirty slots
-		// can change hands (shard assignment hashes contents, which are
-		// bit-identical everywhere else).
-		newAssign = make([]uint8, newLen)
-		copy(newAssign, r.assign)
-		for _, s := range dirty {
-			if s < newLen {
-				newAssign[s] = uint8(ShardOfPoint(sc.Point(s), r.shards))
+		if nOld == 0 && newLen >= oldLen {
+			// Pure insert: no existing slot changes hands; grow the
+			// assignment in place (amortized append, no per-advance copy).
+			for i := oldLen; i < newLen; i++ {
+				r.assign = append(r.assign, uint8(ShardOfPoint(sc.Point(i), r.shards)))
+			}
+			newAssign = r.assign
+		} else {
+			// Incrementally advance the slot-to-shard map: only dirty slots
+			// can change hands (shard assignment hashes contents, which are
+			// bit-identical everywhere else).
+			newAssign = make([]uint8, newLen)
+			copy(newAssign, r.assign)
+			for _, s := range dirty {
+				if s < newLen {
+					newAssign[s] = uint8(ShardOfPoint(sc.Point(s), r.shards))
+				}
 			}
 		}
 	}
 
 	// Slots at or beyond the old generation's length cannot appear in an
 	// interned active set; pre-shard registries filter them so a pure
-	// insert advances without touching any configuration.
-	dirtySet := make(map[int]bool, len(dirty))
-	for _, i := range dirty {
-		if i < oldLen {
-			dirtySet[i] = true
+	// insert advances without touching any configuration. The set is
+	// built only when some old slot actually is dirty.
+	var dirtySet map[int]bool
+	if nOld > 0 {
+		dirtySet = make(map[int]bool, nOld)
+		for _, i := range dirty {
+			if i < oldLen {
+				dirtySet[i] = true
+			}
 		}
-	}
-
-	drop := func(key string, c *Cache) {
-		h, m := c.Stats()
-		r.retiredHits += h
-		r.retiredMisses += m
-		// Fold the dropped cache's own refusals in so Evictions stays
-		// monotone across generations, like Stats.
-		r.evictions += 1 + c.Evictions()
-		delete(r.m, key)
 	}
 
 	for key, c := range r.m {
@@ -232,7 +258,7 @@ func (r *Registry) Advance(sc *Scorer, dirty []int) {
 				c.rebind(sc)
 				continue
 			}
-			drop(key, c)
+			r.dropLocked(key, c)
 			continue
 		}
 
@@ -252,7 +278,7 @@ func (r *Registry) Advance(sc *Scorer, dirty []int) {
 				}
 			}
 			if invalid {
-				drop(key, c)
+				r.dropLocked(key, c)
 				continue
 			}
 		} else {
@@ -264,7 +290,7 @@ func (r *Registry) Advance(sc *Scorer, dirty []int) {
 				continue
 			}
 			if newLen < c.k {
-				drop(key, c)
+				r.dropLocked(key, c)
 				continue
 			}
 		}
@@ -302,6 +328,17 @@ func (r *Registry) Advance(sc *Scorer, dirty []int) {
 	}
 	r.scorer = sc
 	r.assign = newAssign
+}
+
+// dropLocked retires one interned configuration, folding its counters
+// into the retired totals so Stats and Evictions stay monotone across
+// generations.
+func (r *Registry) dropLocked(key string, c *Cache) {
+	h, m := c.Stats()
+	r.retiredHits += h
+	r.retiredMisses += m
+	r.evictions += 1 + c.Evictions()
+	delete(r.m, key)
 }
 
 // touches reports whether any index of active is in dirty.

@@ -79,10 +79,14 @@ func ShardAssignment(sc *Scorer, shards int) []uint8 {
 
 // partial is one shard's contribution to a vertex's top-k: the shard's
 // best min(k, |shard members|) options in (score desc, index asc)
-// order, with their scores so the merge needs no rescoring.
+// order, with their scores so the merge needs no rescoring. For
+// whole-dataset (nil active set) configurations, w retains the vertex
+// itself so patch-on-insert (patch.go) can score inserted options at it;
+// all of a vertex's partials share one private clone.
 type partial struct {
 	idx    []int
 	scores []float64
+	w      vec.Vector
 }
 
 // shardMemo is one shard's per-vertex partial memo. Each memo has its
@@ -136,7 +140,7 @@ func computePartial(sc *Scorer, members []int, w vec.Vector, k int) *partial {
 func mergePartials(parts []*partial, k int) *Result {
 	heads := make([]int, len(parts))
 	ordered := make([]int, 0, k)
-	kth := 0.0
+	scores := make([]float64, 0, k)
 	for len(ordered) < k {
 		best := -1
 		var bestScore float64
@@ -155,10 +159,10 @@ func mergePartials(parts []*partial, k int) *Result {
 			panic("topk: sharded partials exhausted before k entries")
 		}
 		ordered = append(ordered, bestIdx)
-		kth = bestScore
+		scores = append(scores, bestScore)
 		heads[best]++
 	}
-	return newResult(ordered, kth)
+	return newResult(ordered, scores)
 }
 
 // ShardAccum attributes sharded top-k work to one solve: Partials
@@ -314,6 +318,14 @@ func (c *Cache) lookupSharded(ctx context.Context, w vec.Vector, acc *ShardAccum
 		return r, true, nil
 	}
 
+	// Patchable (whole-dataset) configurations retain the vertex with
+	// each stored partial; one private clone is shared by every partial
+	// this lookup stores (lookup vertices may live in a recycled arena).
+	var wkeep vec.Vector
+	if c.active == nil {
+		wkeep = w.Clone()
+	}
+
 	compute := func(i int) error {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
@@ -325,6 +337,7 @@ func (c *Cache) lookupSharded(ctx context.Context, w vec.Vector, acc *ShardAccum
 		sc, members, limit := sm.scorer, sm.members, sm.limit
 		sm.mu.Unlock()
 		p := computePartial(sc, members, w, c.k)
+		p.w = wkeep
 		if acc != nil {
 			acc.Partials[i].Add(1)
 			acc.Scored[i].Add(int64(len(members)))

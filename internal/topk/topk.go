@@ -164,6 +164,7 @@ func (s *Scorer) scoreInto(w vec.Vector, members []int, dst []float64) {
 type Result struct {
 	Ordered  []int   // option indices, best first
 	KthScore float64 // score of Ordered[len-1], i.e. TopK(w) in the paper
+	scores   []float64
 	setKey   string
 	orderKey string
 }
@@ -265,22 +266,28 @@ func (s *Scorer) TopK(w vec.Vector, k int, active []int) *Result {
 		return all[i].idx < all[j].idx
 	})
 	ordered := make([]int, k)
+	rsc := make([]float64, k)
 	for i := 0; i < k; i++ {
 		ordered[i] = all[i].idx
+		rsc[i] = all[i].score
 	}
-	r := newResult(ordered, all[k-1].score)
+	r := newResult(ordered, rsc)
 	sortPool.Put(ss)
 	return r
 }
 
 // newResult assembles a Result from a score-ordered index list and the
-// k-th score, precomputing the canonical set and order identities.
-func newResult(ordered []int, kthScore float64) *Result {
+// matching scores, precomputing the canonical set and order identities.
+// The full score column (not just the k-th) is retained so patch-on-
+// insert (patch.go) can splice a new option into the ranked list without
+// rescoring the survivors.
+func newResult(ordered []int, scores []float64) *Result {
 	sorted := append([]int(nil), ordered...)
 	sort.Ints(sorted)
 	return &Result{
 		Ordered:  ordered,
-		KthScore: kthScore,
+		KthScore: scores[len(scores)-1],
+		scores:   scores,
 		setKey:   joinInts(sorted),
 		orderKey: joinInts(ordered),
 	}
@@ -303,16 +310,28 @@ type Cache struct {
 	active    []int
 	limit     int // max memoized vertices (0 = unlimited)
 	mu        sync.Mutex
-	m         map[uint64]*Result
+	m         map[uint64]memoEntry
 	hits      int
 	misses    int
 	evictions int      // results not memoized because the cache was full
 	sh        *sharded // non-nil: sharded evaluation plane (shard.go)
 }
 
+// memoEntry pairs a memoized result with the vertex it was computed at.
+// The vertex is retained only for whole-dataset (nil active set)
+// configurations — the patchable ones: patch-on-insert (patch.go) must
+// score the inserted options *at each memoized vertex*, and the map key
+// is a quantized hash from which the vertex cannot be recovered. The
+// vertex is a private clone: lookup vertices may live in a recycled
+// solver arena.
+type memoEntry struct {
+	w vec.Vector
+	r *Result
+}
+
 // NewCache builds a cache for top-k queries with the given parameters.
 func NewCache(scorer *Scorer, k int, active []int) *Cache {
-	return &Cache{scorer: scorer, k: k, active: active, m: make(map[uint64]*Result)}
+	return &Cache{scorer: scorer, k: k, active: active, m: make(map[uint64]memoEntry)}
 }
 
 // NewBoundedCache is NewCache with a cap on memoized vertices; past the
@@ -381,10 +400,10 @@ func (c *Cache) Lookup(w vec.Vector) (*Result, bool) {
 	}
 	key := w.Hash(1e-10)
 	c.mu.Lock()
-	if r, ok := c.m[key]; ok {
+	if e, ok := c.m[key]; ok {
 		c.hits++
 		c.mu.Unlock()
-		return r, true
+		return e.r, true
 	}
 	// Snapshot the scorer pointer under the lock (rebind may swap it
 	// concurrently) and compute outside it; a racing duplicate
@@ -393,9 +412,13 @@ func (c *Cache) Lookup(w vec.Vector) (*Result, bool) {
 	sc := c.scorer
 	c.mu.Unlock()
 	r := sc.TopK(w, c.k, c.active)
+	e := memoEntry{r: r}
+	if c.active == nil {
+		e.w = w.Clone()
+	}
 	c.mu.Lock()
 	if c.limit <= 0 || len(c.m) < c.limit {
-		c.m[key] = r
+		c.m[key] = e
 	} else {
 		c.evictions++
 	}

@@ -109,6 +109,12 @@ func WithShards(n int) EngineOption {
 	return func(e *Engine) { e.shards = n }
 }
 
+// DefaultShards reports the shard count an engine built without
+// WithShards (or with WithShards(0)) uses on this machine. Exposed so
+// tooling that records benchmark environments (cmd/benchrunner) can
+// stamp the effective shard count without constructing an engine.
+func DefaultShards() int { return defaultShards() }
+
 // defaultShards derives the GOMAXPROCS-based shard count used when
 // WithShards is absent or zero.
 func defaultShards() int {
@@ -263,8 +269,13 @@ func (e *Engine) Log(since uint64) []AppliedOp { return e.store.Log(since) }
 // Apply mutates the dataset: the batch applies atomically and publishes
 // one new generation, whose number is returned. In-flight solves are
 // unaffected — they keep their pinned snapshot — and the engine's shared
-// caches advance incrementally: inserting, deleting or upgrading option
-// p drops only the hyperplanes and, on a sharded engine, only the
+// caches advance incrementally. The store classifies each batch
+// (store.Delta.Kind) and the engine picks the repair strategy per
+// delta: a pure-insert batch takes the patch path — interned
+// hyperplanes all survive (no existing pair changed), and memoized
+// top-k entries are patched by scoring only the inserted options at
+// each memoized vertex — while a batch that deletes or updates option p
+// drops only the hyperplanes and, on a sharded engine, only the
 // per-shard top-k state of the shards owning p — not the warm state of
 // the rest of the dataset. On error the dataset and the returned
 // generation are unchanged.
@@ -289,8 +300,13 @@ func (e *Engine) Apply(ctx context.Context, ops []Op) (Generation, error) {
 		for e.advanced != delta.From {
 			e.advanceCond.Wait()
 		}
-		e.hyperplanes.Advance(snap.Scorer, delta.Dirty)
-		e.caches.Advance(snap.Scorer, delta.Dirty)
+		if delta.Kind == store.DeltaInsertOnly {
+			e.hyperplanes.AdvanceInsert(snap.Scorer)
+			e.caches.AdvanceInsert(snap.Scorer, delta.Inserted)
+		} else {
+			e.hyperplanes.Advance(snap.Scorer, delta.Dirty)
+			e.caches.Advance(snap.Scorer, delta.Dirty)
+		}
 		e.advanced = delta.To
 		e.advanceCond.Broadcast()
 		e.advanceMu.Unlock()
@@ -371,6 +387,52 @@ func (e *Engine) SolveAt(ctx context.Context, snap Snapshot, q Query) (*Result, 
 		return nil, err
 	}
 	return core.SolveContext(ctx, p, e.options(q))
+}
+
+// Rank returns the top-k option indices — best first, ties broken by
+// lower index — at reduced preference vector w (d-1 components; the
+// last weight is implicitly 1 - sum) over the full current dataset. The
+// ranking is memoized in the engine's shared cache plane under the
+// whole-dataset configuration, so repeated rankings at the same
+// preference are served without rescoring, and a pure-insert Apply
+// repairs the memo by scoring only the inserted options
+// (CacheStats.PatchedEntries) instead of dropping it.
+func (e *Engine) Rank(w vec.Vector, k int) ([]int, error) {
+	return e.RankAt(e.store.Snapshot(), w, k)
+}
+
+// RankAt is Rank against a pinned snapshot. Rankings at the current
+// generation share the engine's memo; a pinned older generation scores
+// directly against its own snapshot.
+func (e *Engine) RankAt(snap Snapshot, w vec.Vector, k int) ([]int, error) {
+	if snap.Scorer == nil {
+		return nil, fmt.Errorf("toprr: zero snapshot (use Engine.Snapshot)")
+	}
+	if k <= 0 || k > snap.Scorer.Len() {
+		return nil, fmt.Errorf("toprr: k=%d out of range for %d options", k, snap.Scorer.Len())
+	}
+	if len(w) != snap.Scorer.PrefDim() {
+		return nil, fmt.Errorf("toprr: preference dimension %d, want %d", len(w), snap.Scorer.PrefDim())
+	}
+	sum := 0.0
+	for j, wj := range w {
+		if !(wj >= 0) {
+			return nil, fmt.Errorf("toprr: preference component %d = %v, want >= 0", j, wj)
+		}
+		sum += wj
+	}
+	if sum > 1 {
+		return nil, fmt.Errorf("toprr: preference components sum to %v, want <= 1", sum)
+	}
+	var res *topk.Result
+	if c := e.caches.GetFor(snap.Scorer, k, nil); c != nil {
+		res, _ = c.Lookup(w)
+	} else {
+		// The snapshot is pinned behind the registry's generation: score
+		// against the snapshot itself, without publishing into the memo.
+		res = snap.Scorer.TopK(w, k, nil)
+	}
+	return append([]int(nil), res.Ordered...), nil
 }
 
 // SolveBatch answers a batch of queries concurrently (bounded by the
@@ -461,9 +523,19 @@ dispatch:
 // move when the garbage collector reclaims a generation, so they trail
 // drops by one GC cycle.
 type CacheStats struct {
-	Generation            Generation
-	Hyperplanes           int
-	TopKConfigs           int
+	Generation  Generation
+	Hyperplanes int
+	TopKConfigs int
+	// Patch-on-insert counters (cumulative): PatchedEntries is memoized
+	// top-k entries repaired by splicing an inserted option in,
+	// PatchInserts the options applied through the patch path, and
+	// UntouchedAdvances the insert batches in which no memoized top-k
+	// changed — the region-delta signal that every standing result
+	// region survived the batch unchanged.
+	PatchedEntries    int
+	PatchInserts      int
+	UntouchedAdvances int
+
 	TopKHits              int
 	TopKMisses            int
 	Evictions             int
@@ -484,10 +556,14 @@ type ShardCacheStats = topk.ShardCacheStats
 func (e *Engine) CacheStats() CacheStats {
 	hits, misses := e.caches.Stats()
 	live, retained := e.store.GCStats()
+	patched, pins, untouched := e.caches.PatchStats()
 	cs := CacheStats{
 		Generation:            e.store.Generation(),
 		Hyperplanes:           e.hyperplanes.Len(),
 		TopKConfigs:           e.caches.Len(),
+		PatchedEntries:        patched,
+		PatchInserts:          pins,
+		UntouchedAdvances:     untouched,
 		TopKHits:              hits,
 		TopKMisses:            misses,
 		Evictions:             e.hyperplanes.Evictions() + e.caches.Evictions(),
