@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"strings"
 )
 
 // regressionTolerance is the fractional headroom a gated metric gets
@@ -88,6 +89,81 @@ func compareRecord(fresh, base record) []string {
 	}
 	fails = append(fails, compareAllocRows(fresh, base)...)
 	fails = append(fails, comparePatchRows(fresh, base)...)
+	fails = append(fails, compareWatchRows(fresh, base)...)
+	return fails
+}
+
+// watchSuppressionFloor is the suppression rate the watch experiment's
+// dominated-insert stream must sustain: every origin insert is provably
+// region-neutral, so anything below 1.0 means the notification plane
+// re-solved (or notified) for a mutation the patch plane had already
+// proven silent.
+const watchSuppressionFloor = 1.0
+
+// watchRows extracts the watch experiment's rows (shards, phase,
+// inserts, suppressed, evals, events, rate) keyed "shards/phase" ->
+// [inserts, suppressed, evals, events, rate].
+func watchRows(r record) map[string][5]float64 {
+	out := make(map[string][5]float64)
+	for _, t := range r.Tables {
+		if t.ID != "Watch" {
+			continue
+		}
+		for _, row := range t.Rows {
+			if len(row) < 7 {
+				continue
+			}
+			var v [5]float64
+			ok := true
+			for i := 0; i < 5; i++ {
+				f, err := strconv.ParseFloat(row[i+2], 64)
+				if err != nil {
+					ok = false
+					break
+				}
+				v[i] = f
+			}
+			if ok {
+				out[row[0]+"/"+row[1]] = v
+			}
+		}
+	}
+	return out
+}
+
+// compareWatchRows gates the watch experiment: a dominated-insert
+// stream must suppress every signal (zero re-solves, zero events) and
+// the cracking stream must actually deliver; re-evaluation counts must
+// not regress over the baseline. The counts are deterministic (pinned
+// seeds, synchronous suppression accounting), so the gates cannot flap.
+func compareWatchRows(fresh, base record) []string {
+	baseRows := watchRows(base)
+	var fails []string
+	for key, f := range watchRows(fresh) {
+		inserts, suppressed, evals, events, rate := f[0], f[1], f[2], f[3], f[4]
+		switch {
+		case strings.HasSuffix(key, "/dominated"):
+			if rate < watchSuppressionFloor {
+				fails = append(fails, fmt.Sprintf("%s/%s: suppression rate %.3f below the %.3f floor (%.0f of %.0f inserts)",
+					fresh.ID, key, rate, watchSuppressionFloor, suppressed, inserts))
+			}
+			if evals != 0 {
+				fails = append(fails, fmt.Sprintf("%s/%s: dominated stream ran %.0f re-solves, want 0", fresh.ID, key, evals))
+			}
+			if events != 0 {
+				fails = append(fails, fmt.Sprintf("%s/%s: dominated stream delivered %.0f events, want 0", fresh.ID, key, events))
+			}
+		case strings.HasSuffix(key, "/cracking"):
+			if events == 0 {
+				fails = append(fails, fmt.Sprintf("%s/%s: cracking stream delivered no events", fresh.ID, key))
+			}
+			if b, ok := baseRows[key]; ok {
+				if msg := gate("watch_evals", evals, b[2], countSlack); msg != "" {
+					fails = append(fails, fmt.Sprintf("%s/%s: %s", fresh.ID, key, msg))
+				}
+			}
+		}
+	}
 	return fails
 }
 

@@ -17,6 +17,7 @@
 //	POST   /v1/datasets/{name}/batch      many queries, one snapshot {"queries":[{...},...]}
 //	POST   /v1/datasets/{name}/ops        dataset mutations      {"ops":[{"op":"insert","point":[..]},...]}
 //	GET    /v1/datasets/{name}/ops        applied-ops log        ?since=<seq>
+//	GET    /v1/datasets/{name}/watch      standing query: SSE stream of region deltas ?k=3&lo=..&hi=..[&debounce=50ms]
 //	GET    /v1/datasets/{name}/stats      one dataset's stats
 //	GET    /v1/stats                      per-dataset breakdowns + totals + work counters
 //
@@ -99,6 +100,7 @@ func main() {
 		cacheConfigs = flag.Int("cache-configs", 0, "process-wide interned top-k configuration budget shared across datasets (0 = per-dataset default)")
 		cacheEntries = flag.Int("cache-entries", 0, "per-configuration memoized-vertex cap (0 = default)")
 		shards       = flag.Int("shards", 0, "solve-plane shards per dataset (0 = GOMAXPROCS-derived; reopened datasets keep their persisted layout)")
+		watchCap     = flag.Int("watch-cap", 0, "standing-query subscriptions allowed per dataset (0 = engine default)")
 	)
 	flag.Parse()
 
@@ -145,6 +147,12 @@ func main() {
 	}
 	if *shards > 0 {
 		regOpts = append(regOpts, toprr.WithRegistryShards(*shards))
+	}
+	if *watchCap < 0 {
+		fatal(fmt.Errorf("-watch-cap must be >= 0, got %d", *watchCap))
+	}
+	if *watchCap > 0 {
+		regOpts = append(regOpts, toprr.WithRegistryWatchCap(*watchCap))
 	}
 	reg, err := toprr.NewRegistry(regOpts...)
 	if err != nil {
@@ -199,11 +207,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "toprrd: registry root %s holds %d dataset(s); default at generation %d (wal %d bytes in %d segment(s), base snapshot at generation %d)\n",
 			*dataDir, len(reg.List()), engine.Generation(), ps.WALBytes, ps.WALSegments, ps.LastCompaction)
 	}
+	api := newServer(reg, *reqTimeout, *maxBody)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(reg, *reqTimeout, *maxBody),
+		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	// Watch streams never end on their own; close them out when the
+	// daemon drains so Shutdown doesn't wait the full budget on them.
+	srv.RegisterOnShutdown(api.drainWatches)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)

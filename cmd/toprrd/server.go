@@ -24,19 +24,26 @@ import (
 // an Apply landing mid-solve. The pre-tenancy /v1/{solve,batch,ops}
 // routes alias the "default" dataset, so existing clients keep working.
 type server struct {
-	reg     *toprr.Registry
-	timeout time.Duration // per-request deadline (0 = none)
-	maxBody int64         // request-body cap in bytes
-	start   time.Time
+	reg      *toprr.Registry
+	timeout  time.Duration // per-request deadline (0 = none; watch streams are exempt)
+	maxBody  int64         // request-body cap in bytes
+	start    time.Time
+	draining chan struct{} // closed on shutdown: watch streams say bye and end
 }
 
 // defaultDataset is the tenant behind the legacy single-dataset routes.
 const defaultDataset = "default"
 
 // newServer wires the /v1 API over a registry.
-func newServer(reg *toprr.Registry, timeout time.Duration, maxBody int64) http.Handler {
-	return &server{reg: reg, timeout: timeout, maxBody: maxBody, start: time.Now()}
+func newServer(reg *toprr.Registry, timeout time.Duration, maxBody int64) *server {
+	return &server{reg: reg, timeout: timeout, maxBody: maxBody, start: time.Now(), draining: make(chan struct{})}
 }
+
+// drainWatches ends every open watch stream with a terminal event.
+// http.Server.Shutdown waits for in-flight requests, and an SSE stream
+// never ends on its own — register this via RegisterOnShutdown so
+// graceful shutdown doesn't burn the whole drain budget on watchers.
+func (s *server) drainWatches() { close(s.draining) }
 
 // datasetsPrefix roots the per-dataset route tree.
 const datasetsPrefix = "/v1/datasets"
@@ -74,6 +81,8 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			s.withDataset(w, r, name, s.handleBatch)
 		case "ops":
 			s.withDataset(w, r, name, s.handleOps)
+		case "watch":
+			s.withDataset(w, r, name, s.handleWatch)
 		case "stats":
 			s.withDataset(w, r, name, func(w http.ResponseWriter, r *http.Request, eng *toprr.Engine) {
 				s.handleDatasetStats(w, r, name, eng)

@@ -62,6 +62,7 @@ func All() []Experiment {
 		{"shards", "Sharded solve plane scaling (S=1/2/4/8)", ShardScaling},
 		{"alloc", "Hot-path allocation profile (ns/op, B/op, allocs/op)", Alloc},
 		{"patch", "Patch-on-insert vs drop-recompute (options scored to re-warm)", Patch},
+		{"watch", "Standing queries: events delivered vs solves avoided", Watch},
 	}
 }
 

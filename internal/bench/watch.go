@@ -1,0 +1,111 @@
+package bench
+
+// The standing-query experiment: an engine with live subscriptions
+// takes two insert streams — a dominated stream (options at the origin,
+// which can enter no memoized top-k) and a cracking stream (near the
+// unit corner, which enters every one). The table records, per phase
+// and shard count, the mutation signals suppressed without any
+// re-solve, the re-evaluations actually run, and the region events
+// delivered. The counts are deterministic — pinned seeds, synchronous
+// suppression accounting — so cmd/benchrunner -compare gates them: the
+// dominated stream must suppress everything (zero events, zero
+// re-solves) and the cracking stream must deliver.
+
+import (
+	"context"
+	"fmt"
+
+	"toprr/internal/dataset"
+	"toprr/internal/vec"
+	"toprr/pkg/toprr"
+)
+
+// WatchShardGrid is the shard counts the watch experiment sweeps.
+var WatchShardGrid = []int{1, 4}
+
+const (
+	watchSubs            = 3   // standing subscriptions per engine
+	watchDominatedBursts = 100 // origin inserts: provably region-neutral
+	watchCrackingBursts  = 5   // unit-corner inserts: crack every top-k
+	watchTableID         = "Watch"
+)
+
+// corner builds the b-th cracking insert: just inside the unit corner,
+// strictly dominating the [0,1]^d bulk, distinct per burst so each
+// insert moves the k-th score again.
+func corner(d, b int) vec.Vector {
+	p := vec.New(d)
+	for j := range p {
+		p[j] = 0.99 - 0.002*float64(b) - 0.001*float64(j)
+	}
+	return p
+}
+
+// Watch measures the standing-query plane's notification economy:
+// events delivered vs solves avoided across a dominated and a cracking
+// insert stream, per shard count.
+func Watch(s Scale) []*Table {
+	ds := s.data(dataset.Independent, DefaultN/4, DefaultD)
+	d := DefaultD
+	ctx := context.Background()
+
+	t := &Table{
+		ID: watchTableID,
+		Caption: fmt.Sprintf("standing queries, IND n=%s d=%d k=%d, %d subscriptions: %d dominated + %d cracking inserts (signals suppressed vs re-solves vs events)",
+			humanN(len(ds.Pts)), d, DefaultK, watchSubs, watchDominatedBursts, watchCrackingBursts),
+		Header: []string{"shards", "phase", "inserts", "suppressed", "evals", "events", "suppression rate"},
+	}
+
+	for _, shards := range WatchShardGrid {
+		eng := toprr.NewEngine(ds.Pts[:len(ds.Pts):len(ds.Pts)], toprr.WithShards(shards))
+		regions := s.Regions(d-1, DefaultSigma, 1, int64(300+shards))
+		subs := make([]*toprr.Subscription, 0, watchSubs)
+		for i := 0; i < watchSubs; i++ {
+			sub, err := eng.Watch(DefaultK, regions[i%len(regions)], toprr.WatchOptions{Debounce: -1})
+			if err != nil {
+				panic("bench: watch subscribe failed: " + err.Error())
+			}
+			subs = append(subs, sub)
+		}
+
+		run := func(phase string, inserts int, point func(b int) vec.Vector) {
+			base := eng.WatchStats()
+			for b := 0; b < inserts; b++ {
+				if _, err := eng.Apply(ctx, []toprr.Op{toprr.Insert(point(b))}); err != nil {
+					panic("bench: watch apply failed: " + err.Error())
+				}
+			}
+			if err := eng.WatchSettle(ctx); err != nil {
+				panic("bench: watch settle failed: " + err.Error())
+			}
+			st := eng.WatchStats()
+			suppressed := st.Suppressed - base.Suppressed
+			evals := st.Evaluations - base.Evaluations
+			events := st.Delivered - base.Delivered
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", shards),
+				phase,
+				fmt.Sprintf("%d", inserts),
+				fmt.Sprintf("%d", suppressed),
+				fmt.Sprintf("%d", evals),
+				fmt.Sprintf("%d", events),
+				fmt.Sprintf("%.3f", float64(suppressed)/float64(inserts)),
+			})
+		}
+
+		// Dominated phase: every insert sits at the origin, below every
+		// memoized k-th score, so the patch plane proves each batch
+		// region-neutral and the hub drops it for free.
+		run("dominated", watchDominatedBursts, func(int) vec.Vector { return vec.New(d) })
+
+		// Cracking phase: each insert lands just inside the unit corner,
+		// cracks every memoized top-k, and must reach the subscriptions.
+		run("cracking", watchCrackingBursts, func(b int) vec.Vector { return corner(d, b) })
+
+		for _, sub := range subs {
+			sub.Close()
+		}
+		eng.Close()
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,150 @@
+package store
+
+// FuzzDeltaClassify drives random op batches through Apply and checks
+// the delta classification invariants the engine's cache-advance and
+// notification planes lean on: DeltaInsertOnly exactly when every op of
+// a non-empty batch is an insert, Inserted populated exactly then and
+// holding the contiguous ascending new-tail slots [oldLen, newLen),
+// every dirty slot in range, and the generation advancing by one per
+// applied batch. A misclassified batch would route a reshape through
+// the patch plane (silent cache corruption) or an insert through the
+// drop path (lost suppression), so the classifier gets its own fuzz
+// lane in CI.
+
+import (
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+// fuzzOps decodes a byte string into an op batch over a store of n
+// options in [0,1]^d: each byte yields one op — two bits kind, the rest
+// an index/coordinate seed — so the fuzzer explores kind interleavings
+// and index aliasing without needing valid structure in its inputs.
+func fuzzOps(data []byte, n, d int) []Op {
+	ops := make([]Op, 0, len(data))
+	for _, b := range data {
+		pt := vec.New(d)
+		for j := range pt {
+			pt[j] = float64((int(b)*31+j*17)%97) / 96
+		}
+		switch b % 4 {
+		case 0, 1: // bias toward inserts: the insert-only path is the fragile one
+			ops = append(ops, Insert(pt))
+		case 2:
+			ops = append(ops, Delete(int(b/4)%(n+len(data))))
+		default:
+			ops = append(ops, Update(int(b/4)%(n+len(data)), pt))
+		}
+	}
+	return ops
+}
+
+func FuzzDeltaClassify(f *testing.F) {
+	f.Add([]byte{0, 1, 4})
+	f.Add([]byte{2, 0, 3, 7})
+	f.Add([]byte{})
+	f.Add([]byte{255, 254, 0, 0, 9, 130})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const d = 3
+		base := []vec.Vector{
+			vec.Of(0.1, 0.2, 0.3), vec.Of(0.9, 0.1, 0.4),
+			vec.Of(0.5, 0.5, 0.5), vec.Of(0.2, 0.8, 0.6),
+		}
+		st, err := New(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+
+		// Split the input into a few batches so classification is exercised
+		// against stores already moved by earlier fuzz batches.
+		for len(data) > 0 {
+			cut := 1 + int(data[0])%5
+			if cut > len(data) {
+				cut = len(data)
+			}
+			batch := fuzzOps(data[:cut], st.Len(), d)
+			data = data[cut:]
+
+			oldLen := st.Len()
+			oldGen := st.Generation()
+			snap, delta, err := st.Apply(batch)
+			if err != nil {
+				// Invalid batches (out-of-range index, deleting the last
+				// option) must leave the store untouched.
+				if st.Generation() != oldGen || st.Len() != oldLen {
+					t.Fatalf("failed Apply moved the store: gen %d->%d len %d->%d",
+						oldGen, st.Generation(), oldLen, st.Len())
+				}
+				continue
+			}
+
+			inserts := 0
+			for _, op := range batch {
+				if op.Kind == OpInsert {
+					inserts++
+				}
+			}
+			allInserts := inserts == len(batch)
+
+			switch {
+			case len(batch) == 0:
+				if delta.Kind != DeltaEmpty || delta.To != delta.From {
+					t.Fatalf("empty batch classified %v (gen %d->%d)", delta.Kind, delta.From, delta.To)
+				}
+				continue
+			case allInserts:
+				if delta.Kind != DeltaInsertOnly {
+					t.Fatalf("pure-insert batch classified %v", delta.Kind)
+				}
+			default:
+				if delta.Kind != DeltaReshape {
+					t.Fatalf("mixed batch (%d/%d inserts) classified %v", inserts, len(batch), delta.Kind)
+				}
+			}
+
+			if delta.From != oldGen || delta.To != delta.From+1 {
+				t.Fatalf("delta generations %d->%d, want %d->%d", delta.From, delta.To, oldGen, oldGen+1)
+			}
+			newLen := snap.Scorer.Len()
+
+			if delta.Kind == DeltaInsertOnly {
+				if newLen != oldLen+inserts {
+					t.Fatalf("insert-only batch: len %d -> %d with %d inserts", oldLen, newLen, inserts)
+				}
+				if len(delta.Inserted) != inserts {
+					t.Fatalf("Inserted holds %d slots, want %d", len(delta.Inserted), inserts)
+				}
+				for i, s := range delta.Inserted {
+					if s != oldLen+i {
+						t.Fatalf("Inserted[%d] = %d, want contiguous tail slot %d", i, s, oldLen+i)
+					}
+				}
+				// The patch plane's own contiguity validation must agree:
+				// the published slots never trip its fallback.
+				for _, s := range delta.Dirty {
+					if s < oldLen {
+						t.Fatalf("insert-only batch dirtied pre-existing slot %d (oldLen %d)", s, oldLen)
+					}
+				}
+			} else if delta.Inserted != nil {
+				t.Fatalf("%v delta carries Inserted %v, want nil", delta.Kind, delta.Inserted)
+			}
+
+			// Dirty slots address intermediate batch states too (an insert
+			// later swap-deleted away dirties a transient tail slot), so the
+			// bound is the peak length the batch could reach, not either
+			// endpoint.
+			peak := oldLen + inserts
+			if newLen > peak {
+				peak = newLen
+			}
+			for _, s := range delta.Dirty {
+				if s < 0 || s >= peak {
+					t.Fatalf("dirty slot %d outside [0, %d) (oldLen %d newLen %d inserts %d)", s, peak, oldLen, newLen, inserts)
+				}
+			}
+		}
+	})
+}

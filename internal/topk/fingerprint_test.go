@@ -1,0 +1,180 @@
+package topk
+
+// Region-fingerprint properties: permutation invariance (the hash must
+// not depend on the order constraints stream out of the assembler),
+// sub-quantum stability (coefficients that agree within the cache
+// plane's identity quantum fingerprint identically), and sensitivity
+// (a coefficient nudged past the quantum, a constraint added, dropped,
+// or duplicated must move the fingerprint — a collision here would
+// suppress a standing-query notification). FuzzRegionFingerprint
+// searches for collision-driven suppression on near-identical sets.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"toprr/internal/vec"
+)
+
+// fpConstraints draws a random constraint set (a, b rows).
+func fpConstraints(rng *rand.Rand, n, d int) ([]vec.Vector, []float64) {
+	as := make([]vec.Vector, n)
+	bs := make([]float64, n)
+	for i := range as {
+		a := vec.New(d)
+		for j := range a {
+			a[j] = rng.NormFloat64()
+		}
+		as[i] = a
+		bs[i] = rng.NormFloat64()
+	}
+	return as, bs
+}
+
+// fpOf fingerprints the constraint rows in the given order.
+func fpOf(as []vec.Vector, bs []float64, order []int) uint64 {
+	var h RegionHash
+	for _, i := range order {
+		h.Add(as[i], bs[i])
+	}
+	return h.Sum()
+}
+
+func TestRegionHashPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 50; trial++ {
+		n, d := 1+rng.Intn(12), 2+rng.Intn(4)
+		as, bs := fpConstraints(rng, n, d)
+		order := rng.Perm(n)
+		want := fpOf(as, bs, rng.Perm(n))
+		if got := fpOf(as, bs, order); got != want {
+			t.Fatalf("trial %d: permuted set fingerprints %#x vs %#x", trial, got, want)
+		}
+	}
+}
+
+func TestRegionHashQuantization(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	as, bs := fpConstraints(rng, 6, 3)
+	// Snap every coefficient to a quantization-bucket center, so a
+	// sub-quantum wiggle provably stays inside its bucket (a random
+	// coefficient can sit arbitrarily close to a rounding boundary).
+	snap := func(x float64) float64 {
+		return math.Round(x/FingerprintQuantum) * FingerprintQuantum
+	}
+	for i := range as {
+		for j := range as[i] {
+			as[i][j] = snap(as[i][j])
+		}
+		bs[i] = snap(bs[i])
+	}
+	order := make([]int, len(as))
+	for i := range order {
+		order[i] = i
+	}
+	base := fpOf(as, bs, order)
+
+	// A sub-quantum wiggle on every coefficient is identity-preserving.
+	wiggled := make([]vec.Vector, len(as))
+	wb := append([]float64(nil), bs...)
+	for i, a := range as {
+		w := a.Clone()
+		for j := range w {
+			w[j] += FingerprintQuantum / 8
+		}
+		wiggled[i] = w
+		wb[i] += FingerprintQuantum / 8
+	}
+	if got := fpOf(wiggled, wb, order); got != base {
+		t.Fatalf("sub-quantum perturbation moved the fingerprint: %#x vs %#x", got, base)
+	}
+
+	// One coefficient past the quantum must move it.
+	moved := append([]vec.Vector(nil), as...)
+	moved[2] = as[2].Clone()
+	moved[2][1] += 3 * FingerprintQuantum
+	if got := fpOf(moved, bs, order); got == base {
+		t.Fatalf("super-quantum perturbation kept the fingerprint %#x", base)
+	}
+}
+
+func TestRegionHashSetSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	as, bs := fpConstraints(rng, 5, 3)
+	full := make([]int, len(as))
+	for i := range full {
+		full[i] = i
+	}
+	base := fpOf(as, bs, full)
+
+	if got := fpOf(as, bs, full[:len(full)-1]); got == base {
+		t.Fatal("dropping a constraint kept the fingerprint")
+	}
+	if got := fpOf(as, bs, append(append([]int(nil), full...), 0)); got == base {
+		t.Fatal("duplicating a constraint kept the fingerprint (multiset identity violated)")
+	}
+	var empty RegionHash
+	if empty.Sum() == base {
+		t.Fatal("empty set collides with a populated one")
+	}
+	var e2 RegionHash
+	if e2.Sum() != empty.Sum() {
+		t.Fatal("empty fingerprint is not deterministic")
+	}
+}
+
+// FuzzRegionFingerprint drives the properties a notification plane
+// leans on: permutation invariance, and no collision between a set and
+// its single-coefficient super-quantum perturbation (which is exactly
+// the "region moved but the fingerprint didn't" suppression hazard).
+func FuzzRegionFingerprint(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(3), uint8(1), int64(7))
+	f.Add(int64(99), uint8(1), uint8(2), uint8(0), int64(-3))
+	f.Fuzz(func(t *testing.T, seed int64, nn, dd, pick uint8, bump int64) {
+		n := 1 + int(nn)%16
+		d := 2 + int(dd)%5
+		rng := rand.New(rand.NewSource(seed))
+		as, bs := fpConstraints(rng, n, d)
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		base := fpOf(as, bs, order)
+
+		if got := fpOf(as, bs, rng.Perm(n)); got != base {
+			t.Fatalf("permutation moved fingerprint: %#x vs %#x", got, base)
+		}
+
+		// Nudge one (constraint, coefficient) by a whole number of quanta.
+		steps := bump % 1000
+		if steps == 0 {
+			steps = 1
+		}
+		i := int(pick) % n
+		j := int(pick/16) % (d + 1)
+		pa := append([]vec.Vector(nil), as...)
+		pb := append([]float64(nil), bs...)
+		if j == d {
+			pb[i] += float64(steps) * FingerprintQuantum
+		} else {
+			pa[i] = as[i].Clone()
+			pa[i][j] += float64(steps) * FingerprintQuantum
+		}
+		// Quantization rounds via int64(round(x/quantum)): confirm the nudge
+		// actually crossed a bucket before demanding divergence (float64
+		// addition can swallow a small absolute step on large coefficients).
+		crossed := false
+		if j == d {
+			crossed = vec.HashFold(0, pb[i], FingerprintQuantum) != vec.HashFold(0, bs[i], FingerprintQuantum)
+		} else {
+			crossed = pa[i].Hash(FingerprintQuantum) != as[i].Hash(FingerprintQuantum)
+		}
+		if !crossed {
+			return
+		}
+		if got := fpOf(pa, pb, order); got == base {
+			t.Fatalf("perturbed set collides with base: %#x (n=%d d=%d i=%d j=%d steps=%d)", base, n, d, i, j, steps)
+		}
+	})
+}

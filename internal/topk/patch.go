@@ -40,7 +40,22 @@ type PatchSummary struct {
 }
 
 // Changed reports whether any memoized entry changed under the patch.
+// It is a pure patch-plane observation — NOT a safe suppression signal:
+// a Fallback summary dropped memos wholesale with Patched == 0, and a
+// sharded advance can drop merged results it cannot vouch for without
+// patching anything. Consumers that skip work when "nothing changed"
+// (the notification hub) must use MaybeChanged.
 func (s PatchSummary) Changed() bool { return s.Patched > 0 }
+
+// MaybeChanged is the conservative region-delta signal: false proves no
+// memoized top-k state moved under the advance — no entry was patched,
+// no merged result was dropped, and the pure-insert contract held (no
+// fallback to the drop path). Only a false MaybeChanged licenses a
+// standing-query plane to suppress re-evaluation; the three true cases
+// each admit a region change Changed() would miss.
+func (s PatchSummary) MaybeChanged() bool {
+	return s.Patched > 0 || s.MergedDropped > 0 || s.Fallback
+}
 
 // splicePos returns the comparator position of (slot, s) in a ranked
 // entry list — the index before which it belongs under the shared

@@ -329,3 +329,53 @@ func TestAllocsAdvanceInsertExplicitOnly(t *testing.T) {
 		t.Fatalf("explicit-only AdvanceInsert allocates %.1f per run, want 0", allocs)
 	}
 }
+
+// TestMaybeChangedFallbackHazard pins the fallback hazard fix (ISSUE
+// 8): a summary whose advance dropped memos without splicing anything —
+// fallback to the drop path, or merged results discarded with zero
+// patches — reports Changed() false, so a notification plane keying
+// suppression off Changed() would provably miss updates. MaybeChanged
+// must be true in every such case, and false only for the genuinely
+// inert advance.
+func TestMaybeChangedFallbackHazard(t *testing.T) {
+	cases := []struct {
+		name string
+		sum  PatchSummary
+		want bool
+	}{
+		{"inert", PatchSummary{Configs: 2, Entries: 9}, false},
+		{"patched", PatchSummary{Entries: 4, Patched: 1}, true},
+		{"merged-dropped-only", PatchSummary{Entries: 4, MergedDropped: 2}, true},
+		{"fallback", PatchSummary{Fallback: true}, true},
+	}
+	for _, c := range cases {
+		if got := c.sum.MaybeChanged(); got != c.want {
+			t.Errorf("%s: MaybeChanged() = %v, want %v", c.name, got, c.want)
+		}
+	}
+	if (PatchSummary{Fallback: true}).Changed() {
+		t.Error("Changed() on a fallback summary became true; MaybeChanged exists because it is not")
+	}
+
+	// End to end: an inserted list that breaks the contiguous-tail
+	// contract runs the drop path and must come back MaybeChanged even
+	// though nothing was patched.
+	rng := rand.New(rand.NewSource(85))
+	pts := randomPts(rng, 40, 3)
+	sc := NewScorerAt(append([]vec.Vector(nil), pts...), 1)
+	reg := NewRegistry(sc)
+	reg.Get(4, nil).Get(patchOracleVertex(rng, 3))
+
+	pts = append(append([]vec.Vector(nil), pts...), vec.Of(0.5, 0.5, 0.5), vec.Of(0.4, 0.4, 0.4))
+	scn := NewScorerAt(pts, 2)
+	sum := reg.AdvanceInsert(scn, []int{41, 40}) // out of order: contract broken
+	if !sum.Fallback {
+		t.Fatal("out-of-order inserted list did not fall back")
+	}
+	if sum.Changed() {
+		t.Fatal("fallback summary reports Changed")
+	}
+	if !sum.MaybeChanged() {
+		t.Fatal("fallback summary reports !MaybeChanged: suppression would miss the dropped memos")
+	}
+}

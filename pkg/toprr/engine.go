@@ -52,6 +52,11 @@ type Engine struct {
 	limitsMu   sync.Mutex // guards the cache-limit pair below
 	maxConfigs int
 	maxEntries int
+
+	// Standing-query plane (watch.go): the notification hub fed one
+	// signal per published generation, and the subscription cap.
+	watch    *watchHub
+	watchCap int
 }
 
 // EngineOption configures a new Engine.
@@ -141,6 +146,14 @@ func WithCacheLimits(maxConfigs, maxEntriesPerConfig int) EngineOption {
 	}
 }
 
+// WithWatchCap bounds the engine's standing subscriptions
+// (Engine.Watch): past the cap, Watch fails with
+// ErrTooManySubscriptions until an active subscription closes. Zero
+// keeps DefaultWatchCap; negative is rejected by OpenEngine.
+func WithWatchCap(n int) EngineOption {
+	return func(e *Engine) { e.watchCap = n }
+}
+
 // NewEngine builds an engine over an initial dataset of options in
 // [0,1]^d, published as generation 1. It panics on an invalid dataset
 // (empty, inconsistent dimensions, or components outside [0,1]), like
@@ -166,6 +179,12 @@ func OpenEngine(pts []vec.Vector, opts ...EngineOption) (*Engine, error) {
 	}
 	if e.shards < 0 || e.shards > topk.MaxShards {
 		return nil, fmt.Errorf("toprr: shard count %d out of range [0, %d]", e.shards, topk.MaxShards)
+	}
+	if e.watchCap < 0 {
+		return nil, fmt.Errorf("toprr: watch cap %d, want >= 0", e.watchCap)
+	}
+	if e.watchCap == 0 {
+		e.watchCap = DefaultWatchCap
 	}
 	if e.shards == 0 {
 		e.shards = defaultShards()
@@ -195,6 +214,7 @@ func OpenEngine(pts []vec.Vector, opts ...EngineOption) (*Engine, error) {
 	e.caches.SetLimits(e.maxConfigs, e.maxEntries)
 	e.advanceCond = sync.NewCond(&e.advanceMu)
 	e.advanced = snap.Gen
+	e.watch = newWatchHub(e)
 	return e, nil
 }
 
@@ -239,6 +259,10 @@ func (e *Engine) CacheLimits() (maxConfigs, maxEntriesPerConfig int) {
 // mode; Close exists so a clean shutdown releases file handles
 // deterministically.
 func (e *Engine) Close() error {
+	// Stop the notification hub first: subscriptions close their Updates
+	// channels (SSE handlers and other consumers drain out) before the
+	// store refuses writes.
+	e.watch.stop()
 	return e.store.Close()
 }
 
@@ -300,13 +324,22 @@ func (e *Engine) Apply(ctx context.Context, ops []Op) (Generation, error) {
 		for e.advanced != delta.From {
 			e.advanceCond.Wait()
 		}
+		suppress := false
 		if delta.Kind == store.DeltaInsertOnly {
 			e.hyperplanes.AdvanceInsert(snap.Scorer)
-			e.caches.AdvanceInsert(snap.Scorer, delta.Inserted)
+			sum := e.caches.AdvanceInsert(snap.Scorer, delta.Inserted)
+			// The conservative region-delta signal: only a summary that
+			// patched nothing, dropped nothing and honored the pure-insert
+			// contract proves every standing region survived the batch.
+			suppress = !sum.MaybeChanged()
 		} else {
 			e.hyperplanes.Advance(snap.Scorer, delta.Dirty)
 			e.caches.Advance(snap.Scorer, delta.Dirty)
 		}
+		// Inside the gate, so the hub sees signals in publication order;
+		// observe only flips flags (never solves), keeping the write path
+		// free of notification work.
+		e.watch.observe(suppress)
 		e.advanced = delta.To
 		e.advanceCond.Broadcast()
 		e.advanceMu.Unlock()

@@ -48,6 +48,7 @@ type Registry struct {
 	budgetConfigs int           // process-wide interned top-k configurations (0 = per-engine default)
 	budgetEntries int           // per-configuration memoized-vertex cap (0 = per-engine default)
 	shards        int           // default shard count for new datasets (0 = engine auto)
+	watchCap      int           // per-tenant standing-subscription cap (0 = engine default)
 	persist       store.PersistConfig
 
 	mu      sync.Mutex
@@ -100,6 +101,14 @@ func WithRegistryPersistence(cfg PersistConfig) RegistryOption {
 // destroying the tenant.
 func WithIdleTTL(d time.Duration) RegistryOption {
 	return func(r *Registry) { r.ttl = d }
+}
+
+// WithRegistryWatchCap bounds the standing subscriptions of each
+// tenant (see Engine.Watch and WithWatchCap; 0 keeps the per-engine
+// DefaultWatchCap). The cap is per tenant, not process-wide: every
+// dataset's engine is opened with this limit.
+func WithRegistryWatchCap(n int) RegistryOption {
+	return func(r *Registry) { r.watchCap = n }
 }
 
 // WithRegistryShards sets the default shard count new datasets are
@@ -193,6 +202,9 @@ func (r *Registry) openEngineFor(name string, boot []vec.Vector, shards int) (*E
 		shards = r.shards
 	}
 	opts := []EngineOption{WithShards(shards)}
+	if r.watchCap > 0 {
+		opts = append(opts, WithWatchCap(r.watchCap))
+	}
 	if r.root != "" {
 		opts = append(opts, WithPersistenceConfig(r.persistFor(name)))
 	}

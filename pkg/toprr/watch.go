@@ -1,0 +1,603 @@
+package toprr
+
+// Standing queries: Engine.Watch registers a live TopRR query whose
+// result region is kept current as the mutation stream flows, without
+// clients re-solving after every Apply. The notification hub rides the
+// store's applied-op stream off the reader lock — Apply hands it one
+// signal per published generation after the cache advance, and the hub
+// does all re-evaluation on its own goroutine — so watchers never stall
+// the mutation/WAL path.
+//
+// Work avoidance is layered:
+//
+//  1. Proven suppression. A pure-insert delta whose patch summary
+//     reports !MaybeChanged() touched no memoized top-k entry. Every
+//     subscription's defining vertices (Result.Vall) are pinned into
+//     the whole-dataset memo after each evaluation, so the untouched
+//     summary proves the k-th score at every defining vertex of every
+//     standing region is unchanged — and since the k-th score envelope
+//     is concave over each confirmed region while a new option scores
+//     linearly, agreement at the vertices extends to the whole region:
+//     no standing region moved. The signal is dropped with zero
+//     re-solves. Suppression is armed only while the proof actually
+//     covers every subscription: it turns off whenever the hub has
+//     unprocessed work (a pending or in-flight evaluation means some
+//     region's new vertices are not pinned yet) or a memo eviction has
+//     occurred since the last pin (an evicted vertex can no longer
+//     vouch for its region), and re-arms at the next evaluation.
+//  2. Debounced coalescing. Signals that cannot be suppressed mark the
+//     hub dirty; each subscription re-evaluates at most once per its
+//     debounce window, against the newest snapshot, so a burst of
+//     mutations costs one solve per subscription, not one per batch.
+//  3. Fingerprint gating. A re-evaluation emits an event only when the
+//     region's quantized constraint-set fingerprint (topk.RegionHash)
+//     moved — reshape deltas that happen not to touch a subscription's
+//     region wake nobody.
+//
+// Delivery: Updates is a buffered channel owned by the hub. Events
+// carry the generation their region reflects, in strictly increasing
+// order per subscription. A slow consumer never blocks the hub: the
+// oldest undelivered event is displaced and the next delivered event's
+// Dropped field counts the displacements, so the newest region is
+// always deliverable. The channel closes when the subscription or the
+// engine closes. docs/STANDING.md states the full contract.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"toprr/internal/geom"
+	"toprr/internal/topk"
+)
+
+// ErrTooManySubscriptions is returned by Engine.Watch when the engine's
+// subscription cap (WithWatchCap / WithRegistryWatchCap) is reached.
+var ErrTooManySubscriptions = errors.New("toprr: subscription cap reached")
+
+// ErrEngineClosed is returned by Engine.Watch after the engine closed.
+var ErrEngineClosed = errors.New("toprr: engine closed")
+
+// DefaultWatchCap bounds the standing subscriptions of one engine when
+// no explicit cap is configured.
+const DefaultWatchCap = 256
+
+// DefaultDebounce is the coalescing window applied when WatchOptions
+// leaves Debounce zero: mutations landing within one window of each
+// other cost one re-evaluation, and a notification for an isolated
+// mutation is delayed by at most roughly this long.
+const DefaultDebounce = 25 * time.Millisecond
+
+// defaultWatchBuffer is the Updates channel capacity when WatchOptions
+// leaves Buffer zero.
+const defaultWatchBuffer = 16
+
+// WatchOptions configures one standing query.
+type WatchOptions struct {
+	// Debounce is the coalescing window: after a non-suppressed mutation
+	// signal, the subscription re-evaluates once the window elapses,
+	// absorbing further signals meanwhile. Zero means DefaultDebounce;
+	// negative means no debounce (evaluate on the next hub cycle).
+	Debounce time.Duration
+	// Buffer is the Updates channel capacity (zero = default). When the
+	// buffer is full the oldest undelivered event is displaced, counted
+	// by the next delivered event's Dropped field.
+	Buffer int
+	// Options are the solver options for the subscription's evaluations
+	// (nil = engine defaults), as in Query.Options.
+	Options *Options
+	// Ctx, when non-nil, bounds the initial solve performed by Watch
+	// itself. It does not bound the subscription's lifetime.
+	Ctx context.Context
+}
+
+// RegionEvent is one standing-query update: the subscription's result
+// region at Generation, which differs from the previously delivered
+// region unless Initial (or Err) is set.
+type RegionEvent struct {
+	// Generation is the dataset generation the region reflects. Events
+	// arrive in strictly increasing generation order per subscription.
+	Generation Generation
+	// Fingerprint is the region's quantized constraint-set hash; equal
+	// fingerprints mean an unchanged region, so clients can dedupe
+	// across resubscribes.
+	Fingerprint uint64
+	// Result is the full solve result (nil when Err is set).
+	Result *Result
+	// Initial marks the first event, delivered synchronously by Watch.
+	Initial bool
+	// Dropped counts older events displaced by a full Updates buffer
+	// since the previous delivered event.
+	Dropped int
+	// Err reports a failed re-evaluation (for example k exceeding the
+	// dataset after deletes). The subscription stays registered; a later
+	// mutation that makes the query solvable again resumes events.
+	Err error
+}
+
+// Subscription is one standing query's handle. Close it when done; the
+// Updates channel closes when the subscription or its engine closes.
+type Subscription struct {
+	id  uint64
+	hub *watchHub
+	q   Query
+
+	debounce time.Duration
+	ch       chan RegionEvent
+
+	// Hub state, guarded by hub.mu.
+	due     time.Time // zero = no evaluation scheduled
+	lastFP  uint64
+	lastGen Generation
+	lastErr bool // last delivery was an Err event; the recovery event is unconditional
+	dropped int  // displaced events since the last delivery
+	closed  bool
+}
+
+// Updates returns the subscription's event stream. The channel is
+// closed by Subscription.Close and by Engine.Close.
+func (s *Subscription) Updates() <-chan RegionEvent { return s.ch }
+
+// Query returns the standing query (k, wR, options) the subscription
+// evaluates.
+func (s *Subscription) Query() Query { return s.q }
+
+// Close unregisters the subscription and closes its Updates channel.
+// Close is idempotent and safe to call concurrently with delivery.
+func (s *Subscription) Close() { s.hub.remove(s.id) }
+
+// WatchStats counts the notification hub's work, cumulatively over the
+// engine's lifetime. Suppressed vs Evaluations is the headline economy:
+// mutation batches proven region-neutral and dropped for free vs
+// re-solves actually performed.
+type WatchStats struct {
+	Active      int   // currently registered subscriptions
+	Delivered   int64 // events delivered, including initial and error events
+	Suppressed  int64 // mutation signals proven region-neutral: zero re-solves
+	Signals     int64 // non-suppressed mutation signals observed
+	Evaluations int64 // subscription re-evaluations (one solve each)
+	Unchanged   int64 // evaluations whose fingerprint did not move (no event)
+	Dropped     int64 // events displaced by slow consumers
+}
+
+// watchHub fans mutation signals out to the engine's subscriptions.
+// One goroutine (started on the first Watch) owns scheduling and
+// evaluation; Apply only flips flags under the hub lock, so the write
+// path never waits on a solve.
+type watchHub struct {
+	eng *Engine
+
+	mu         sync.Mutex
+	subs       map[uint64]*Subscription
+	nextID     uint64
+	running    bool
+	closed     bool
+	dirty      bool // a non-suppressed signal awaits scheduling
+	evaluating int  // evaluations in flight (their regions' vertices are not pinned yet)
+	erring     int  // subscriptions whose last evaluation failed: they have no
+	// valid pinned region, so nothing proves a mutation region-neutral for them
+	settled *sync.Cond
+
+	// pinEvictions is the registry eviction count when subscription
+	// vertices were last pinned; any eviction since voids the proof that
+	// the memo covers every defining vertex, so suppression turns off
+	// until the next evaluation re-pins.
+	pinEvictions int
+
+	stats WatchStats
+
+	wake chan struct{} // cap 1: nudges the hub goroutine
+	quit chan struct{}
+	done chan struct{}
+}
+
+func newWatchHub(e *Engine) *watchHub {
+	h := &watchHub{
+		eng:  e,
+		subs: make(map[uint64]*Subscription),
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	h.settled = sync.NewCond(&h.mu)
+	return h
+}
+
+// observe is Apply's hook: called once per published generation, in
+// publication order (from inside the engine's advance gate), with
+// suppress true when the patch plane proved the batch touched no
+// memoized top-k. The batch is dropped without any re-solve only when
+// the pin-coverage invariant also holds — hub settled, no eviction
+// since the last pin — otherwise it conservatively schedules.
+func (h *watchHub) observe(suppress bool) {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	if suppress && h.idleLocked() && h.erring == 0 && h.eng.caches.Evictions() == h.pinEvictions {
+		h.stats.Suppressed++
+		h.mu.Unlock()
+		return
+	}
+	h.stats.Signals++
+	h.dirty = true
+	h.mu.Unlock()
+	select {
+	case h.wake <- struct{}{}:
+	default:
+	}
+}
+
+// idleLocked reports whether the hub has no pending or in-flight work —
+// the state in which every subscription's pinned vertices are known to
+// cover its current region.
+func (h *watchHub) idleLocked() bool {
+	if h.dirty || h.evaluating > 0 {
+		return false
+	}
+	for _, s := range h.subs {
+		if !s.due.IsZero() {
+			return false
+		}
+	}
+	return true
+}
+
+// add registers a subscription whose initial event is already queued
+// and whose region vertices are already pinned. If the dataset moved
+// past the subscription's initial snapshot while it was being built,
+// an immediate evaluation is scheduled so the race cannot swallow an
+// update.
+func (h *watchHub) add(s *Subscription, limit int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return ErrEngineClosed
+	}
+	if len(h.subs) >= limit {
+		return ErrTooManySubscriptions
+	}
+	h.nextID++
+	s.id = h.nextID
+	h.subs[s.id] = s
+	h.stats.Delivered++ // the initial event Watch already queued
+	wake := false
+	if h.eng.Generation() != s.lastGen {
+		s.due = time.Now()
+		wake = true
+	}
+	if !h.running {
+		h.running = true
+		go h.loop()
+	}
+	if wake {
+		select {
+		case h.wake <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// remove unregisters a subscription. Whoever deletes the map entry
+// closes the channel, so the close happens exactly once even when
+// Subscription.Close races Engine.Close.
+func (h *watchHub) remove(id uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.subs[id]
+	if !ok {
+		return
+	}
+	delete(h.subs, id)
+	if s.lastErr {
+		s.lastErr = false
+		h.erring--
+	}
+	s.closed = true
+	close(s.ch)
+	h.settledLocked()
+}
+
+// stop closes every subscription and terminates the hub goroutine.
+func (h *watchHub) stop() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	for id, s := range h.subs {
+		delete(h.subs, id)
+		s.closed = true
+		close(s.ch)
+	}
+	running := h.running
+	h.settled.Broadcast()
+	h.mu.Unlock()
+	close(h.quit)
+	if running {
+		<-h.done
+	}
+}
+
+// settledLocked wakes Settle waiters when no work is pending.
+func (h *watchHub) settledLocked() {
+	if h.idleLocked() {
+		h.settled.Broadcast()
+	}
+}
+
+// settle blocks until the hub is idle: every mutation observed before
+// the call has been either suppressed or evaluated, with its events
+// queued and its vertices re-pinned.
+func (h *watchHub) settle(ctx context.Context) error {
+	var cancelled bool
+	stop := context.AfterFunc(ctx, func() {
+		h.mu.Lock()
+		cancelled = true
+		h.settled.Broadcast()
+		h.mu.Unlock()
+	})
+	defer stop()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if h.closed || h.idleLocked() {
+			return nil
+		}
+		if cancelled {
+			return ctx.Err()
+		}
+		h.settled.Wait()
+	}
+}
+
+// loop is the hub goroutine: schedule dirty subscriptions, sleep until
+// the earliest due time, evaluate what is due.
+func (h *watchHub) loop() {
+	defer close(h.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		h.mu.Lock()
+		if h.dirty {
+			now := time.Now()
+			for _, s := range h.subs {
+				if s.due.IsZero() {
+					s.due = now.Add(s.debounce)
+				}
+			}
+			h.dirty = false
+			// With no subscriptions the signal is consumed outright.
+			h.settledLocked()
+		}
+		var earliest time.Time
+		for _, s := range h.subs {
+			if !s.due.IsZero() && (earliest.IsZero() || s.due.Before(earliest)) {
+				earliest = s.due
+			}
+		}
+		h.mu.Unlock()
+
+		if earliest.IsZero() {
+			select {
+			case <-h.wake:
+				continue
+			case <-h.quit:
+				return
+			}
+		}
+		if wait := time.Until(earliest); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-h.wake:
+				if !timer.Stop() {
+					<-timer.C
+				}
+				continue
+			case <-timer.C:
+			case <-h.quit:
+				if !timer.Stop() {
+					<-timer.C
+				}
+				return
+			}
+		}
+		h.evaluateDue()
+	}
+}
+
+// evaluateDue re-solves every subscription whose debounce window has
+// elapsed and delivers the events whose fingerprints moved. Solves run
+// outside the hub lock; only delivery and bookkeeping hold it.
+func (h *watchHub) evaluateDue() {
+	now := time.Now()
+	h.mu.Lock()
+	due := make([]*Subscription, 0, len(h.subs))
+	for _, s := range h.subs {
+		if !s.due.IsZero() && !s.due.After(now) {
+			s.due = time.Time{}
+			h.evaluating++
+			due = append(due, s)
+		}
+	}
+	h.mu.Unlock()
+
+	for _, s := range due {
+		snap := h.eng.Snapshot()
+		res, err := h.eng.SolveAt(context.Background(), snap, s.q)
+		if err == nil {
+			// Pin the region's defining vertices before publishing the
+			// evaluation as done, so a suppression decision made after this
+			// evaluation settles is backed by a memo covering it.
+			h.eng.pinWatchVertices(snap, s.q.K, res)
+		}
+
+		h.mu.Lock()
+		h.stats.Evaluations++
+		h.evaluating--
+		h.pinEvictions = h.eng.caches.Evictions()
+		if s.closed || h.closed {
+			h.settledLocked()
+			h.mu.Unlock()
+			continue
+		}
+		switch {
+		case err != nil:
+			// Deliver the failure once per failure streak.
+			if !s.lastErr {
+				s.lastErr = true
+				h.erring++
+				h.deliverLocked(s, RegionEvent{Generation: snap.Gen, Err: err})
+			} else {
+				h.stats.Unchanged++
+			}
+		default:
+			fp := RegionFingerprint(res)
+			if fp == s.lastFP && !s.lastErr {
+				h.stats.Unchanged++
+			} else {
+				if s.lastErr {
+					s.lastErr = false
+					h.erring--
+				}
+				s.lastFP = fp
+				s.lastGen = snap.Gen
+				h.deliverLocked(s, RegionEvent{Generation: snap.Gen, Fingerprint: fp, Result: res})
+			}
+		}
+		h.settledLocked()
+		h.mu.Unlock()
+	}
+}
+
+// deliverLocked queues one event, displacing the oldest undelivered
+// event when the buffer is full (latest-wins: the consumer can always
+// reach the newest region). Callers hold h.mu.
+func (h *watchHub) deliverLocked(s *Subscription, ev RegionEvent) {
+	ev.Dropped = s.dropped
+	for {
+		select {
+		case s.ch <- ev:
+			s.dropped = 0
+			h.stats.Delivered++
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped++
+			ev.Dropped = s.dropped
+			h.stats.Dropped++
+		default:
+			// The consumer drained between the two selects; retry the send.
+		}
+	}
+}
+
+// snapshotStats copies the counters under the lock.
+func (h *watchHub) snapshotStats() WatchStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.stats
+	st.Active = len(h.subs)
+	return st
+}
+
+// RegionFingerprint returns the quantized, order-insensitive hash of a
+// result's exact constraint set (see topk.RegionHash): two results with
+// equal fingerprints describe the same region oR up to the cache
+// plane's coordinate quantum. The notification hub gates events on it;
+// clients can use it to dedupe across reconnects.
+func RegionFingerprint(r *Result) uint64 {
+	var h topk.RegionHash
+	for _, hs := range r.ORConstraints {
+		h.Add(hs.A, hs.B)
+	}
+	return h.Sum()
+}
+
+// pinWatchVertices records a standing query's defining vertices into
+// the whole-dataset (k, nil) memo. With every defining vertex of every
+// standing region memoized, an untouched patch summary proves no
+// standing region moved (see the package comment above); the lookups
+// are cache hits after the first evaluation and are repaired in place
+// by pure-insert advances.
+func (e *Engine) pinWatchVertices(snap Snapshot, k int, res *Result) {
+	c := e.caches.GetFor(snap.Scorer, k, nil)
+	if c == nil {
+		return // the registry moved past this snapshot; the next signal re-evaluates
+	}
+	for i := range res.Vall {
+		c.Get(res.Vall[i].W)
+	}
+}
+
+// Watch registers a standing query: the current region solves
+// synchronously and arrives as the first event (Initial), and the
+// subscription then re-evaluates — debounced, fingerprint-gated, and
+// with provably neutral insert batches suppressed outright — as the
+// dataset mutates. The caller should drain Updates; see WatchOptions
+// for buffering. Close the subscription to stop it.
+func (e *Engine) Watch(k int, wR *geom.Polytope, opts WatchOptions) (*Subscription, error) {
+	q := Query{K: k, WR: wR, Options: opts.Options}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	snap := e.Snapshot()
+	res, err := e.SolveAt(ctx, snap, q)
+	if err != nil {
+		return nil, fmt.Errorf("toprr: watch: %w", err)
+	}
+
+	debounce := opts.Debounce
+	if debounce == 0 {
+		debounce = DefaultDebounce
+	} else if debounce < 0 {
+		debounce = 0
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = defaultWatchBuffer
+	}
+
+	fp := RegionFingerprint(res)
+	s := &Subscription{
+		hub:      e.watch,
+		q:        q,
+		debounce: debounce,
+		ch:       make(chan RegionEvent, buffer),
+		lastFP:   fp,
+		lastGen:  snap.Gen,
+	}
+	// The buffer is at least 1, so the initial event always queues.
+	s.ch <- RegionEvent{Generation: snap.Gen, Fingerprint: fp, Result: res, Initial: true}
+	// Pin before registering: a batch suppressed after this point is
+	// covered by the pin; one that landed earlier is caught by add's
+	// generation check and re-evaluated.
+	e.pinWatchVertices(snap, k, res)
+	e.watch.mu.Lock()
+	e.watch.pinEvictions = e.caches.Evictions()
+	e.watch.mu.Unlock()
+	if err := e.watch.add(s, e.watchCap); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WatchStats reports the notification hub's cumulative counters.
+func (e *Engine) WatchStats() WatchStats { return e.watch.snapshotStats() }
+
+// WatchSettle blocks until every mutation observed by the notification
+// hub before the call has been fully processed — suppressed, or
+// evaluated with any resulting events queued and vertices re-pinned. It
+// exists so tests and benchmarks can assert on WatchStats and Updates
+// without sleeping; servers do not need it.
+func (e *Engine) WatchSettle(ctx context.Context) error { return e.watch.settle(ctx) }
