@@ -90,6 +90,69 @@ func compareRecord(fresh, base record) []string {
 	fails = append(fails, compareAllocRows(fresh, base)...)
 	fails = append(fails, comparePatchRows(fresh, base)...)
 	fails = append(fails, compareWatchRows(fresh, base)...)
+	fails = append(fails, compareSketchRows(fresh)...)
+	return fails
+}
+
+// sketchRows extracts the sketch experiment's per-shard-count rows
+// (shards, gate hits, skipped, violations, certified, fallbacks,
+// approx ns, exact ns, speedup) as
+// shards -> [gateHits, skipped, violations, certified, fallbacks, approxNS, exactNS].
+func sketchRows(r record) map[string][7]float64 {
+	out := make(map[string][7]float64)
+	for _, t := range r.Tables {
+		if t.ID != "Sketch" {
+			continue
+		}
+		for _, row := range t.Rows {
+			if len(row) < 9 {
+				continue
+			}
+			var v [7]float64
+			ok := true
+			for i := 0; i < 7; i++ {
+				f, err := strconv.ParseFloat(row[i+1], 64)
+				if err != nil {
+					ok = false
+					break
+				}
+				v[i] = f
+			}
+			if ok {
+				out[row[0]] = v
+			}
+		}
+	}
+	return out
+}
+
+// compareSketchRows gates the sketch experiment on its absolute
+// contracts, which need no baseline record: a gated solve must be
+// bit-identical to an ungated one (zero violations), the gate must
+// actually certify work away on the dominated-heavy workload (nonzero
+// skips), and the certified approximate path must beat uncached exact
+// top-k (the entire point of the tier). The exactness and skip counts
+// are deterministic under pinned seeds; the latency gate compares two
+// timings from the same process on the same machine, so baseline
+// hardware never enters it.
+func compareSketchRows(fresh record) []string {
+	var fails []string
+	for shards, f := range sketchRows(fresh) {
+		gateHits, skipped, violations := f[0], f[1], f[2]
+		approxNS, exactNS := f[5], f[6]
+		if violations != 0 {
+			fails = append(fails, fmt.Sprintf("%s/shards=%s: %.0f gated solves diverged from ungated, want 0",
+				fresh.ID, shards, violations))
+		}
+		if gateHits == 0 || skipped == 0 {
+			fails = append(fails, fmt.Sprintf("%s/shards=%s: gate certified nothing on the dominated-heavy workload (hits %.0f, skipped %.0f)",
+				fresh.ID, shards, gateHits, skipped))
+		}
+		if approxNS >= exactNS {
+			fails = append(fails, fmt.Sprintf("%s/shards=%s: approx %.0f ns/op not below exact %.0f ns/op",
+				fresh.ID, shards, approxNS, exactNS))
+		}
+	}
 	return fails
 }
 
@@ -311,7 +374,17 @@ func compareAgainstBaseline(path string, fresh []record, w io.Writer) error {
 		fmt.Fprintf(w, "  %-8s %s  (wall %.2fs vs baseline %.2fs — advisory)\n", f.ID, status, f.WallSeconds, base.WallSeconds)
 	}
 	if compared == 0 {
-		return fmt.Errorf("no experiment of this run appears in baseline %s", path)
+		if len(fresh) == 0 {
+			return fmt.Errorf("no experiment of this run appears in baseline %s", path)
+		}
+		// Every record of this run is new to the baseline: advisory, not
+		// an error, so a branch introducing an experiment can run it under
+		// -compare before the baseline is refreshed to cover it.
+		fmt.Fprintf(w, "  all %d records are new to the baseline — advisory only (refresh the baseline to gate them)\n", len(fresh))
+		if len(fails) > 0 {
+			return fmt.Errorf("%d gated metrics regressed >%.0f%% vs %s", len(fails), regressionTolerance*100, path)
+		}
+		return nil
 	}
 	for _, msg := range fails {
 		fmt.Fprintf(w, "  FAIL %s\n", msg)

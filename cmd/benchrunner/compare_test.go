@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBaseline marshals records into a baseline file under dir.
+func writeBaseline(t *testing.T, dir string, records []record) string {
+	t.Helper()
+	path := filepath.Join(dir, "BASELINE.json")
+	data, err := json.Marshal(baseline{Note: "test", Records: records})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// sketchRecord builds a sketch experiment record with one row.
+func sketchRecord(violations, skipped, approxNS, exactNS string) record {
+	return record{
+		ID: "sketch",
+		Tables: []tableJS{{
+			ID:     "Sketch",
+			Header: []string{"shards", "gate hits", "skipped", "violations", "certified", "fallbacks", "approx ns", "exact ns", "speedup"},
+			Rows:   [][]string{{"1", "2", skipped, violations, "32", "0", approxNS, exactNS, "10.0"}},
+		}},
+	}
+}
+
+// TestCompareAllNewRecordsAdvisory: a run whose records are all absent
+// from the baseline passes with an advisory instead of erroring, so a
+// branch introducing an experiment can run under -compare before the
+// baseline covers it.
+func TestCompareAllNewRecordsAdvisory(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), []record{{ID: "fig9a"}})
+	var out strings.Builder
+	err := compareAgainstBaseline(path, []record{sketchRecord("0", "1000", "100", "1000")}, &out)
+	if err != nil {
+		t.Fatalf("all-new run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "advisory") {
+		t.Fatalf("no advisory message in:\n%s", out.String())
+	}
+}
+
+// TestCompareEmptyRunStillErrors: a run with no records at all keeps
+// the hard error (the old misconfiguration signal).
+func TestCompareEmptyRunStillErrors(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), []record{{ID: "fig9a"}})
+	var out strings.Builder
+	if err := compareAgainstBaseline(path, nil, &out); err == nil {
+		t.Fatal("empty run passed")
+	}
+}
+
+// TestCompareSketchGates: the sketch experiment's absolute contracts —
+// zero exactness violations, a nonzero certified-skip count, approx
+// latency strictly below exact — fail the comparison when broken.
+func TestCompareSketchGates(t *testing.T) {
+	good := sketchRecord("0", "1000", "100", "1000")
+	path := writeBaseline(t, t.TempDir(), []record{good})
+
+	var out strings.Builder
+	if err := compareAgainstBaseline(path, []record{good}, &out); err != nil {
+		t.Fatalf("healthy sketch record failed: %v\n%s", err, out.String())
+	}
+
+	for name, bad := range map[string]record{
+		"violations":  sketchRecord("1", "1000", "100", "1000"),
+		"no skips":    sketchRecord("0", "0", "100", "1000"),
+		"approx slow": sketchRecord("0", "1000", "1000", "1000"),
+	} {
+		var buf strings.Builder
+		if err := compareAgainstBaseline(path, []record{bad}, &buf); err == nil {
+			t.Errorf("%s: broken sketch record passed:\n%s", name, buf.String())
+		}
+	}
+}

@@ -313,6 +313,10 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request, eng *toprr.
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if r.URL.Query().Get("approx") == "1" {
+		s.handleApproxSolve(w, eng, snap, q)
+		return
+	}
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	res, err := eng.SolveAt(ctx, snap, q)
@@ -324,6 +328,46 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request, eng *toprr.
 		Generation uint64     `json:"generation"`
 		Result     resultJSON `json:"result"`
 	}{uint64(snap.Gen), resultToJSON(res)})
+}
+
+// approxVertexJSON is one preference vertex's TopK(w) interval from the
+// sketch tier: the exact k-th score lies in [lo, hi]; certified reports
+// the interval came from sketch bounds alone (an uncertified vertex
+// fell back to the exact plane, so its interval is the exact score).
+type approxVertexJSON struct {
+	W         []float64 `json:"w"`
+	Lo        float64   `json:"lo"`
+	Hi        float64   `json:"hi"`
+	Certified bool      `json:"certified"`
+}
+
+// handleApproxSolve answers POST .../solve?approx=1: instead of the
+// exact region, it bounds TopK(w) at every vertex of the query region
+// from the engine's sketch tier — microseconds instead of a solve, with
+// automatic exact fallback per vertex.
+func (s *server) handleApproxSolve(w http.ResponseWriter, eng *toprr.Engine, snap toprr.Snapshot, q toprr.Query) {
+	verts := q.WR.VertexPoints()
+	out := make([]approxVertexJSON, 0, len(verts))
+	certified := 0
+	for _, v := range verts {
+		est, err := eng.ApproxRank(v, q.K)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		if est.Certified {
+			certified++
+		}
+		out = append(out, approxVertexJSON{W: v, Lo: est.Lo, Hi: est.Hi, Certified: est.Certified})
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Generation uint64             `json:"generation"`
+		Approx     bool               `json:"approx"`
+		K          int                `json:"k"`
+		Vertices   []approxVertexJSON `json:"vertices"`
+		Certified  int                `json:"certified"`
+		Fallbacks  int                `json:"fallbacks"`
+	}{uint64(snap.Gen), true, q.K, out, certified, len(out) - certified})
 }
 
 // handleBatch answers POST .../batch: every query of the batch runs
@@ -635,6 +679,13 @@ type datasetStatsJSON struct {
 	PatchInserts   int             `json:"cache_patch_inserts"`
 	UntouchedAdvs  int             `json:"cache_untouched_advances"`
 	MaxConfigs     int             `json:"cache_max_configs,omitempty"`
+	SketchEntries  int             `json:"sketch_entries"`
+	SketchFolded   int             `json:"sketch_folded"`
+	SketchHits     int             `json:"sketch_gate_hits"`
+	SketchMisses   int             `json:"sketch_gate_misses"`
+	SketchSkips    int             `json:"sketch_certified_skips"`
+	SketchCert     int             `json:"sketch_certified"`
+	SketchFalls    int             `json:"sketch_fallbacks"`
 	LiveGens       int             `json:"live_generations"`
 	RetainedBytes  int64           `json:"retained_snapshot_bytes"`
 	Shards         int             `json:"shards,omitempty"`
@@ -687,6 +738,13 @@ func datasetStatsToJSON(ds toprr.DatasetStats) datasetStatsJSON {
 		PatchInserts:   ds.Cache.PatchInserts,
 		UntouchedAdvs:  ds.Cache.UntouchedAdvances,
 		MaxConfigs:     ds.MaxConfigs,
+		SketchEntries:  ds.Cache.SketchEntries,
+		SketchFolded:   ds.Cache.SketchFolded,
+		SketchHits:     ds.Cache.SketchGateHits,
+		SketchMisses:   ds.Cache.SketchGateMisses,
+		SketchSkips:    ds.Cache.SketchCertifiedSkips,
+		SketchCert:     ds.Cache.SketchCertified,
+		SketchFalls:    ds.Cache.SketchFallbacks,
 		LiveGens:       ds.Cache.LiveGenerations,
 		RetainedBytes:  ds.Cache.RetainedSnapshotBytes,
 		Shards:         ds.Cache.Shards,
@@ -732,6 +790,11 @@ type statsTotals struct {
 	PatchedEntries int   `json:"cache_patched_entries"`
 	PatchInserts   int   `json:"cache_patch_inserts"`
 	UntouchedAdvs  int   `json:"cache_untouched_advances"`
+	SketchEntries  int   `json:"sketch_entries"`
+	SketchHits     int   `json:"sketch_gate_hits"`
+	SketchSkips    int   `json:"sketch_certified_skips"`
+	SketchCert     int   `json:"sketch_certified"`
+	SketchFalls    int   `json:"sketch_fallbacks"`
 	LiveGens       int   `json:"live_generations"`
 	RetainedBytes  int64 `json:"retained_snapshot_bytes"`
 	WALBytes       int64 `json:"wal_bytes"`
@@ -768,6 +831,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		totals.PatchedEntries += perDS[i].PatchedEntries
 		totals.PatchInserts += perDS[i].PatchInserts
 		totals.UntouchedAdvs += perDS[i].UntouchedAdvs
+		totals.SketchEntries += perDS[i].SketchEntries
+		totals.SketchHits += perDS[i].SketchHits
+		totals.SketchSkips += perDS[i].SketchSkips
+		totals.SketchCert += perDS[i].SketchCert
+		totals.SketchFalls += perDS[i].SketchFalls
 		totals.LiveGens += perDS[i].LiveGens
 		totals.RetainedBytes += perDS[i].RetainedBytes
 		totals.WALBytes += perDS[i].WALBytes

@@ -63,6 +63,7 @@ func All() []Experiment {
 		{"alloc", "Hot-path allocation profile (ns/op, B/op, allocs/op)", Alloc},
 		{"patch", "Patch-on-insert vs drop-recompute (options scored to re-warm)", Patch},
 		{"watch", "Standing queries: events delivered vs solves avoided", Watch},
+		{"sketch", "Sketch gate and approximate fast path (certified skips, ns/op)", Sketch},
 	}
 }
 

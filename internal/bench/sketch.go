@@ -1,0 +1,159 @@
+package bench
+
+// The sketch-gate experiment: a dominated-heavy market (a small elite
+// every preference ranks above a large mass) drives the two sketch
+// surfaces per shard count. The exactness half solves pinned query
+// regions gated and ungated and counts fingerprint divergences — the
+// bit-identity contract says the count is always zero. The latency half
+// times warm certified ApproxRank against uncached exact top-k at the
+// same pinned preferences. Rows are gated by cmd/benchrunner -compare:
+// zero violations, a nonzero certified-skip count, and approximate
+// latency strictly below exact.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"toprr/internal/vec"
+	"toprr/pkg/toprr"
+)
+
+// SketchShardGrid is the shard counts the sketch experiment sweeps.
+var SketchShardGrid = []int{1, 2, 8}
+
+const (
+	sketchBenchK     = DefaultK
+	sketchElite      = 32  // options every preference ranks above the mass
+	sketchPrefs      = 32  // pinned preferences cycled by the timing loops
+	sketchApproxIter = 512 // ApproxRank calls timed
+	sketchExactIter  = 64  // uncached exact top-k calls timed
+)
+
+// sketchMarket builds the dominated-heavy dataset: n-sketchElite mass
+// options capped at 0.6 per coordinate under an elite inside [0.7,1]^d,
+// shuffled so slot order carries no signal.
+func sketchMarket(n, d int) []vec.Vector {
+	rng := rand.New(rand.NewSource(81))
+	pts := make([]vec.Vector, 0, n)
+	for i := 0; i < n-sketchElite; i++ {
+		p := vec.New(d)
+		for j := range p {
+			p[j] = rng.Float64() * 0.6
+		}
+		pts = append(pts, p)
+	}
+	for i := 0; i < sketchElite; i++ {
+		p := vec.New(d)
+		for j := range p {
+			p[j] = 0.7 + rng.Float64()*0.3
+		}
+		pts = append(pts, p)
+	}
+	rng.Shuffle(len(pts), func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+	return pts
+}
+
+// sketchPrefSet draws the pinned reduced preferences both timing loops
+// replay.
+func sketchPrefSet(d int) []vec.Vector {
+	rng := rand.New(rand.NewSource(82))
+	ws := make([]vec.Vector, sketchPrefs)
+	for i := range ws {
+		w := vec.New(d - 1)
+		for j := range w {
+			w[j] = rng.Float64() / float64(d)
+		}
+		ws[i] = w
+	}
+	return ws
+}
+
+// Sketch measures the sketch tier per shard count: gate certifications
+// and the options they excuse, gated-vs-ungated exactness violations
+// (always zero), and certified ApproxRank latency against uncached
+// exact top-k.
+func Sketch(s Scale) []*Table {
+	d := DefaultD
+	pts := sketchMarket(s.n(DefaultN), d)
+	ws := sketchPrefSet(d)
+	regions := s.Regions(d-1, DefaultSigma, 1, 83)
+	ctx := context.Background()
+
+	t := &Table{
+		ID: "Sketch",
+		Caption: fmt.Sprintf("sketch gate and approximate fast path, dominated-heavy n=%s d=%d k=%d, %d regions, %d/%d timed calls",
+			humanN(len(pts)), d, sketchBenchK, len(regions), sketchApproxIter, sketchExactIter),
+		Header: []string{"shards", "gate hits", "skipped", "violations", "certified", "fallbacks", "approx ns", "exact ns", "speedup"},
+	}
+
+	for _, shards := range SketchShardGrid {
+		engine := toprr.NewEngine(pts, toprr.WithShards(shards))
+		ungated := toprr.Options{Alg: toprr.TASStar, DisableSketchGate: true}
+
+		violations := 0
+		for _, wr := range regions {
+			q := toprr.Query{K: sketchBenchK, WR: wr}
+			snap := engine.Snapshot()
+			got, err := engine.SolveAt(ctx, snap, q)
+			if err != nil {
+				panic("bench: gated sketch solve failed: " + err.Error())
+			}
+			q.Options = &ungated
+			want, err := engine.SolveAt(ctx, snap, q)
+			if err != nil {
+				panic("bench: ungated sketch solve failed: " + err.Error())
+			}
+			if toprr.RegionFingerprint(got) != toprr.RegionFingerprint(want) ||
+				len(got.ORConstraints) != len(want.ORConstraints) {
+				violations++
+			}
+		}
+		cs := engine.CacheStats()
+		gateHits, skipped := cs.SketchGateHits, cs.SketchCertifiedSkips
+
+		// Warm both paths, then time them over the same pinned preferences.
+		certified, fallbacks := 0, 0
+		for _, w := range ws {
+			est, err := engine.ApproxRank(w, sketchBenchK)
+			if err != nil {
+				panic("bench: ApproxRank failed: " + err.Error())
+			}
+			if est.Certified {
+				certified++
+			} else {
+				fallbacks++
+			}
+		}
+		start := time.Now()
+		for i := 0; i < sketchApproxIter; i++ {
+			if _, err := engine.ApproxRank(ws[i%len(ws)], sketchBenchK); err != nil {
+				panic("bench: ApproxRank failed: " + err.Error())
+			}
+		}
+		approxNS := time.Since(start).Nanoseconds() / sketchApproxIter
+
+		sc := engine.Snapshot().Scorer
+		start = time.Now()
+		for i := 0; i < sketchExactIter; i++ {
+			sc.TopK(ws[i%len(ws)], sketchBenchK, nil)
+		}
+		exactNS := time.Since(start).Nanoseconds() / sketchExactIter
+
+		speedup := float64(exactNS) / float64(approxNS)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", shards),
+			fmt.Sprintf("%d", gateHits),
+			fmt.Sprintf("%d", skipped),
+			fmt.Sprintf("%d", violations),
+			fmt.Sprintf("%d", certified),
+			fmt.Sprintf("%d", fallbacks),
+			fmt.Sprintf("%d", approxNS),
+			fmt.Sprintf("%d", exactNS),
+			fmt.Sprintf("%.1f", speedup),
+		})
+	}
+
+	return []*Table{t}
+}

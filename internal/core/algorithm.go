@@ -81,7 +81,7 @@ func SolveContext(ctx context.Context, p Problem, o Options) (*Result, error) {
 		u.MaxRegions = o.MaxRegions
 		pf = u
 	}
-	active, err := pf.Filter(ctx, p)
+	active, err := gatedFilter(ctx, p, o, pf, &s.stats)
 	if err != nil {
 		return nil, err
 	}

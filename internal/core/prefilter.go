@@ -79,6 +79,40 @@ func (NoPrefilter) Filter(ctx context.Context, p Problem) ([]int, error) {
 	return active, nil
 }
 
+// gatedFilter runs the prefilter stage, letting Options.SketchGate
+// shortcut the default r-skyband sweep when it certifies a candidate
+// list. The gate engages only for the default prefilter — a certificate
+// of "r-dominated by >= k options" speaks to the r-skyband's exact
+// semantics, not to UTK's or NoPrefilter's — and only when it holds for
+// the solve's dataset generation; in every other case the configured
+// prefilter runs untouched. Either path returns the identical candidate
+// set, so the gate never changes a solve's output bit.
+func gatedFilter(ctx context.Context, p Problem, o Options, pf Prefilter, st *Stats) ([]int, error) {
+	g := o.SketchGate
+	if g == nil || o.DisableSketchGate {
+		return pf.Filter(ctx, p)
+	}
+	if _, isDefault := pf.(SkybandPrefilter); !isDefault {
+		return pf.Filter(ctx, p)
+	}
+	verts := p.WR.VertexPoints()
+	cands, skipped, ok := g(p.Scorer, verts, p.K)
+	if !ok {
+		return pf.Filter(ctx, p)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pts := make([]vec.Vector, p.Scorer.Len())
+	for _, i := range cands {
+		pts[i] = p.Scorer.Point(i)
+	}
+	rd := skyband.NewRDomVerts(verts)
+	st.SketchGated = true
+	st.SketchSkips = skipped
+	return skyband.RSkybandSubset(pts, cands, p.K, rd), nil
+}
+
 // datasetPoints materializes the problem's option points.
 func datasetPoints(p Problem) []vec.Vector {
 	pts := make([]vec.Vector, p.Scorer.Len())

@@ -103,7 +103,29 @@ type Options struct {
 	Assembler   Assembler        // oR assembly stage (nil = ClipAssembler; sharded engines default to ParallelClipAssembler)
 	Hyperplanes *HyperplaneCache // optional cross-query split-hyperplane interning
 	TopKCaches  *topk.Registry   // optional cross-query top-k memoization
+
+	// SketchGate accelerates the default r-skyband prefilter: when the
+	// hook certifies that every option outside its candidate list can
+	// never enter a top-k result over wR, the exact dominance sweep runs
+	// only over the certified candidates. The gate engages only for the
+	// default prefilter, only with a certificate, and only to skip work
+	// whose outcome the certificate pins — a gated solve is bit-identical
+	// to an ungated one. DisableSketchGate turns the hook off for one
+	// solve (ablation and A/B harnesses).
+	SketchGate        GateFn
+	DisableSketchGate bool
 }
+
+// GateFn is the sketch-certification hook of the prefilter stage
+// (Options.SketchGate). Given the solve's dataset, the query region's
+// vertices and the rank threshold, it either certifies — deterministic
+// sketch bounds, never heuristics — that every option outside cands is
+// r-dominated by at least k options over the region (ok true; skipped
+// counts the options certified out), or declines (ok false) and the
+// solve runs the full unassisted prefilter. Implementations must be
+// safe for concurrent use and must decline for any dataset generation
+// other than the one they summarize.
+type GateFn func(sc *topk.Scorer, verts []vec.Vector, k int) (cands []int, skipped int, ok bool)
 
 func (o Options) withDefaults() Options {
 	if o.MaxRegions <= 0 {
@@ -134,6 +156,8 @@ type Stats struct {
 	UniqueImpacts    int           // deduplicated impact halfspaces in the H-representation
 	Shards           int           // shard count of the evaluation plane (0/1 = unsharded)
 	ShardStats       []ShardStat   // per-shard work breakdown (sharded solves only)
+	SketchGated      bool          // the sketch gate certified this solve's prefilter
+	SketchSkips      int           // options the certificate excused from exact dominance tests
 	Elapsed          time.Duration // wall-clock time of Solve
 }
 

@@ -133,9 +133,19 @@ func bandSweep(pts []vec.Vector, k int, sortKey func(vec.Vector) float64, dom fu
 	for i := range order {
 		order[i] = i
 	}
+	return bandSweepOver(pts, order, k, sortKey, dom)
+}
+
+// bandSweepOver is bandSweep restricted to the given candidate indices
+// (order is clobbered by the sort). Restricting the sweep is exact
+// whenever every option outside the candidate set is dominated by at
+// least k options: such options are never kept by the full sweep, and
+// the sweep only ever compares against kept options, so dropping them
+// from the input changes nothing.
+func bandSweepOver(pts []vec.Vector, order []int, k int, sortKey func(vec.Vector) float64, dom func(p, q vec.Vector) bool) []int {
 	keys := make([]float64, len(pts))
-	for i, p := range pts {
-		keys[i] = sortKey(p)
+	for _, i := range order {
+		keys[i] = sortKey(pts[i])
 	}
 	sort.Slice(order, func(a, b int) bool {
 		if keys[order[a]] != keys[order[b]] {
@@ -174,6 +184,17 @@ func KSkyband(pts []vec.Vector, k int) []int {
 // any w in wR. This is the paper's filter of choice (Figure 8).
 func RSkyband(pts []vec.Vector, k int, rd *RDom) []int {
 	return bandSweep(pts, k, rd.CentroidScore, rd.RDominates)
+}
+
+// RSkybandSubset is RSkyband restricted to the candidate indices cand
+// (each an index into pts; slots outside cand may be nil). The output
+// equals RSkyband over the full dataset exactly when every option
+// outside cand is r-dominated by at least k options — the certificate
+// the sketch gate establishes before calling this. cand is not
+// modified.
+func RSkybandSubset(pts []vec.Vector, cand []int, k int, rd *RDom) []int {
+	order := append([]int(nil), cand...)
+	return bandSweepOver(pts, order, k, rd.CentroidScore, rd.RDominates)
 }
 
 // OnionLayers returns the indices of options on the first k layers of

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"toprr/internal/core"
 	"toprr/internal/geom"
+	"toprr/internal/sketch"
 	"toprr/internal/store"
 	"toprr/internal/topk"
 	"toprr/internal/vec"
@@ -40,6 +42,13 @@ type Engine struct {
 	persist      store.PersistConfig // zero Dir = in-memory engine
 	hyperplanes  *core.HyperplaneCache
 	caches       *topk.Registry
+
+	// Sketch tier (approx.go): per-shard filtered-space-saving sketches
+	// maintained on the mutation stream; gates the exact prefilter and
+	// serves the approximate fast path. The counters feed CacheStats.
+	sketches        *sketch.Plane
+	sketchCertified atomic.Int64 // ApproxRank/ApproxImpact answered by sketch bounds alone
+	sketchFallbacks atomic.Int64 // approximate queries that fell back to the exact plane
 
 	// Cache advances must follow the store's generation order even
 	// though concurrent Apply calls group-commit and return in fsync
@@ -211,6 +220,10 @@ func OpenEngine(pts []vec.Vector, opts ...EngineOption) (*Engine, error) {
 	snap := st.Snapshot()
 	e.hyperplanes = core.NewShardedHyperplaneCache(snap.Scorer, e.shards)
 	e.caches = topk.NewShardedRegistry(snap.Scorer, e.shards)
+	// The sketch tier is rebuilt from the snapshot on every open — an
+	// evicted and reopened tenant re-derives its per-shard sketches here
+	// rather than persisting them.
+	e.sketches = sketch.NewPlane(snap.Scorer, e.shards, 0)
 	e.caches.SetLimits(e.maxConfigs, e.maxEntries)
 	e.advanceCond = sync.NewCond(&e.advanceMu)
 	e.advanced = snap.Gen
@@ -332,9 +345,11 @@ func (e *Engine) Apply(ctx context.Context, ops []Op) (Generation, error) {
 			// patched nothing, dropped nothing and honored the pure-insert
 			// contract proves every standing region survived the batch.
 			suppress = !sum.MaybeChanged()
+			e.sketches.AdvanceInsert(snap.Scorer, delta.Inserted)
 		} else {
 			e.hyperplanes.Advance(snap.Scorer, delta.Dirty)
 			e.caches.Advance(snap.Scorer, delta.Dirty)
+			e.sketches.Advance(snap.Scorer, delta.ShardsTouched)
 		}
 		// Inside the gate, so the hub sees signals in publication order;
 		// observe only flips flags (never solves), keeping the write path
@@ -387,6 +402,9 @@ func (e *Engine) options(q Query) Options {
 	opt.Hyperplanes = e.hyperplanes
 	opt.TopKCaches = e.caches
 	opt.Shards = e.shards
+	if !opt.DisableSketchGate {
+		opt.SketchGate = e.sketches.Gate
+	}
 	if e.shards > 1 {
 		if opt.Workers == 0 {
 			// One worker per shard, capped at the CPUs actually
@@ -438,24 +456,8 @@ func (e *Engine) Rank(w vec.Vector, k int) ([]int, error) {
 // generation share the engine's memo; a pinned older generation scores
 // directly against its own snapshot.
 func (e *Engine) RankAt(snap Snapshot, w vec.Vector, k int) ([]int, error) {
-	if snap.Scorer == nil {
-		return nil, fmt.Errorf("toprr: zero snapshot (use Engine.Snapshot)")
-	}
-	if k <= 0 || k > snap.Scorer.Len() {
-		return nil, fmt.Errorf("toprr: k=%d out of range for %d options", k, snap.Scorer.Len())
-	}
-	if len(w) != snap.Scorer.PrefDim() {
-		return nil, fmt.Errorf("toprr: preference dimension %d, want %d", len(w), snap.Scorer.PrefDim())
-	}
-	sum := 0.0
-	for j, wj := range w {
-		if !(wj >= 0) {
-			return nil, fmt.Errorf("toprr: preference component %d = %v, want >= 0", j, wj)
-		}
-		sum += wj
-	}
-	if sum > 1 {
-		return nil, fmt.Errorf("toprr: preference components sum to %v, want <= 1", sum)
+	if err := validatePref(snap, w, k); err != nil {
+		return nil, err
 	}
 	var res *topk.Result
 	if c := e.caches.GetFor(snap.Scorer, k, nil); c != nil {
@@ -574,7 +576,21 @@ type CacheStats struct {
 	Evictions             int
 	LiveGenerations       int
 	RetainedSnapshotBytes int64
-	Shards                int // the engine's shard count (1 = unsharded)
+
+	// Sketch-tier counters. Occupancy (entries monitored across shards
+	// and members folded into threshold bounds) is a snapshot; the rest
+	// are cumulative: prefilter gate certifications and declines, options
+	// the certificates excused from exact dominance tests, approximate
+	// queries answered by sketch bounds alone, and those that fell back
+	// to the exact plane.
+	SketchEntries        int
+	SketchFolded         int
+	SketchGateHits       int
+	SketchGateMisses     int
+	SketchCertifiedSkips int
+	SketchCertified      int
+	SketchFallbacks      int
+	Shards               int // the engine's shard count (1 = unsharded)
 	// ShardStats breaks the shared caches down per shard — memoized
 	// partials, hit/miss totals, and the hyperplane stripe occupancy —
 	// on sharded engines (nil otherwise).
@@ -605,6 +621,14 @@ func (e *Engine) CacheStats() CacheStats {
 		Shards:                e.shards,
 		ShardStats:            e.caches.ShardStats(),
 	}
+	sk := e.sketches.Stats()
+	cs.SketchEntries = sk.Entries
+	cs.SketchFolded = sk.Folded
+	cs.SketchGateHits = sk.GateHits
+	cs.SketchGateMisses = sk.GateMisses
+	cs.SketchCertifiedSkips = sk.CertifiedSkips
+	cs.SketchCertified = int(e.sketchCertified.Load())
+	cs.SketchFallbacks = int(e.sketchFallbacks.Load())
 	if cs.ShardStats != nil {
 		for i, n := range e.hyperplanes.StripeLens() {
 			if i < len(cs.ShardStats) {
