@@ -91,6 +91,81 @@ func compareRecord(fresh, base record) []string {
 	fails = append(fails, comparePatchRows(fresh, base)...)
 	fails = append(fails, compareWatchRows(fresh, base)...)
 	fails = append(fails, compareSketchRows(fresh)...)
+	fails = append(fails, compareFabricRows(fresh)...)
+	return fails
+}
+
+// fabricRows extracts the fabric experiment's per-shard-count rows
+// (shards, in-proc ns, pipelined ns, serial ns, violations, remote
+// partials, wire bytes, max inflight, rpc pipelined ns, rpc serial ns)
+// as shards -> the nine numeric columns.
+func fabricRows(r record) map[string][9]float64 {
+	out := make(map[string][9]float64)
+	for _, t := range r.Tables {
+		if t.ID != "Fabric" {
+			continue
+		}
+		for _, row := range t.Rows {
+			if len(row) < 10 {
+				continue
+			}
+			var v [9]float64
+			ok := true
+			for i := 0; i < 9; i++ {
+				f, err := strconv.ParseFloat(row[i+1], 64)
+				if err != nil {
+					ok = false
+					break
+				}
+				v[i] = f
+			}
+			if ok {
+				out[row[0]] = v
+			}
+		}
+	}
+	return out
+}
+
+// compareFabricRows gates the fabric experiment on its absolute
+// contracts, which need no baseline record: every distributed solve
+// must be bit-identical to the in-process solve of the same query (zero
+// violations); a sharded plane (S > 1) must actually scatter (remote
+// partials and wire bytes nonzero) while the unsharded plane must not
+// (nothing to scatter at S = 1); and the pipelined client's best RPC
+// batches must beat the serial referee's summed over the whole shard
+// grid — both sides run on the same machine in the same process, so
+// baseline hardware never enters it, and the grid-wide sum is gated
+// rather than each row because a single-core runner leaves only a few
+// percent of structural margin per row, inside scheduler noise, while
+// the sum holds a stable double-digit margin.
+func compareFabricRows(fresh record) []string {
+	var fails []string
+	var rpcPipeSum, rpcSerialSum float64
+	for shards, f := range fabricRows(fresh) {
+		violations, partials, wireBytes := f[3], f[4], f[5]
+		rpcPipeSum += f[7]
+		rpcSerialSum += f[8]
+		if violations != 0 {
+			fails = append(fails, fmt.Sprintf("%s/shards=%s: %.0f distributed solves diverged from in-process, want 0",
+				fresh.ID, shards, violations))
+		}
+		if shards == "1" {
+			if partials != 0 {
+				fails = append(fails, fmt.Sprintf("%s/shards=1: unsharded plane scattered %.0f partials, want 0",
+					fresh.ID, partials))
+			}
+		} else {
+			if partials == 0 || wireBytes == 0 {
+				fails = append(fails, fmt.Sprintf("%s/shards=%s: sharded plane never scattered (partials %.0f, wire bytes %.0f)",
+					fresh.ID, shards, partials, wireBytes))
+			}
+		}
+	}
+	if rpcSerialSum > 0 && rpcPipeSum >= rpcSerialSum {
+		fails = append(fails, fmt.Sprintf("%s: pipelined rpc %.0f ns/op (grid sum) not below serial-RPC %.0f ns/op",
+			fresh.ID, rpcPipeSum, rpcSerialSum))
+	}
 	return fails
 }
 

@@ -1,0 +1,77 @@
+// Command toprr-worker is a solve-fabric worker: it serves partial
+// top-k solves for the shards a coordinator routes to it, over the
+// length-prefixed, CRC-checked wire protocol of internal/fabric.
+//
+//	toprr-worker -listen :9090
+//
+// A worker is a stateless reader. It holds no WAL and no snapshot
+// directory: the coordinator pushes whole dataset generations over the
+// connection (a Sync frame replaces the worker's copy wholesale — resync,
+// not replay), pins every connection to a dataset at handshake, and
+// tags every partial-solve request with the exact generation it must be
+// answered at. A request for any other generation is refused, and the
+// coordinator computes that shard locally — remote and local partials
+// are the same computation over the same content-hashed member lists,
+// so the answers are interchangeable bit for bit. Killing a worker
+// never changes a coordinator's results; it only moves the scoring work
+// back. docs/FABRIC.md specifies the protocol and this contract.
+//
+// One worker process serves many datasets (bounded by -max-datasets)
+// and many coordinators; per-dataset partial results are memoized by
+// (shard, k, vertex) until the next sync replaces the generation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"toprr/internal/fabric"
+)
+
+// version identifies the build; release builds override it via
+// -ldflags "-X main.version=...".
+var version = "dev"
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "toprr-worker:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":9090", "listen address for coordinator connections")
+		memoLimit   = flag.Int("memo-limit", 0, "memoized partial results kept per dataset (0 = default)")
+		maxDatasets = flag.Int("max-datasets", 0, "datasets one worker serves at once (0 = default)")
+	)
+	flag.Parse()
+
+	backend := fabric.NewEngineBackend(fabric.BackendConfig{
+		MemoLimit:   *memoLimit,
+		MaxDatasets: *maxDatasets,
+	})
+	srv := fabric.NewServer(backend)
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		// Coordinators treat the dropped connections as ordinary
+		// failures: every in-flight partial falls back to a local
+		// compute, so a worker shutdown is always safe.
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "toprr-worker %s: serving partial solves on %s\n", version, ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "toprr-worker: bye")
+}

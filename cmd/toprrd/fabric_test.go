@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"toprr/internal/fabric"
+	"toprr/pkg/toprr"
+)
+
+// startFabricWorker boots an in-process fabric worker (the same backend
+// cmd/toprr-worker serves) on a loopback port.
+func startFabricWorker(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := fabric.NewServer(fabric.NewEngineBackend(fabric.BackendConfig{}))
+	go srv.Serve(ln) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// fabricServer is a toprrd server whose default dataset routes shards 0
+// and 1 to an in-process worker, pre-synced so solves scatter
+// deterministically.
+func fabricServer(t *testing.T) (*httptest.Server, *server, *toprr.Engine) {
+	t.Helper()
+	addr := startFabricWorker(t)
+	reg, err := toprr.NewRegistry(toprr.WithRegistryRemote(map[string]toprr.RemoteShards{
+		defaultDataset: {Workers: map[string][]int{addr: {0, 1}}},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	engine, err := reg.CreateWithShards(defaultDataset, testPts(100), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.SyncRemote(context.Background()); err != nil {
+		t.Fatalf("sync workers: %v", err)
+	}
+	api := newServer(reg, time.Minute, 32<<20)
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+	return ts, api, engine
+}
+
+// solveOnce posts one /v1/solve query and fails the test on a non-200.
+func solveOnce(t *testing.T, ts *httptest.Server, seed int) {
+	t.Helper()
+	lo := 0.20 + float64(seed%5)/100
+	resp := postJSON(t, ts.URL+"/v1/solve", map[string]any{
+		"k":  2 + seed%3,
+		"lo": []float64{lo, lo}, "hi": []float64{lo + 0.02, lo + 0.02},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("solve %d: status %d", seed, resp.StatusCode)
+	}
+}
+
+// TestStatsCarriesFabricCounters: /v1/stats reports the coordinator's
+// fabric accounting — per dataset, in the totals, and attributed per
+// shard — after solves that scattered to a worker.
+func TestStatsCarriesFabricCounters(t *testing.T) {
+	ts, _, engine := fabricServer(t)
+	for i := 0; i < 4; i++ {
+		solveOnce(t, ts, i)
+	}
+	fs := engine.FabricStats()
+	if fs.RemotePartials == 0 {
+		t.Fatalf("solves served no remote partials: %+v", fs)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Datasets []struct {
+			Name     string `json:"name"`
+			Partials int64  `json:"fabric_remote_partials"`
+			Hedged   int64  `json:"fabric_hedged_dispatches"`
+			Falls    int64  `json:"fabric_fallbacks"`
+			Bytes    int64  `json:"fabric_remote_bytes"`
+			Shards   []struct {
+				Remote int64 `json:"remote_partials"`
+			} `json:"shard_stats"`
+		} `json:"datasets"`
+		Totals struct {
+			Partials int64 `json:"fabric_remote_partials"`
+			Bytes    int64 `json:"fabric_remote_bytes"`
+		} `json:"totals"`
+	}
+	decodeJSON(t, resp, &body)
+	if len(body.Datasets) != 1 {
+		t.Fatalf("datasets = %d, want 1", len(body.Datasets))
+	}
+	ds := body.Datasets[0]
+	if ds.Partials == 0 || ds.Bytes == 0 {
+		t.Fatalf("dataset fabric counters flat: %+v", ds)
+	}
+	if body.Totals.Partials != ds.Partials || body.Totals.Bytes != ds.Bytes {
+		t.Fatalf("totals %+v disagree with the only dataset %+v", body.Totals, ds)
+	}
+	var perShard int64
+	for _, ss := range ds.Shards {
+		perShard += ss.Remote
+	}
+	if perShard != ds.Partials {
+		t.Fatalf("per-shard remote partials sum %d != dataset total %d", perShard, ds.Partials)
+	}
+}
+
+// TestShutdownDrainsFabric: the drainFabric hook — registered via
+// RegisterOnShutdown in main, alongside the SSE drain — quiesces worker
+// connections inside the HTTP drain window; solves keep answering
+// (locally) afterwards, so a draining node degrades instead of erroring.
+func TestShutdownDrainsFabric(t *testing.T) {
+	ts, api, engine := fabricServer(t)
+	solveOnce(t, ts, 0)
+	before := engine.FabricStats()
+	if before.RemotePartials == 0 {
+		t.Fatal("warm solve served no remote partials")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		api.drainFabric(5 * time.Second)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("drainFabric hung past its budget")
+	}
+
+	// The engine is still serving; new solves answer locally.
+	for i := 1; i < 3; i++ {
+		solveOnce(t, ts, i)
+	}
+	if after := engine.FabricStats(); after.RemotePartials != before.RemotePartials {
+		t.Fatalf("drained fabric still served partials: %d -> %d", before.RemotePartials, after.RemotePartials)
+	}
+}
+
+// TestParseFabricWorkers: the -fabric-workers grammar and its
+// rejections.
+func TestParseFabricWorkers(t *testing.T) {
+	got, err := parseFabricWorkers("hostA:9090=0,2;hostB:9090=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]int{"hostA:9090": {0, 2}, "hostB:9090": {1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsed %v, want %v", got, want)
+	}
+	for _, bad := range []string{
+		"hostA:9090",                 // no shard list
+		"hostA:9090=",                // empty shard list
+		"hostA:9090=x",               // non-numeric shard
+		"hostA:9090=0;hostA:9090=1",  // duplicate worker address
+		"hostA:9090=0;hostB:9090=0",  // doubly-owned shard
+		"hostA:9090=-1",              // negative shard
+		fmt.Sprintf("h:1=%d", 1<<20), // shard beyond MaxShards
+		"=0",                         // empty address
+	} {
+		if _, err := parseFabricWorkers(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

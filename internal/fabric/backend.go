@@ -1,0 +1,240 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// DefaultMemoLimit bounds a worker dataset's memoized partials (per
+// resident generation); past it, partials compute without being
+// retained.
+const DefaultMemoLimit = 1 << 18
+
+// EngineBackend is the worker-side Backend: per dataset it holds one
+// resident generation — a read-only scorer plus the per-shard member
+// lists of the coordinator's solve plane — and serves partial top-k
+// requests off it, memoizing per (shard, k, vertex) exactly like the
+// coordinator's own shard memos. Every partial is computed by the same
+// topk.PartialTopK the in-process plane uses, over member lists derived
+// by the same content-hash assignment, so worker answers are
+// bit-identical to local ones. It is safe for concurrent use.
+type EngineBackend struct {
+	memoLimit   int
+	maxDatasets int
+
+	mu       sync.RWMutex
+	datasets map[string]*workerDataset
+}
+
+// BackendConfig tunes an EngineBackend (zero fields keep defaults).
+type BackendConfig struct {
+	MemoLimit   int // memoized partials per dataset (default DefaultMemoLimit)
+	MaxDatasets int // resident datasets (default 64)
+}
+
+// NewEngineBackend builds an empty backend; datasets appear when a
+// coordinator syncs them.
+func NewEngineBackend(cfg BackendConfig) *EngineBackend {
+	if cfg.MemoLimit <= 0 {
+		cfg.MemoLimit = DefaultMemoLimit
+	}
+	if cfg.MaxDatasets <= 0 {
+		cfg.MaxDatasets = 64
+	}
+	return &EngineBackend{
+		memoLimit:   cfg.MemoLimit,
+		maxDatasets: cfg.MaxDatasets,
+		datasets:    make(map[string]*workerDataset),
+	}
+}
+
+// workerDataset is one dataset's resident generation on the worker.
+type workerDataset struct {
+	mu      sync.RWMutex
+	gen     uint64
+	shards  int
+	scorer  *topk.Scorer
+	members [][]int // per-shard member slots, ascending
+
+	memoMu sync.Mutex
+	memo   map[partialKey]*memoPartial
+
+	partials atomic.Uint64 // computed since boot
+	hits     atomic.Uint64 // served from memo
+}
+
+type partialKey struct {
+	shard int
+	k     int
+	wh    uint64
+	mh    uint64 // FNV-1a over an explicit member list (0 = whole shard)
+}
+
+// membersHash folds an explicit member list into the memo key (FNV-1a
+// over the slot values). Whole-shard requests hash to 0, which no
+// non-empty list produces (the FNV offset basis is non-zero).
+func membersHash(members []uint32) uint64 {
+	if len(members) == 0 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for _, s := range members {
+		for shift := 0; shift < 32; shift += 8 {
+			h ^= uint64(byte(s >> shift))
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+type memoPartial struct {
+	idx    []uint32
+	scores []float64
+}
+
+func (b *EngineBackend) dataset(name string, create bool) (*workerDataset, error) {
+	b.mu.RLock()
+	ds := b.datasets[name]
+	b.mu.RUnlock()
+	if ds != nil || !create {
+		return ds, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ds = b.datasets[name]; ds != nil {
+		return ds, nil
+	}
+	if len(b.datasets) >= b.maxDatasets {
+		return nil, Refusal{Code: CodeUnknownDataset, Msg: fmt.Sprintf("worker at its %d-dataset cap", b.maxDatasets)}
+	}
+	ds = &workerDataset{memo: make(map[partialKey]*memoPartial)}
+	b.datasets[name] = ds
+	return ds, nil
+}
+
+// Hello reports the resident generation for a dataset (0 = unsynced).
+func (b *EngineBackend) Hello(name string) (uint64, uint32, error) {
+	ds, _ := b.dataset(name, false)
+	if ds == nil {
+		return 0, 0, nil
+	}
+	ds.mu.RLock()
+	defer ds.mu.RUnlock()
+	return ds.gen, uint32(ds.shards), nil
+}
+
+// Sync atomically replaces a dataset's resident generation: a new
+// scorer, fresh per-shard member lists, and an empty memo. Workers
+// never replay deltas — the coordinator ships whole generations
+// (docs/PERSISTENCE.md: resync, don't replay).
+func (b *EngineBackend) Sync(name string, m SyncMsg) error {
+	if m.Dim < 2 || m.Shards < 1 || m.Shards > uint32(topk.MaxShards) {
+		return Refusal{Code: CodeBadRequest, Msg: fmt.Sprintf("sync dim=%d shards=%d", m.Dim, m.Shards)}
+	}
+	n := len(m.Pts) / int(m.Dim)
+	if n == 0 {
+		return Refusal{Code: CodeBadRequest, Msg: "sync with empty dataset"}
+	}
+	ds, err := b.dataset(name, true)
+	if err != nil {
+		return err
+	}
+	pts := make([]vec.Vector, n)
+	for i := range pts {
+		pts[i] = vec.Vector(m.Pts[i*int(m.Dim) : (i+1)*int(m.Dim)])
+	}
+	scorer := topk.NewScorerAt(pts, m.Gen)
+	assign := topk.ShardAssignment(scorer, int(m.Shards))
+	members := make([][]int, m.Shards)
+	for slot, sh := range assign {
+		members[sh] = append(members[sh], slot)
+	}
+
+	ds.mu.Lock()
+	ds.gen = m.Gen
+	ds.shards = int(m.Shards)
+	ds.scorer = scorer
+	ds.members = members
+	ds.mu.Unlock()
+	ds.memoMu.Lock()
+	ds.memo = make(map[partialKey]*memoPartial)
+	ds.memoMu.Unlock()
+	return nil
+}
+
+// Partial answers one shard's partial top-k request at exactly the
+// generation it names, refusing any other resident generation so the
+// coordinator's bit-identity contract holds.
+func (b *EngineBackend) Partial(name string, req PartialReq) (PartialResp, error) {
+	ds, _ := b.dataset(name, false)
+	if ds == nil {
+		return PartialResp{}, Refusal{Code: CodeNotSynced, Msg: "dataset never synced"}
+	}
+	ds.mu.RLock()
+	gen, shards, scorer, members := ds.gen, ds.shards, ds.scorer, ds.members
+	ds.mu.RUnlock()
+	if scorer == nil {
+		return PartialResp{}, Refusal{Code: CodeNotSynced, Msg: "dataset never synced"}
+	}
+	if gen != req.Gen {
+		return PartialResp{}, Refusal{Code: CodeGenMismatch, Msg: fmt.Sprintf("resident generation %d, request wants %d", gen, req.Gen)}
+	}
+	if int(req.Shard) >= shards {
+		return PartialResp{}, Refusal{Code: CodeBadRequest, Msg: fmt.Sprintf("shard %d of %d", req.Shard, shards)}
+	}
+	if req.K < 1 || len(req.W) != scorer.Dim()-1 {
+		return PartialResp{}, Refusal{Code: CodeBadRequest, Msg: fmt.Sprintf("k=%d |w|=%d for dim %d", req.K, len(req.W), scorer.Dim())}
+	}
+	// An explicit member list restricts the partial to those slots (a
+	// prefiltered or derived configuration); the decoder guarantees it
+	// ascends, so only the upper bound needs checking here.
+	over := members[req.Shard]
+	if n := len(req.Members); n > 0 {
+		if int(req.Members[n-1]) >= scorer.Len() {
+			return PartialResp{}, Refusal{Code: CodeBadRequest, Msg: fmt.Sprintf("member slot %d of %d options", req.Members[n-1], scorer.Len())}
+		}
+		over = make([]int, n)
+		for i, s := range req.Members {
+			over[i] = int(s)
+		}
+	}
+
+	w := vec.Vector(req.W)
+	key := partialKey{shard: int(req.Shard), k: int(req.K), wh: w.Hash(1e-10), mh: membersHash(req.Members)}
+	ds.memoMu.Lock()
+	if p, ok := ds.memo[key]; ok {
+		ds.memoMu.Unlock()
+		ds.hits.Add(1)
+		return PartialResp{Gen: gen, Idx: p.idx, Scores: p.scores}, nil
+	}
+	ds.memoMu.Unlock()
+
+	idx, scores := topk.PartialTopK(scorer, over, w, int(req.K))
+	p := &memoPartial{idx: make([]uint32, len(idx)), scores: scores}
+	for i, x := range idx {
+		p.idx[i] = uint32(x)
+	}
+	ds.partials.Add(1)
+	ds.memoMu.Lock()
+	if len(ds.memo) < b.memoLimit {
+		ds.memo[key] = p
+	}
+	ds.memoMu.Unlock()
+	return PartialResp{Gen: gen, Idx: p.idx, Scores: p.scores}, nil
+}
+
+// Stats reports one dataset's counters.
+func (b *EngineBackend) Stats(name string) StatsResp {
+	ds, _ := b.dataset(name, false)
+	if ds == nil {
+		return StatsResp{}
+	}
+	ds.mu.RLock()
+	gen := ds.gen
+	ds.mu.RUnlock()
+	return StatsResp{Gen: gen, Partials: ds.partials.Load(), Hits: ds.hits.Load()}
+}

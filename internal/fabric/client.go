@@ -1,0 +1,447 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client defaults.
+const (
+	DefaultConns       = 2
+	DefaultTimeout     = 2 * time.Second
+	DefaultDialTimeout = 1 * time.Second
+)
+
+// ErrDraining fails new requests once a client has begun its graceful
+// drain; the coordinator answers those shards locally.
+var ErrDraining = errors.New("fabric: client draining")
+
+// ClientConfig configures one worker connection pool.
+type ClientConfig struct {
+	Addr        string        // worker address (host:port)
+	Dataset     string        // dataset pinned by the handshake
+	Conns       int           // pipelined connections (default DefaultConns)
+	Timeout     time.Duration // per-request deadline (default DefaultTimeout)
+	DialTimeout time.Duration // TCP connect budget (default DefaultDialTimeout)
+	// Serial turns off pipelining: each connection carries at most one
+	// in-flight request, so a scatter across S shards pays S sequential
+	// round trips per connection. It exists as the benchmark referee —
+	// the "serial-RPC mode" the fabric experiment compares pipelined
+	// scatter against — not for production use.
+	Serial bool
+}
+
+// WireStats is a client's cumulative transport accounting.
+type WireStats struct {
+	BytesOut    int64 // request bytes written (frames included)
+	BytesIn     int64 // response bytes read
+	MaxInflight int64 // peak concurrently in-flight requests (pipelining depth reached)
+	Partials    int64 // partial responses successfully received
+}
+
+// Client is a pipelined connection pool to one worker process. Many
+// requests ride each connection concurrently; responses are matched by
+// request id, so a scatter across shards overlaps on the wire. A Client
+// is safe for concurrent use.
+type Client struct {
+	cfg ClientConfig
+
+	reqID atomic.Uint64
+
+	mu       sync.Mutex
+	conns    []*clientConn
+	next     int
+	draining bool
+	closed   bool
+	inflight sync.WaitGroup // every in-flight rpc; Drain waits on it
+
+	syncMu    sync.Mutex // serializes Sync pushes
+	syncedGen atomic.Uint64
+
+	bytesOut    atomic.Int64
+	bytesIn     atomic.Int64
+	inflightN   atomic.Int64
+	maxInflight atomic.Int64
+	partials    atomic.Int64
+}
+
+// NewClient builds a client (connections dial lazily on first use).
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.Conns <= 0 {
+		cfg.Conns = DefaultConns
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.Dataset == "" {
+		cfg.Dataset = "default"
+	}
+	return &Client{cfg: cfg, conns: make([]*clientConn, cfg.Conns)}
+}
+
+// clientConn is one pipelined connection: a writer mutex keeps frames
+// atomic, a reader goroutine dispatches responses to the pending table
+// by request id, and death fails every pending request at once.
+type clientConn struct {
+	c       net.Conn
+	wmu     sync.Mutex
+	mu      sync.Mutex
+	pending map[uint64]chan response
+	dead    bool
+	serial  chan struct{} // nil unless ClientConfig.Serial: one token = one in-flight request
+}
+
+type response struct {
+	f   Frame
+	err error
+}
+
+// SyncedGen reports the last generation this client successfully
+// pushed to the worker (0 = never synced).
+func (cl *Client) SyncedGen() uint64 { return cl.syncedGen.Load() }
+
+// ResetSync forgets the synced generation, forcing the next Sync to
+// push the full state again. The coordinator calls it when a worker
+// refuses a partial for a generation the client believed pushed — the
+// signature of a worker restart that lost its (stateless) copy.
+func (cl *Client) ResetSync() { cl.syncedGen.Store(0) }
+
+// Wire reports the client's cumulative transport accounting.
+func (cl *Client) Wire() WireStats {
+	return WireStats{
+		BytesOut:    cl.bytesOut.Load(),
+		BytesIn:     cl.bytesIn.Load(),
+		MaxInflight: cl.maxInflight.Load(),
+		Partials:    cl.partials.Load(),
+	}
+}
+
+// getConn picks the next pool slot round-robin, dialing (and
+// handshaking) it if empty or dead.
+func (cl *Client) getConn() (*clientConn, error) {
+	cl.mu.Lock()
+	if cl.closed || cl.draining {
+		cl.mu.Unlock()
+		return nil, ErrDraining
+	}
+	slot := cl.next % len(cl.conns)
+	cl.next++
+	cc := cl.conns[slot]
+	if cc != nil {
+		cc.mu.Lock()
+		dead := cc.dead
+		cc.mu.Unlock()
+		if !dead {
+			cl.mu.Unlock()
+			return cc, nil
+		}
+	}
+	cl.mu.Unlock()
+
+	// Dial outside the pool lock; a racing redial of the same slot is
+	// harmless (the loser's connection is simply dropped).
+	nc, err := net.DialTimeout("tcp", cl.cfg.Addr, cl.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: dial %s: %w", cl.cfg.Addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cc = &clientConn{c: nc, pending: make(map[uint64]chan response)}
+	if cl.cfg.Serial {
+		cc.serial = make(chan struct{}, 1)
+		cc.serial <- struct{}{}
+	}
+
+	// Handshake synchronously so the pool never holds an unpinned
+	// connection.
+	hello := Frame{Type: FrameHello, ReqID: cl.reqID.Add(1), Payload: Hello{Dataset: cl.cfg.Dataset}.encode()}
+	nc.SetDeadline(time.Now().Add(cl.cfg.Timeout))
+	n, err := WriteFrame(nc, hello)
+	cl.bytesOut.Add(int64(n))
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("fabric: handshake write: %w", err)
+	}
+	ack, rn, err := ReadFrame(nc)
+	cl.bytesIn.Add(int64(rn))
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("fabric: handshake read: %w", err)
+	}
+	nc.SetDeadline(time.Time{})
+	switch ack.Type {
+	case FrameHelloAck:
+	case FrameError:
+		nc.Close()
+		if em, derr := decodeError(ack.Payload); derr == nil {
+			return nil, codeErr(em.Code, em.Msg)
+		}
+		return nil, ErrRemote
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("%w: handshake answered with frame type %d", ErrRemote, ack.Type)
+	}
+
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		nc.Close()
+		return nil, ErrDraining
+	}
+	cl.conns[slot] = cc
+	cl.mu.Unlock()
+	go cl.readLoop(cc)
+	return cc, nil
+}
+
+// readLoop dispatches one connection's responses until it dies, then
+// fails every pending request (each falls back to a local partial).
+func (cl *Client) readLoop(cc *clientConn) {
+	for {
+		f, n, err := ReadFrame(cc.c)
+		cl.bytesIn.Add(int64(n))
+		if err != nil {
+			cc.mu.Lock()
+			cc.dead = true
+			pend := cc.pending
+			cc.pending = make(map[uint64]chan response)
+			cc.mu.Unlock()
+			cc.c.Close()
+			for _, ch := range pend {
+				ch <- response{err: fmt.Errorf("fabric: connection lost: %w", err)}
+			}
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[f.ReqID]
+		if ok {
+			delete(cc.pending, f.ReqID)
+		}
+		cc.mu.Unlock()
+		if ok {
+			ch <- response{f: f}
+		}
+	}
+}
+
+// rpc sends one frame and waits for its response, honoring ctx and the
+// per-request timeout. Responses are matched by request id, so many
+// rpcs ride one connection concurrently.
+func (cl *Client) rpc(ctx context.Context, req Frame, timeout time.Duration) (Frame, error) {
+	cl.mu.Lock()
+	if cl.closed || cl.draining {
+		cl.mu.Unlock()
+		return Frame{}, ErrDraining
+	}
+	cl.inflight.Add(1)
+	cl.mu.Unlock()
+	defer cl.inflight.Done()
+
+	cc, err := cl.getConn()
+	if err != nil {
+		return Frame{}, err
+	}
+
+	if cc.serial != nil {
+		select {
+		case <-cc.serial:
+			defer func() { cc.serial <- struct{}{} }()
+		case <-ctx.Done():
+			return Frame{}, ctx.Err()
+		}
+	}
+
+	n := cl.inflightN.Add(1)
+	for {
+		peak := cl.maxInflight.Load()
+		if n <= peak || cl.maxInflight.CompareAndSwap(peak, n) {
+			break
+		}
+	}
+	defer cl.inflightN.Add(-1)
+
+	ch := make(chan response, 1)
+	cc.mu.Lock()
+	if cc.dead {
+		cc.mu.Unlock()
+		return Frame{}, errors.New("fabric: connection lost")
+	}
+	cc.pending[req.ReqID] = ch
+	cc.mu.Unlock()
+
+	cc.wmu.Lock()
+	wn, err := WriteFrame(cc.c, req)
+	cc.wmu.Unlock()
+	cl.bytesOut.Add(int64(wn))
+	if err != nil {
+		cc.mu.Lock()
+		delete(cc.pending, req.ReqID)
+		cc.dead = true
+		cc.mu.Unlock()
+		cc.c.Close()
+		return Frame{}, fmt.Errorf("fabric: write: %w", err)
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp.err != nil {
+			return Frame{}, resp.err
+		}
+		return resp.f, nil
+	case <-timer.C:
+		cc.mu.Lock()
+		delete(cc.pending, req.ReqID)
+		cc.mu.Unlock()
+		return Frame{}, fmt.Errorf("fabric: request timed out after %v", timeout)
+	case <-ctx.Done():
+		cc.mu.Lock()
+		delete(cc.pending, req.ReqID)
+		cc.mu.Unlock()
+		return Frame{}, ctx.Err()
+	}
+}
+
+// Partial fetches one shard's partial top-k at vertex w, valid only at
+// exactly generation gen. A nil members asks for the shard's full
+// member list (the whole-dataset configuration); otherwise the partial
+// covers exactly the given ascending option slots. The returned slots
+// and score bits are the worker's verbatim — the caller merges them
+// unchanged.
+func (cl *Client) Partial(ctx context.Context, gen uint64, shard, k int, w []float64, members []uint32) ([]uint32, []float64, error) {
+	req := Frame{
+		Type:    FramePartialReq,
+		ReqID:   cl.reqID.Add(1),
+		Payload: PartialReq{Gen: gen, Shard: uint32(shard), K: uint32(k), W: w, Members: members}.encode(),
+	}
+	f, err := cl.rpc(ctx, req, cl.cfg.Timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch f.Type {
+	case FramePartialResp:
+		resp, err := decodePartialResp(f.Payload)
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.Gen != gen {
+			return nil, nil, fmt.Errorf("%w: answered for generation %d, want %d", ErrGenMismatch, resp.Gen, gen)
+		}
+		cl.partials.Add(1)
+		return resp.Idx, resp.Scores, nil
+	case FrameError:
+		em, derr := decodeError(f.Payload)
+		if derr != nil {
+			return nil, nil, derr
+		}
+		return nil, nil, codeErr(em.Code, em.Msg)
+	default:
+		return nil, nil, fmt.Errorf("%w: partial answered with frame type %d", ErrRemote, f.Type)
+	}
+}
+
+// Sync pushes one dataset generation to the worker (full state — the
+// worker replaces, never replays) and records it as synced. Concurrent
+// callers serialize; a sync that loses the race to a newer generation
+// is skipped.
+func (cl *Client) Sync(ctx context.Context, m SyncMsg) error {
+	cl.syncMu.Lock()
+	defer cl.syncMu.Unlock()
+	if cl.syncedGen.Load() >= m.Gen && m.Gen != 0 {
+		return nil
+	}
+	req := Frame{Type: FrameSync, ReqID: cl.reqID.Add(1), Payload: m.encode()}
+	// A sync ships the whole dataset; give it a wider budget than a
+	// partial round trip.
+	timeout := 10 * cl.cfg.Timeout
+	f, err := cl.rpc(ctx, req, timeout)
+	if err != nil {
+		return err
+	}
+	switch f.Type {
+	case FrameSyncAck:
+		cl.syncedGen.Store(m.Gen)
+		return nil
+	case FrameError:
+		em, derr := decodeError(f.Payload)
+		if derr != nil {
+			return derr
+		}
+		return codeErr(em.Code, em.Msg)
+	default:
+		return fmt.Errorf("%w: sync answered with frame type %d", ErrRemote, f.Type)
+	}
+}
+
+// Stats fetches the worker's counters for the client's dataset.
+func (cl *Client) Stats(ctx context.Context) (StatsResp, error) {
+	req := Frame{Type: FrameStatsReq, ReqID: cl.reqID.Add(1)}
+	f, err := cl.rpc(ctx, req, cl.cfg.Timeout)
+	if err != nil {
+		return StatsResp{}, err
+	}
+	switch f.Type {
+	case FrameStatsResp:
+		return decodeStatsResp(f.Payload)
+	case FrameError:
+		em, derr := decodeError(f.Payload)
+		if derr != nil {
+			return StatsResp{}, derr
+		}
+		return StatsResp{}, codeErr(em.Code, em.Msg)
+	default:
+		return StatsResp{}, fmt.Errorf("%w: stats answered with frame type %d", ErrRemote, f.Type)
+	}
+}
+
+// Drain gracefully quiesces the client: new requests fail fast with
+// ErrDraining (the coordinator answers those shards locally), in-flight
+// requests get until ctx expires to finish, then every connection
+// closes with a clean FIN instead of an abrupt reset.
+func (cl *Client) Drain(ctx context.Context) error {
+	cl.mu.Lock()
+	cl.draining = true
+	cl.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		cl.inflight.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	cl.Close()
+	return err
+}
+
+// Close tears the pool down immediately; pending requests fail.
+func (cl *Client) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	conns := append([]*clientConn(nil), cl.conns...)
+	cl.mu.Unlock()
+	for _, cc := range conns {
+		if cc != nil {
+			cc.c.Close()
+		}
+	}
+	return nil
+}

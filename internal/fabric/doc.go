@@ -1,0 +1,25 @@
+// Package fabric is the cross-box solve plane: a dependency-free
+// (stdlib net only) binary protocol over which a coordinating engine
+// scatters per-shard partial top-k requests to shard-owning worker
+// processes and gathers their answers — the constraint chunks of the
+// Section-3.1 union/intersection merge — back into the in-process merge
+// path.
+//
+// The wire protocol (frame.go) is length-prefixed and CRC-checked:
+// every frame carries a protocol version, a frame type, a request id
+// and a checksummed payload, so torn writes, truncated streams and
+// corrupt bytes are rejected deterministically instead of being
+// misparsed. Connections are pipelined (client.go): a client keeps many
+// partial requests in flight per connection and matches responses by
+// request id, so a scatter across S shards overlaps on the wire instead
+// of paying S serial round trips.
+//
+// Workers (server.go, cmd/toprr-worker) are stateless readers: they
+// hold no WAL and no snapshot directory, and learn a dataset generation
+// only by being synced one over the wire (resync, don't replay — see
+// docs/PERSISTENCE.md). A partial request names the exact generation it
+// wants; a worker at any other generation refuses with ErrGenMismatch
+// and the coordinator answers from its local shard instead, so a stale,
+// slow or dead worker costs latency, never correctness
+// (docs/FABRIC.md).
+package fabric

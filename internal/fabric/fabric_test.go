@@ -1,0 +1,434 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"toprr/internal/topk"
+	"toprr/internal/vec"
+)
+
+// startWorker runs a Server over an EngineBackend on 127.0.0.1:0 and
+// returns its address plus a kill function.
+func startWorker(t *testing.T) (string, *Server) {
+	t.Helper()
+	backend := NewEngineBackend(BackendConfig{})
+	srv := NewServer(backend)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String(), srv
+}
+
+// randomPts builds n points in [0,1]^d.
+func randomPts(rng *rand.Rand, n, d int) ([]vec.Vector, []float64) {
+	pts := make([]vec.Vector, n)
+	flat := make([]float64, 0, n*d)
+	for i := range pts {
+		p := vec.New(d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+		flat = append(flat, p...)
+	}
+	return pts, flat
+}
+
+// syncClient pushes one generation and fails the test on error.
+func syncClient(t *testing.T, cl *Client, gen uint64, shards, d int, flat []float64) {
+	t.Helper()
+	if err := cl.Sync(context.Background(), SyncMsg{Gen: gen, Shards: uint32(shards), Dim: uint32(d), Pts: flat}); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+}
+
+// TestClientServerPartials: a synced worker answers partials
+// bit-identically to a local PartialTopK over the same member lists.
+func TestClientServerPartials(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	addr, _ := startWorker(t)
+	const (
+		n      = 200
+		d      = 3
+		shards = 4
+		gen    = 9
+	)
+	pts, flat := randomPts(rng, n, d)
+	scorer := topk.NewScorerAt(pts, gen)
+	assign := topk.ShardAssignment(scorer, shards)
+	members := make([][]int, shards)
+	for slot, sh := range assign {
+		members[sh] = append(members[sh], slot)
+	}
+
+	cl := NewClient(ClientConfig{Addr: addr, Dataset: "t"})
+	defer cl.Close()
+	syncClient(t, cl, gen, shards, d, flat)
+
+	ctx := context.Background()
+	for trial := 0; trial < 20; trial++ {
+		w := vec.New(d - 1)
+		rest := 1.0
+		for j := range w {
+			w[j] = rng.Float64() * rest
+			rest -= w[j]
+		}
+		k := 1 + rng.Intn(8)
+		sh := rng.Intn(shards)
+		idx, scores, err := cl.Partial(ctx, gen, sh, k, w, nil)
+		if err != nil {
+			t.Fatalf("partial: %v", err)
+		}
+		wantIdx, wantScores := topk.PartialTopK(scorer, members[sh], w, k)
+		if len(idx) != len(wantIdx) {
+			t.Fatalf("partial len %d != %d", len(idx), len(wantIdx))
+		}
+		for i := range idx {
+			if int(idx[i]) != wantIdx[i] || scores[i] != wantScores[i] {
+				t.Fatalf("trial %d slot %d: remote (%d, %v) != local (%d, %v)",
+					trial, i, idx[i], scores[i], wantIdx[i], wantScores[i])
+			}
+		}
+	}
+
+	// The worker memoizes: repeating a vertex serves from its memo.
+	w := vec.Vector{0.3, 0.3}
+	if _, _, err := cl.Partial(ctx, gen, 0, 3, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := cl.Partial(ctx, gen, 0, 3, w, nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gen != gen || st.Hits == 0 {
+		t.Fatalf("stats = %+v, want gen %d and memo hits", st, gen)
+	}
+}
+
+// TestClientPipelining: many concurrent partials overlap on few
+// connections, and the recorded pipelining depth shows they truly rode
+// the wire together.
+func TestClientPipelining(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	addr, _ := startWorker(t)
+	_, flat := randomPts(rng, 300, 3)
+	cl := NewClient(ClientConfig{Addr: addr, Dataset: "p", Conns: 1})
+	defer cl.Close()
+	syncClient(t, cl, 1, 4, 3, flat)
+
+	const inFlight = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, inFlight)
+	for i := 0; i < inFlight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := vec.Vector{float64(i) / (2 * inFlight), 0.25}
+			if _, _, err := cl.Partial(context.Background(), 1, i%4, 3, w, nil); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	ws := cl.Wire()
+	if ws.Partials != inFlight {
+		t.Fatalf("partials = %d, want %d", ws.Partials, inFlight)
+	}
+	if ws.MaxInflight < 2 {
+		t.Fatalf("max inflight = %d; pipelining never overlapped", ws.MaxInflight)
+	}
+	if ws.BytesOut == 0 || ws.BytesIn == 0 {
+		t.Fatal("wire byte counters not moving")
+	}
+}
+
+// TestSerialModeDoesNotPipeline: the benchmark-referee mode keeps at
+// most one request in flight per connection.
+func TestSerialModeDoesNotPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	addr, _ := startWorker(t)
+	_, flat := randomPts(rng, 100, 3)
+	cl := NewClient(ClientConfig{Addr: addr, Dataset: "s", Conns: 1, Serial: true})
+	defer cl.Close()
+	syncClient(t, cl, 1, 2, 3, flat)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := vec.Vector{float64(i) / 32, 0.25}
+			cl.Partial(context.Background(), 1, i%2, 2, w, nil)
+		}(i)
+	}
+	wg.Wait()
+	// The sync frame itself also occupies the single token, so depth 1
+	// is the hard ceiling for request concurrency on the wire.
+	if ws := cl.Wire(); ws.MaxInflight > 1 {
+		t.Fatalf("serial mode reached inflight depth %d", ws.MaxInflight)
+	}
+}
+
+// TestGenerationMismatchRefused: a worker resident at one generation
+// refuses requests for any other with ErrGenMismatch, and a fresh sync
+// re-pins it.
+func TestGenerationMismatchRefused(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	addr, _ := startWorker(t)
+	_, flat := randomPts(rng, 80, 3)
+	cl := NewClient(ClientConfig{Addr: addr, Dataset: "g"})
+	defer cl.Close()
+
+	// Never synced: refusal maps to ErrNotSynced.
+	if _, _, err := cl.Partial(context.Background(), 1, 0, 2, vec.Vector{0.3, 0.3}, nil); !errors.Is(err, ErrNotSynced) {
+		t.Fatalf("unsynced err = %v, want ErrNotSynced", err)
+	}
+
+	syncClient(t, cl, 5, 2, 3, flat)
+	if _, _, err := cl.Partial(context.Background(), 6, 0, 2, vec.Vector{0.3, 0.3}, nil); !errors.Is(err, ErrGenMismatch) {
+		t.Fatalf("stale err = %v, want ErrGenMismatch", err)
+	}
+	if _, _, err := cl.Partial(context.Background(), 5, 0, 2, vec.Vector{0.3, 0.3}, nil); err != nil {
+		t.Fatalf("resident generation refused: %v", err)
+	}
+
+	// Re-pin at the newer generation: now 6 answers and 5 refuses.
+	syncClient(t, cl, 6, 2, 3, flat)
+	if _, _, err := cl.Partial(context.Background(), 6, 0, 2, vec.Vector{0.3, 0.3}, nil); err != nil {
+		t.Fatalf("after resync: %v", err)
+	}
+	if _, _, err := cl.Partial(context.Background(), 5, 0, 2, vec.Vector{0.3, 0.3}, nil); !errors.Is(err, ErrGenMismatch) {
+		t.Fatalf("old generation err = %v, want ErrGenMismatch", err)
+	}
+}
+
+// TestWorkerKillMidStream: killing the server fails in-flight and
+// subsequent requests with transport errors — never a wrong answer —
+// and a restarted worker on the same address serves again after the
+// client redials.
+func TestWorkerKillMidStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	backend := NewEngineBackend(BackendConfig{})
+	srv := NewServer(backend)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	go srv.Serve(ln)
+
+	_, flat := randomPts(rng, 100, 3)
+	cl := NewClient(ClientConfig{Addr: addr, Dataset: "k", Timeout: 500 * time.Millisecond})
+	defer cl.Close()
+	syncClient(t, cl, 1, 2, 3, flat)
+	if _, _, err := cl.Partial(context.Background(), 1, 0, 2, vec.Vector{0.2, 0.4}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close()
+	// Every request now errors (connection death or dial failure), in
+	// bounded time; no request hangs past its deadline.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < 8; i++ {
+		if _, _, err := cl.Partial(context.Background(), 1, i%2, 2, vec.Vector{0.2, 0.3}, nil); err == nil {
+			t.Fatal("partial succeeded against a killed worker")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("requests not failing fast after worker kill")
+		}
+	}
+
+	// Restart on the same address: a fresh backend (empty — the restart
+	// lost the stateless copy), so the first partial is refused until
+	// the coordinator resyncs.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	srv2 := NewServer(NewEngineBackend(BackendConfig{}))
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+
+	var perr error
+	for i := 0; i < 50; i++ {
+		_, _, perr = cl.Partial(context.Background(), 1, 0, 2, vec.Vector{0.2, 0.4}, nil)
+		if errors.Is(perr, ErrNotSynced) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !errors.Is(perr, ErrNotSynced) {
+		t.Fatalf("restarted worker err = %v, want ErrNotSynced", perr)
+	}
+	cl.ResetSync()
+	syncClient(t, cl, 1, 2, 3, flat)
+	if _, _, err := cl.Partial(context.Background(), 1, 0, 2, vec.Vector{0.2, 0.4}, nil); err != nil {
+		t.Fatalf("after restart resync: %v", err)
+	}
+}
+
+// TestClientDrain: a draining client fails new requests with
+// ErrDraining and lets in-flight ones finish.
+func TestClientDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	addr, _ := startWorker(t)
+	_, flat := randomPts(rng, 60, 3)
+	cl := NewClient(ClientConfig{Addr: addr, Dataset: "d"})
+	syncClient(t, cl, 1, 2, 3, flat)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := cl.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, _, err := cl.Partial(context.Background(), 1, 0, 2, vec.Vector{0.3, 0.3}, nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain err = %v, want ErrDraining", err)
+	}
+}
+
+// TestHandshakePinsDataset: two clients for different dataset names on
+// one worker see independent states.
+func TestHandshakePinsDataset(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	addr, _ := startWorker(t)
+	_, flatA := randomPts(rng, 50, 3)
+	_, flatB := randomPts(rng, 70, 4)
+
+	a := NewClient(ClientConfig{Addr: addr, Dataset: "a"})
+	defer a.Close()
+	b := NewClient(ClientConfig{Addr: addr, Dataset: "b"})
+	defer b.Close()
+
+	syncClient(t, a, 3, 2, 3, flatA)
+	syncClient(t, b, 8, 4, 4, flatB)
+
+	if _, _, err := a.Partial(context.Background(), 3, 1, 2, vec.Vector{0.3, 0.3}, nil); err != nil {
+		t.Fatalf("dataset a: %v", err)
+	}
+	if _, _, err := b.Partial(context.Background(), 8, 3, 2, vec.Vector{0.2, 0.2, 0.2}, nil); err != nil {
+		t.Fatalf("dataset b: %v", err)
+	}
+	// a's generation does not leak into b.
+	if _, _, err := b.Partial(context.Background(), 3, 0, 2, vec.Vector{0.2, 0.2, 0.2}, nil); !errors.Is(err, ErrGenMismatch) {
+		t.Fatalf("cross-dataset err = %v, want ErrGenMismatch", err)
+	}
+}
+
+// TestServerRejectsGarbageConnection: a connection that opens with a
+// corrupt or non-Hello frame is hung up on, and the listener keeps
+// serving others.
+func TestServerRejectsGarbageConnection(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	addr, _ := startWorker(t)
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 64)
+	if n, _ := c.Read(buf); n != 0 {
+		// Whatever came back, the connection must close rather than
+		// serve the garbage stream.
+		if _, err := c.Read(buf); err == nil {
+			t.Fatal("server kept a garbage connection alive")
+		}
+	}
+	c.Close()
+
+	// The worker still serves proper clients.
+	_, flat := randomPts(rng, 40, 3)
+	cl := NewClient(ClientConfig{Addr: addr, Dataset: "ok"})
+	defer cl.Close()
+	syncClient(t, cl, 1, 2, 3, flat)
+	if _, _, err := cl.Partial(context.Background(), 1, 0, 2, vec.Vector{0.3, 0.3}, nil); err != nil {
+		t.Fatalf("post-garbage partial: %v", err)
+	}
+}
+
+// TestMemberListPartials: a request carrying an explicit member list is
+// answered over exactly those slots — bit-identical to the local subset
+// computation — memoized separately from the whole-shard partial at the
+// same vertex, and validated against the resident dataset's bounds.
+func TestMemberListPartials(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	addr, _ := startWorker(t)
+	const (
+		n      = 150
+		d      = 3
+		shards = 2
+		gen    = 4
+	)
+	pts, flat := randomPts(rng, n, d)
+	scorer := topk.NewScorerAt(pts, gen)
+
+	cl := NewClient(ClientConfig{Addr: addr, Dataset: "members"})
+	defer cl.Close()
+	syncClient(t, cl, gen, shards, d, flat)
+	ctx := context.Background()
+
+	// A strict subset, ascending — the shape an active-set shard memo
+	// ships.
+	subset32 := make([]uint32, 0, n/3)
+	subset := make([]int, 0, n/3)
+	for i := 0; i < n; i += 3 {
+		subset32 = append(subset32, uint32(i))
+		subset = append(subset, i)
+	}
+	w := vec.Vector{0.25, 0.35}
+	const k = 6
+	idx, scores, err := cl.Partial(ctx, gen, 0, k, w, subset32)
+	if err != nil {
+		t.Fatalf("member-list partial: %v", err)
+	}
+	wantIdx, wantScores := topk.PartialTopK(scorer, subset, w, k)
+	if len(idx) != len(wantIdx) {
+		t.Fatalf("partial len %d != %d", len(idx), len(wantIdx))
+	}
+	for i := range idx {
+		if int(idx[i]) != wantIdx[i] || scores[i] != wantScores[i] {
+			t.Fatalf("slot %d: remote (%d, %v) != local (%d, %v)", i, idx[i], scores[i], wantIdx[i], wantScores[i])
+		}
+	}
+
+	// The whole-shard partial at the same vertex is a different answer —
+	// the memo must not conflate the two keys.
+	whole, _, err := cl.Partial(ctx, gen, 0, k, w, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(whole) == len(idx)
+	if same {
+		for i := range whole {
+			if whole[i] != idx[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("whole-shard and member-list partials identical; memo keys likely conflated")
+	}
+
+	// Out-of-range member slots are refused, not computed.
+	if _, _, err := cl.Partial(ctx, gen, 0, k, w, []uint32{5, uint32(n)}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("out-of-range member slot: err = %v, want ErrBadRequest", err)
+	}
+}

@@ -1,0 +1,464 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// ProtoVersion is the wire protocol version. A frame carrying any other
+// version is rejected at decode, so mixed deployments fail the
+// handshake loudly instead of misparsing payloads.
+const ProtoVersion = 1
+
+// MaxFrame bounds one frame's wire size (length prefix included). A
+// sync frame carries a whole dataset generation, so the bound is
+// generous; anything larger is surely a corrupt length prefix.
+const MaxFrame = 256 << 20
+
+// frameOverhead is the fixed wire size around a payload: u32 length
+// prefix + u8 version + u8 type + u64 request id + u32 CRC.
+const frameOverhead = 4 + 1 + 1 + 8 + 4
+
+// FrameType discriminates protocol messages.
+type FrameType uint8
+
+// The protocol's frame types. Hello/HelloAck open a connection and pin
+// it to one dataset; Sync installs a dataset generation on a worker;
+// PartialReq/PartialResp are the scatter-gather unit (one shard's
+// partial top-k at one vertex); StatsReq/StatsResp expose worker-side
+// counters; Error carries a typed refusal for any request frame.
+const (
+	FrameHello FrameType = iota + 1
+	FrameHelloAck
+	FrameSync
+	FrameSyncAck
+	FramePartialReq
+	FramePartialResp
+	FrameStatsReq
+	FrameStatsResp
+	FrameError
+	frameTypeEnd
+)
+
+// Frame is one decoded protocol frame.
+type Frame struct {
+	Type    FrameType
+	ReqID   uint64
+	Payload []byte
+}
+
+// Decode errors. ErrFrameTooShort means the buffer ends before the
+// frame does (a torn tail: read more, or reject the stream); the other
+// errors mark the stream unrecoverable.
+var (
+	ErrFrameTooShort = errors.New("fabric: truncated frame")
+	ErrFrameCorrupt  = errors.New("fabric: corrupt frame")
+	ErrBadVersion    = errors.New("fabric: protocol version mismatch")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendFrame encodes f onto dst and returns the extended buffer. The
+// layout is: u32 length (everything after the prefix), u8 version, u8
+// type, u64 request id, payload, u32 CRC-32C over version..payload.
+func AppendFrame(dst []byte, f Frame) []byte {
+	body := 1 + 1 + 8 + len(f.Payload) + 4
+	dst = binary.BigEndian.AppendUint32(dst, uint32(body))
+	start := len(dst)
+	dst = append(dst, ProtoVersion, byte(f.Type))
+	dst = binary.BigEndian.AppendUint64(dst, f.ReqID)
+	dst = append(dst, f.Payload...)
+	crc := crc32.Checksum(dst[start:], crcTable)
+	return binary.BigEndian.AppendUint32(dst, crc)
+}
+
+// DecodeFrame decodes one frame from the head of buf, returning the
+// frame and the bytes consumed. ErrFrameTooShort reports an incomplete
+// frame (the caller reads more input); ErrFrameCorrupt and
+// ErrBadVersion reject the stream.
+func DecodeFrame(buf []byte) (Frame, int, error) {
+	if len(buf) < 4 {
+		return Frame{}, 0, ErrFrameTooShort
+	}
+	body := binary.BigEndian.Uint32(buf)
+	if int64(body)+4 > MaxFrame || body < 1+1+8+4 {
+		return Frame{}, 0, fmt.Errorf("%w: body length %d", ErrFrameCorrupt, body)
+	}
+	total := int(body) + 4
+	if len(buf) < total {
+		return Frame{}, 0, ErrFrameTooShort
+	}
+	raw := buf[4:total]
+	crcWant := binary.BigEndian.Uint32(raw[len(raw)-4:])
+	checked := raw[:len(raw)-4]
+	if crc32.Checksum(checked, crcTable) != crcWant {
+		return Frame{}, 0, fmt.Errorf("%w: checksum mismatch", ErrFrameCorrupt)
+	}
+	if checked[0] != ProtoVersion {
+		return Frame{}, 0, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, checked[0], ProtoVersion)
+	}
+	t := FrameType(checked[1])
+	if t == 0 || t >= frameTypeEnd {
+		return Frame{}, 0, fmt.Errorf("%w: unknown frame type %d", ErrFrameCorrupt, t)
+	}
+	f := Frame{
+		Type:  t,
+		ReqID: binary.BigEndian.Uint64(checked[2:10]),
+	}
+	if len(checked) > 10 {
+		f.Payload = append([]byte(nil), checked[10:]...)
+	}
+	return f, total, nil
+}
+
+// WriteFrame encodes f onto w, returning the bytes written.
+func WriteFrame(w io.Writer, f Frame) (int, error) {
+	return w.Write(AppendFrame(nil, f))
+}
+
+// ReadFrame reads exactly one frame from r, returning it and the bytes
+// consumed. Streams ending mid-frame return ErrFrameTooShort (wrapped
+// over the underlying io error when there was one).
+func ReadFrame(r io.Reader) (Frame, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, 0, io.EOF
+		}
+		return Frame{}, 0, fmt.Errorf("%w: %v", ErrFrameTooShort, err)
+	}
+	body := binary.BigEndian.Uint32(hdr[:])
+	if int64(body)+4 > MaxFrame || body < 1+1+8+4 {
+		return Frame{}, 0, fmt.Errorf("%w: body length %d", ErrFrameCorrupt, body)
+	}
+	buf := make([]byte, 4+body)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[4:]); err != nil {
+		return Frame{}, 0, fmt.Errorf("%w: %v", ErrFrameTooShort, err)
+	}
+	return DecodeFrame(buf)
+}
+
+// Typed worker refusals carried by FrameError payloads.
+const (
+	CodeGenMismatch    = 1 // worker holds a different generation than the request names
+	CodeNotSynced      = 2 // worker has no generation for the dataset yet
+	CodeBadRequest     = 3 // malformed or out-of-range request
+	CodeInternal       = 4 // worker-side failure
+	CodeUnknownDataset = 5 // handshake or request names a dataset the worker refuses
+)
+
+// Sentinel errors the client maps refusal codes onto. The coordinator
+// treats every one of them — like any transport error — as "answer this
+// shard locally"; ErrGenMismatch and ErrNotSynced additionally trigger
+// a background resync.
+var (
+	ErrGenMismatch = errors.New("fabric: generation mismatch")
+	ErrNotSynced   = errors.New("fabric: worker not synced")
+	ErrBadRequest  = errors.New("fabric: bad request")
+	ErrRemote      = errors.New("fabric: worker error")
+)
+
+// codeErr maps a refusal code to its sentinel.
+func codeErr(code uint32, msg string) error {
+	switch code {
+	case CodeGenMismatch:
+		return fmt.Errorf("%w: %s", ErrGenMismatch, msg)
+	case CodeNotSynced:
+		return fmt.Errorf("%w: %s", ErrNotSynced, msg)
+	case CodeBadRequest:
+		return fmt.Errorf("%w: %s", ErrBadRequest, msg)
+	default:
+		return fmt.Errorf("%w: %s", ErrRemote, msg)
+	}
+}
+
+// Hello opens a connection: it names the dataset every subsequent frame
+// on the connection refers to.
+type Hello struct {
+	Dataset string
+}
+
+// HelloAck answers a Hello with the generation the worker currently
+// holds for the dataset (0 = not yet synced).
+type HelloAck struct {
+	Gen    uint64
+	Shards uint32
+}
+
+// SyncMsg installs one dataset generation on a worker: the full option
+// matrix (row-major, n x dim) plus the shard count of the coordinator's
+// solve plane. Workers are stateless readers — they replace, never
+// replay.
+type SyncMsg struct {
+	Gen    uint64
+	Shards uint32
+	Dim    uint32
+	Pts    []float64 // len = n*Dim
+}
+
+// PartialReq asks for one shard's partial top-k at vertex W, valid only
+// at exactly generation Gen. An empty Members means the shard's full
+// member list under the worker's own content-hash assignment (the
+// whole-dataset configuration); a non-empty Members restricts the
+// partial to exactly those option slots, ascending — how prefiltered
+// and derived configurations scatter without the worker knowing the
+// coordinator's active sets.
+type PartialReq struct {
+	Gen     uint64
+	Shard   uint32
+	K       uint32
+	W       []float64
+	Members []uint32
+}
+
+// PartialResp is one shard's partial top-k: the best min(k, |shard|)
+// member slots in (score desc, index asc) order with their exact
+// float64 score bits — the constraint chunk the coordinator's k-way
+// merge consumes unchanged.
+type PartialResp struct {
+	Gen    uint64
+	Idx    []uint32
+	Scores []float64
+}
+
+// StatsResp reports worker-side counters for the connection's dataset.
+type StatsResp struct {
+	Gen      uint64
+	Partials uint64 // partials computed since sync
+	Hits     uint64 // partials served from the worker memo
+}
+
+// ErrorMsg is a typed refusal.
+type ErrorMsg struct {
+	Code uint32
+	Msg  string
+}
+
+// Payload encoders/decoders. All integers are big-endian; float64s
+// travel as raw IEEE-754 bits so worker-computed scores are
+// bit-identical to coordinator-computed ones.
+
+func appendU32(b []byte, v uint32) []byte  { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte  { return binary.BigEndian.AppendUint64(b, v) }
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: short payload", ErrFrameCorrupt)
+	}
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrFrameCorrupt, len(r.b)-r.off)
+	}
+	return nil
+}
+
+func (h Hello) encode() []byte {
+	b := appendU32(nil, uint32(len(h.Dataset)))
+	return append(b, h.Dataset...)
+}
+
+func decodeHello(b []byte) (Hello, error) {
+	r := &reader{b: b}
+	n := r.u32()
+	name := r.bytes(int(n))
+	if err := r.done(); err != nil {
+		return Hello{}, err
+	}
+	return Hello{Dataset: string(name)}, nil
+}
+
+func (h HelloAck) encode() []byte {
+	return appendU32(appendU64(nil, h.Gen), h.Shards)
+}
+
+func decodeHelloAck(b []byte) (HelloAck, error) {
+	r := &reader{b: b}
+	ack := HelloAck{Gen: r.u64(), Shards: r.u32()}
+	return ack, r.done()
+}
+
+func (m SyncMsg) encode() []byte {
+	if m.Dim == 0 {
+		panic("fabric: sync with dim 0")
+	}
+	b := make([]byte, 0, 8+4+4+4+8*len(m.Pts))
+	b = appendU64(b, m.Gen)
+	b = appendU32(b, m.Shards)
+	b = appendU32(b, m.Dim)
+	b = appendU32(b, uint32(len(m.Pts)/int(m.Dim)))
+	for _, x := range m.Pts {
+		b = appendF64(b, x)
+	}
+	return b
+}
+
+func decodeSync(b []byte) (SyncMsg, error) {
+	r := &reader{b: b}
+	m := SyncMsg{Gen: r.u64(), Shards: r.u32(), Dim: r.u32()}
+	n := r.u32()
+	if r.err == nil {
+		if m.Dim == 0 || m.Dim > 1024 {
+			return SyncMsg{}, fmt.Errorf("%w: sync dim %d", ErrFrameCorrupt, m.Dim)
+		}
+		want := int(n) * int(m.Dim)
+		if len(r.b)-r.off != want*8 {
+			return SyncMsg{}, fmt.Errorf("%w: sync payload %d bytes, want %d", ErrFrameCorrupt, len(r.b)-r.off, want*8)
+		}
+		m.Pts = make([]float64, want)
+		for i := range m.Pts {
+			m.Pts[i] = r.f64()
+		}
+	}
+	return m, r.done()
+}
+
+func (m PartialReq) encode() []byte {
+	b := make([]byte, 0, 8+4+4+4+8*len(m.W)+4+4*len(m.Members))
+	b = appendU64(b, m.Gen)
+	b = appendU32(b, m.Shard)
+	b = appendU32(b, m.K)
+	b = appendU32(b, uint32(len(m.W)))
+	for _, x := range m.W {
+		b = appendF64(b, x)
+	}
+	b = appendU32(b, uint32(len(m.Members)))
+	for _, s := range m.Members {
+		b = appendU32(b, s)
+	}
+	return b
+}
+
+func decodePartialReq(b []byte) (PartialReq, error) {
+	r := &reader{b: b}
+	m := PartialReq{Gen: r.u64(), Shard: r.u32(), K: r.u32()}
+	n := r.u32()
+	if r.err == nil {
+		if n > 1024 {
+			return PartialReq{}, fmt.Errorf("%w: vertex dim %d", ErrFrameCorrupt, n)
+		}
+		m.W = make([]float64, n)
+		for i := range m.W {
+			m.W[i] = r.f64()
+		}
+	}
+	mc := r.u32()
+	if r.err == nil && mc > 0 {
+		if len(r.b)-r.off != int(mc)*4 {
+			return PartialReq{}, fmt.Errorf("%w: member list %d bytes for %d slots", ErrFrameCorrupt, len(r.b)-r.off, mc)
+		}
+		m.Members = make([]uint32, mc)
+		for i := range m.Members {
+			m.Members[i] = r.u32()
+			if i > 0 && m.Members[i] <= m.Members[i-1] {
+				return PartialReq{}, fmt.Errorf("%w: member list not ascending", ErrFrameCorrupt)
+			}
+		}
+	}
+	return m, r.done()
+}
+
+func (m PartialResp) encode() []byte {
+	b := make([]byte, 0, 8+4+12*len(m.Idx))
+	b = appendU64(b, m.Gen)
+	b = appendU32(b, uint32(len(m.Idx)))
+	for i := range m.Idx {
+		b = appendU32(b, m.Idx[i])
+		b = appendF64(b, m.Scores[i])
+	}
+	return b
+}
+
+func decodePartialResp(b []byte) (PartialResp, error) {
+	r := &reader{b: b}
+	m := PartialResp{Gen: r.u64()}
+	n := r.u32()
+	if r.err == nil {
+		if len(r.b)-r.off != int(n)*12 {
+			return PartialResp{}, fmt.Errorf("%w: partial payload %d bytes for %d entries", ErrFrameCorrupt, len(r.b)-r.off, n)
+		}
+		m.Idx = make([]uint32, n)
+		m.Scores = make([]float64, n)
+		for i := range m.Idx {
+			m.Idx[i] = r.u32()
+			m.Scores[i] = r.f64()
+		}
+	}
+	return m, r.done()
+}
+
+func (m StatsResp) encode() []byte {
+	return appendU64(appendU64(appendU64(nil, m.Gen), m.Partials), m.Hits)
+}
+
+func decodeStatsResp(b []byte) (StatsResp, error) {
+	r := &reader{b: b}
+	m := StatsResp{Gen: r.u64(), Partials: r.u64(), Hits: r.u64()}
+	return m, r.done()
+}
+
+func (m ErrorMsg) encode() []byte {
+	b := appendU32(nil, m.Code)
+	b = appendU32(b, uint32(len(m.Msg)))
+	return append(b, m.Msg...)
+}
+
+func decodeError(b []byte) (ErrorMsg, error) {
+	r := &reader{b: b}
+	m := ErrorMsg{Code: r.u32()}
+	n := r.u32()
+	msg := r.bytes(int(n))
+	if err := r.done(); err != nil {
+		return ErrorMsg{}, err
+	}
+	m.Msg = string(msg)
+	return m, nil
+}

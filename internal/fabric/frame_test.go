@@ -1,0 +1,228 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func crc32Checksum(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+func putU32(b []byte, v uint32)     { binary.BigEndian.PutUint32(b, v) }
+
+// sampleFrames covers every message type with non-trivial payloads.
+func sampleFrames() []Frame {
+	return []Frame{
+		{Type: FrameHello, ReqID: 1, Payload: Hello{Dataset: "laptops"}.encode()},
+		{Type: FrameHelloAck, ReqID: 1, Payload: HelloAck{Gen: 42, Shards: 8}.encode()},
+		{Type: FrameSync, ReqID: 2, Payload: SyncMsg{Gen: 7, Shards: 4, Dim: 3, Pts: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}}.encode()},
+		{Type: FramePartialReq, ReqID: 3, Payload: PartialReq{Gen: 7, Shard: 2, K: 5, W: []float64{0.25, 0.5}}.encode()},
+		{Type: FramePartialReq, ReqID: 6, Payload: PartialReq{Gen: 7, Shard: 1, K: 3, W: []float64{0.4}, Members: []uint32{2, 5, 9}}.encode()},
+		{Type: FramePartialResp, ReqID: 3, Payload: PartialResp{Gen: 7, Idx: []uint32{4, 1, 9}, Scores: []float64{0.9, 0.9, 0.1}}.encode()},
+		{Type: FrameStatsReq, ReqID: 4},
+		{Type: FrameStatsResp, ReqID: 4, Payload: StatsResp{Gen: 7, Partials: 100, Hits: 60}.encode()},
+		{Type: FrameError, ReqID: 5, Payload: ErrorMsg{Code: CodeGenMismatch, Msg: "resident 6, want 7"}.encode()},
+	}
+}
+
+// TestFrameRoundTrip: every frame type survives encode -> decode, both
+// through the buffer API and the stream API, with exact payload bytes.
+func TestFrameRoundTrip(t *testing.T) {
+	for _, f := range sampleFrames() {
+		buf := AppendFrame(nil, f)
+		got, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("type %d: decode: %v", f.Type, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("type %d: consumed %d of %d bytes", f.Type, n, len(buf))
+		}
+		if got.Type != f.Type || got.ReqID != f.ReqID || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("type %d: round trip mismatch: %+v != %+v", f.Type, got, f)
+		}
+
+		var w bytes.Buffer
+		if _, err := WriteFrame(&w, f); err != nil {
+			t.Fatal(err)
+		}
+		got2, n2, err := ReadFrame(&w)
+		if err != nil || n2 != len(buf) {
+			t.Fatalf("type %d: stream decode: n=%d err=%v", f.Type, n2, err)
+		}
+		if got2.Type != f.Type || got2.ReqID != f.ReqID || !bytes.Equal(got2.Payload, f.Payload) {
+			t.Fatalf("type %d: stream round trip mismatch", f.Type)
+		}
+	}
+}
+
+// TestFrameDecodeChained: frames decode one after another from a single
+// buffer, each reporting its exact consumed length.
+func TestFrameDecodeChained(t *testing.T) {
+	frames := sampleFrames()
+	var buf []byte
+	for _, f := range frames {
+		buf = AppendFrame(buf, f)
+	}
+	for i, want := range frames {
+		f, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Type != want.Type || f.ReqID != want.ReqID {
+			t.Fatalf("frame %d: got type %d req %d", i, f.Type, f.ReqID)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d bytes left over", len(buf))
+	}
+}
+
+// TestFrameTorn: every proper prefix of a valid frame is
+// ErrFrameTooShort — never corrupt, never a bogus success.
+func TestFrameTorn(t *testing.T) {
+	full := AppendFrame(nil, Frame{Type: FramePartialReq, ReqID: 9, Payload: PartialReq{Gen: 3, Shard: 1, K: 2, W: []float64{0.5}}.encode()})
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := DecodeFrame(full[:cut])
+		if !errors.Is(err, ErrFrameTooShort) {
+			t.Fatalf("prefix of %d/%d bytes: err = %v, want ErrFrameTooShort", cut, len(full), err)
+		}
+	}
+	// Stream form: a reader that ends mid-frame reports a torn frame
+	// (or EOF when nothing at all arrived).
+	for cut := 1; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]))
+		if !errors.Is(err, ErrFrameTooShort) && !errors.Is(err, ErrFrameCorrupt) {
+			t.Fatalf("stream prefix %d: err = %v", cut, err)
+		}
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream: err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameCorruption: any single flipped bit is caught — by the CRC,
+// the version check, the type range or the length bound — and never
+// decodes as a different valid frame.
+func TestFrameCorruption(t *testing.T) {
+	orig := AppendFrame(nil, Frame{Type: FramePartialResp, ReqID: 11, Payload: PartialResp{Gen: 5, Idx: []uint32{2}, Scores: []float64{1.5}}.encode()})
+	want, _, err := DecodeFrame(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < len(orig)*8; bit++ {
+		mut := append([]byte(nil), orig...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		f, _, err := DecodeFrame(mut)
+		if err == nil && (f.Type != want.Type || f.ReqID != want.ReqID || !bytes.Equal(f.Payload, want.Payload)) {
+			t.Fatalf("bit %d: corrupt frame decoded as %+v", bit, f)
+		}
+		// A flipped length-prefix bit may leave a frame that merely
+		// looks torn; that is fine (the stream stalls and the reader
+		// gives up). What must never happen is a successful decode of
+		// different content — checked above.
+		if err != nil && !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, ErrFrameTooShort) && !errors.Is(err, ErrBadVersion) {
+			t.Fatalf("bit %d: unexpected error class %v", bit, err)
+		}
+	}
+}
+
+// TestFrameBadVersion: a frame from a different protocol version is
+// rejected with ErrBadVersion (CRC recomputed so only the version
+// differs).
+func TestFrameBadVersion(t *testing.T) {
+	f := Frame{Type: FrameHello, ReqID: 1, Payload: Hello{Dataset: "x"}.encode()}
+	buf := AppendFrame(nil, f)
+	// Rebuild with a bumped version byte and a matching CRC.
+	body := buf[4 : len(buf)-4]
+	body[0] = ProtoVersion + 1
+	crc := crc32Checksum(body)
+	putU32(buf[len(buf)-4:], crc)
+	if _, _, err := DecodeFrame(buf); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("err = %v, want ErrBadVersion", err)
+	}
+}
+
+// TestPayloadDecodersRejectGarbage: the typed payload decoders fail
+// cleanly on short and oversized inputs instead of panicking or
+// over-reading.
+func TestPayloadDecodersRejectGarbage(t *testing.T) {
+	if _, err := decodeSync(SyncMsg{Gen: 1, Shards: 1, Dim: 2, Pts: []float64{1, 2}}.encode()[:7]); err == nil {
+		t.Error("short sync decoded")
+	}
+	if _, err := decodePartialReq([]byte{0, 1, 2}); err == nil {
+		t.Error("short partial req decoded")
+	}
+	if _, err := decodePartialResp(append(PartialResp{Gen: 1}.encode(), 0xFF)); err == nil {
+		t.Error("partial resp with trailing byte decoded")
+	}
+	huge := PartialReq{Gen: 1, Shard: 0, K: 1, W: make([]float64, 2000)}.encode()
+	if _, err := decodePartialReq(huge); err == nil {
+		t.Error("oversized vertex accepted")
+	}
+	if _, err := decodePartialReq(PartialReq{Gen: 1, K: 1, W: []float64{0.5}, Members: []uint32{7, 3}}.encode()); err == nil {
+		t.Error("non-ascending member list accepted")
+	}
+	torn := PartialReq{Gen: 1, K: 1, W: []float64{0.5}, Members: []uint32{3, 7}}.encode()
+	if _, err := decodePartialReq(torn[:len(torn)-2]); err == nil {
+		t.Error("torn member list accepted")
+	}
+	if _, err := decodeHello(Hello{Dataset: "abc"}.encode()[:5]); err == nil {
+		t.Error("short hello decoded")
+	}
+}
+
+// TestScoreBitsExact: scores cross the wire as raw IEEE-754 bits —
+// including negative zero and subnormals — so merge comparisons see
+// identical float64s on both sides.
+func TestScoreBitsExact(t *testing.T) {
+	vals := []float64{0, math.Copysign(0, -1), 1e-308, math.MaxFloat64, 0.1 + 0.2}
+	resp := PartialResp{Gen: 1, Idx: make([]uint32, len(vals)), Scores: vals}
+	got, err := decodePartialResp(resp.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Float64bits(got.Scores[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("score %d: bits %x != %x", i, math.Float64bits(got.Scores[i]), math.Float64bits(vals[i]))
+		}
+	}
+	if !reflect.DeepEqual(got.Idx, resp.Idx) {
+		t.Fatal("idx mismatch")
+	}
+}
+
+// FuzzFrameDecode: DecodeFrame must never panic, never over-consume,
+// and anything it accepts must re-encode to a decodable frame
+// (round-trip closure). Runs in CI's fuzz-smoke lane.
+func FuzzFrameDecode(f *testing.F) {
+	for _, fr := range sampleFrames() {
+		f.Add(AppendFrame(nil, fr))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, n, err := DecodeFrame(data)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("failed decode consumed %d bytes", n)
+			}
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := AppendFrame(nil, fr)
+		fr2, _, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame fails decode: %v", err)
+		}
+		if fr2.Type != fr.Type || fr2.ReqID != fr.ReqID || !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatal("re-encode round trip diverged")
+		}
+	})
+}

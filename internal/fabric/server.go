@@ -1,0 +1,202 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Backend is the worker-side partial-solve plane the server exposes on
+// the wire. Implementations must be safe for concurrent use: the server
+// overlaps partial requests from pipelined connections.
+type Backend interface {
+	// Hello reports the generation (0 = unsynced) and shard count the
+	// backend currently holds for a dataset.
+	Hello(dataset string) (gen uint64, shards uint32, err error)
+	// Sync atomically replaces the dataset's resident generation.
+	Sync(dataset string, m SyncMsg) error
+	// Partial answers one shard's partial top-k request. The request
+	// names an exact generation; any other resident generation must be
+	// refused with a Refusal{CodeGenMismatch} (or CodeNotSynced).
+	Partial(dataset string, m PartialReq) (PartialResp, error)
+	// Stats reports the dataset's worker-side counters.
+	Stats(dataset string) StatsResp
+}
+
+// Refusal is a typed backend error the server forwards to the client as
+// an Error frame with its code; any other backend error travels as
+// CodeInternal.
+type Refusal struct {
+	Code uint32
+	Msg  string
+}
+
+func (r Refusal) Error() string { return fmt.Sprintf("fabric refusal %d: %s", r.Code, r.Msg) }
+
+// partialWorkers bounds the partial computations one connection runs
+// concurrently; pipelined requests beyond it queue on the semaphore.
+const partialWorkers = 4
+
+// Server serves the fabric protocol over accepted connections.
+type Server struct {
+	backend Backend
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer wraps a backend.
+func NewServer(b Backend) *Server {
+	return &Server{backend: b, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts and serves connections on ln until Close (or a listener
+// error). It returns nil after Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("fabric: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// Close stops accepting and tears down every open connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// serveConn runs one connection: a Hello pins the dataset, then
+// requests are served until the peer hangs up. Partial requests overlap
+// (bounded by partialWorkers); responses interleave and the client
+// matches them by request id.
+func (s *Server) serveConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+
+	var wmu sync.Mutex // one response frame at a time
+	reply := func(f Frame) bool {
+		wmu.Lock()
+		_, err := WriteFrame(c, f)
+		wmu.Unlock()
+		return err == nil
+	}
+	replyErr := func(reqID uint64, err error) bool {
+		var ref Refusal
+		if !errors.As(err, &ref) {
+			ref = Refusal{Code: CodeInternal, Msg: err.Error()}
+		}
+		return reply(Frame{Type: FrameError, ReqID: reqID, Payload: ErrorMsg{Code: ref.Code, Msg: ref.Msg}.encode()})
+	}
+
+	// Handshake: the first frame must be a Hello naming the dataset.
+	first, _, err := ReadFrame(c)
+	if err != nil || first.Type != FrameHello {
+		return
+	}
+	hello, err := decodeHello(first.Payload)
+	if err != nil {
+		return
+	}
+	dataset := hello.Dataset
+	gen, shards, err := s.backend.Hello(dataset)
+	if err != nil {
+		replyErr(first.ReqID, err)
+		return
+	}
+	if !reply(Frame{Type: FrameHelloAck, ReqID: first.ReqID, Payload: HelloAck{Gen: gen, Shards: shards}.encode()}) {
+		return
+	}
+
+	sem := make(chan struct{}, partialWorkers)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		f, _, err := ReadFrame(c)
+		if err != nil {
+			return // EOF, peer reset, or a corrupt stream: hang up
+		}
+		switch f.Type {
+		case FramePartialReq:
+			req, err := decodePartialReq(f.Payload)
+			if err != nil {
+				replyErr(f.ReqID, Refusal{Code: CodeBadRequest, Msg: err.Error()})
+				continue
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(reqID uint64, req PartialReq) {
+				defer func() { <-sem; wg.Done() }()
+				resp, err := s.backend.Partial(dataset, req)
+				if err != nil {
+					replyErr(reqID, err)
+					return
+				}
+				reply(Frame{Type: FramePartialResp, ReqID: reqID, Payload: resp.encode()})
+			}(f.ReqID, req)
+		case FrameSync:
+			m, err := decodeSync(f.Payload)
+			if err != nil {
+				replyErr(f.ReqID, Refusal{Code: CodeBadRequest, Msg: err.Error()})
+				continue
+			}
+			// Syncs run inline: a generation swap must not interleave
+			// with itself, and the backend orders it against in-flight
+			// partials internally.
+			if err := s.backend.Sync(dataset, m); err != nil {
+				replyErr(f.ReqID, err)
+				continue
+			}
+			reply(Frame{Type: FrameSyncAck, ReqID: f.ReqID, Payload: HelloAck{Gen: m.Gen, Shards: m.Shards}.encode()})
+		case FrameStatsReq:
+			reply(Frame{Type: FrameStatsResp, ReqID: f.ReqID, Payload: s.backend.Stats(dataset).encode()})
+		default:
+			replyErr(f.ReqID, Refusal{Code: CodeBadRequest, Msg: fmt.Sprintf("unexpected frame type %d", f.Type)})
+		}
+	}
+}

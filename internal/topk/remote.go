@@ -1,0 +1,195 @@
+package topk
+
+// The remote partial plane: a sharded cache may route the computation
+// of a shard's per-vertex partial to that shard's owning worker process
+// instead of scoring locally. The owner runs the same PartialTopK over
+// the same generation's member list, so a remote answer is
+// bit-identical to the local one — which is what makes the fallback
+// free: on any transport error, worker refusal, generation mismatch or
+// hedge expiry the coordinator just computes the partial itself, and
+// the solve's result cannot depend on which side answered. Remote or
+// local, every partial feeds the same mergePartials.
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"toprr/internal/vec"
+)
+
+// PartialTopK computes one shard's partial top-k — the best
+// min(k, len(members)) member slots at vertex w in (score desc, index
+// asc) order, with their exact scores. It is the extraction the fabric
+// worker serves: coordinator-side shard memos and worker processes run
+// exactly this computation, so their answers are interchangeable bit
+// for bit.
+func PartialTopK(sc *Scorer, members []int, w vec.Vector, k int) ([]int, []float64) {
+	p := computePartial(sc, members, w, k)
+	return p.idx, p.scores
+}
+
+// RemotePartialer fetches one shard's partial from its owner. Owns
+// reports whether a shard is remote-routed at all; Partial must answer
+// at exactly generation gen or fail (typically with the fabric
+// package's ErrGenMismatch). A nil members asks for the shard's full
+// member list under the worker's own assignment; otherwise the partial
+// covers exactly the given ascending slots (how prefiltered
+// configurations scatter). Implementations are safe for concurrent use.
+type RemotePartialer interface {
+	Owns(shard int) bool
+	Partial(ctx context.Context, gen uint64, shard, k int, w vec.Vector, members []int) (idx []int, scores []float64, err error)
+}
+
+// DefaultHedgeDelay is the deadline fraction after which a remote
+// partial is hedged with a local dispatch: past it the coordinator
+// computes the shard itself and discards whatever the straggler
+// eventually answers.
+const DefaultHedgeDelay = 250 * time.Millisecond
+
+// RemoteStats is the remote plane's cumulative accounting.
+type RemoteStats struct {
+	Partials  int64 // partials served by remote owners
+	Hedged    int64 // hedged local dispatches (remote answer abandoned after the hedge delay)
+	Fallbacks int64 // remote attempts answered locally after an error or refusal
+}
+
+// RemotePlane couples a RemotePartialer with the hedging policy and the
+// attribution counters, and is shared by every sharded cache of a
+// registry. Whole-dataset (nil active set) configurations scatter by
+// shard index alone; active-set configurations — notably the
+// prefiltered root configuration every solve runs on — ship each
+// shard's member slots with the request, so the worker computes over
+// exactly the coordinator's subset without knowing how it was derived.
+type RemotePlane struct {
+	r     RemotePartialer
+	hedge time.Duration
+
+	partials  atomic.Int64
+	hedged    atomic.Int64
+	fallbacks atomic.Int64
+	perShard  []atomic.Int64
+}
+
+// NewRemotePlane builds a remote plane over r for a solve plane of the
+// given shard count. hedge <= 0 keeps DefaultHedgeDelay.
+func NewRemotePlane(r RemotePartialer, hedge time.Duration, shards int) *RemotePlane {
+	if hedge <= 0 {
+		hedge = DefaultHedgeDelay
+	}
+	return &RemotePlane{r: r, hedge: hedge, perShard: make([]atomic.Int64, shards)}
+}
+
+// Owns reports whether shard routes to a remote owner.
+func (rp *RemotePlane) Owns(shard int) bool { return rp.r.Owns(shard) }
+
+// Stats snapshots the plane's counters.
+func (rp *RemotePlane) Stats() RemoteStats {
+	return RemoteStats{
+		Partials:  rp.partials.Load(),
+		Hedged:    rp.hedged.Load(),
+		Fallbacks: rp.fallbacks.Load(),
+	}
+}
+
+// ShardRemotes reports the remote partials served per shard.
+func (rp *RemotePlane) ShardRemotes() []int64 {
+	out := make([]int64, len(rp.perShard))
+	for i := range rp.perShard {
+		out[i] = rp.perShard[i].Load()
+	}
+	return out
+}
+
+// remoteAns carries one remote fetch's outcome to the hedging select.
+type remoteAns struct {
+	idx    []int
+	scores []float64
+	err    error
+}
+
+// fetch attempts a remote partial for one shard, hedging with a local
+// dispatch: it returns the remote partial when the owner answers
+// soundly before the hedge delay, and nil when the caller should
+// compute locally (error, refusal, malformed answer, hedge expiry or
+// cancellation — every nil is safe because local and remote answers are
+// identical). shipMembers marks an active-set configuration: the
+// member slots travel with the request instead of being derived from
+// the worker's assignment. The fetched vertex is cloned before crossing
+// the goroutine boundary: w may live in a recycled solver arena
+// (members is immutable per generation, so it crosses as is).
+func (rp *RemotePlane) fetch(ctx context.Context, sc *Scorer, members []int, shard int, w vec.Vector, k int, shipMembers bool) *partial {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	gen := sc.Generation()
+	wr := w.Clone()
+	var explicit []int
+	if shipMembers {
+		explicit = members
+	}
+	ch := make(chan remoteAns, 1)
+	go func() {
+		idx, scores, err := rp.r.Partial(ctx, gen, shard, k, wr, explicit)
+		ch <- remoteAns{idx: idx, scores: scores, err: err}
+	}()
+
+	timer := time.NewTimer(rp.hedge)
+	defer timer.Stop()
+	select {
+	case a := <-ch:
+		if a.err == nil && soundPartial(a.idx, a.scores, members, k) {
+			rp.partials.Add(1)
+			if shard < len(rp.perShard) {
+				rp.perShard[shard].Add(1)
+			}
+			return &partial{idx: a.idx, scores: a.scores}
+		}
+		rp.fallbacks.Add(1)
+		return nil
+	case <-timer.C:
+		// Hedged local dispatch: the straggler's eventual answer is
+		// discarded (the buffered channel lets its goroutine finish).
+		rp.hedged.Add(1)
+		return nil
+	case <-ctx.Done():
+		return nil
+	}
+}
+
+// soundPartial verifies a remote answer's structure before it enters
+// the merge: exact length min(k, |members|), matching score slice,
+// members of this shard only, the partial's (score desc, index asc)
+// order, and finite scores. It cannot prove the scores correct — that
+// is the worker contract — but it keeps a buggy worker from panicking
+// or corrupting the coordinator's merge invariants; an unsound answer
+// just falls back to the local computation.
+func soundPartial(idx []int, scores []float64, members []int, k int) bool {
+	want := k
+	if len(members) < want {
+		want = len(members)
+	}
+	if len(idx) != want || len(scores) != want {
+		return false
+	}
+	for i := range idx {
+		if math.IsNaN(scores[i]) || math.IsInf(scores[i], 0) {
+			return false
+		}
+		j := sort.SearchInts(members, idx[i])
+		if j >= len(members) || members[j] != idx[i] {
+			return false
+		}
+		if i > 0 {
+			if scores[i] > scores[i-1] {
+				return false
+			}
+			if scores[i] == scores[i-1] && idx[i] <= idx[i-1] {
+				return false
+			}
+		}
+	}
+	return true
+}

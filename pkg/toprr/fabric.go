@@ -1,0 +1,327 @@
+package toprr
+
+// Coordinator side of the solve fabric: WithRemoteShards routes each
+// configured shard's partial solve to its owning worker process over
+// the internal/fabric wire protocol, gathers the returned constraint
+// chunks into the same mergePartials path an in-process sharded solve
+// uses, and falls back to local scoring — bit-identically, since remote
+// and local partials are the same computation at the same generation —
+// on any timeout, connection error, refusal or hedge expiry.
+// docs/FABRIC.md specifies the protocol and the fallback contract.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"toprr/internal/fabric"
+	"toprr/internal/vec"
+)
+
+// RemoteShards configures an engine's coordinator mode: which solve
+// shards route to which worker process. Shards not owned by any worker
+// stay local, so a partial assignment scatters only part of each solve.
+type RemoteShards struct {
+	// Workers maps a worker address (host:port) to the shard indices it
+	// owns. A shard may have at most one owner; an index outside the
+	// engine's shard range is rejected by OpenEngine (note a durable
+	// engine keeps the shard layout its snapshot records, which is then
+	// the range that applies).
+	Workers map[string][]int
+	// Dataset names the dataset pinned by the connection handshake
+	// (default "default"; a Registry pins each tenant's own name).
+	Dataset string
+	// Timeout bounds one partial round trip (default fabric
+	// DefaultTimeout). Syncs get a 10x budget.
+	Timeout time.Duration
+	// DialTimeout bounds a TCP connect (default fabric
+	// DefaultDialTimeout).
+	DialTimeout time.Duration
+	// Hedge is the deadline fraction after which a remote partial is
+	// re-dispatched locally and the straggler discarded (default
+	// topk.DefaultHedgeDelay).
+	Hedge time.Duration
+	// Conns sets the pipelined connections per worker (default fabric
+	// DefaultConns).
+	Conns int
+	// Serial disables pipelining — one in-flight request per connection.
+	// It exists as the benchmark referee for the fabric experiment, not
+	// for production use.
+	Serial bool
+}
+
+// WithRemoteShards puts the engine in coordinator mode over the given
+// worker fleet. Solves keep working — and keep their exact results —
+// when every worker is down; the fabric only relocates scoring work.
+func WithRemoteShards(cfg RemoteShards) EngineOption {
+	return func(e *Engine) { c := cfg; e.remoteCfg = &c }
+}
+
+// FabricStats is a coordinator's cumulative fabric accounting, the
+// remote plane's counters joined with the wire totals summed over the
+// worker pool.
+type FabricStats struct {
+	RemotePartials   int64 // partials served by remote workers
+	HedgedDispatches int64 // remote fetches abandoned to a hedged local dispatch
+	Fallbacks        int64 // remote attempts answered locally after an error or refusal
+	BytesOut         int64 // request bytes written, framing included
+	BytesIn          int64 // response bytes read
+	MaxInflight      int64 // peak pipelining depth across the pool
+	Workers          int   // configured worker processes
+}
+
+// fabricWorker is one worker's slot in the router: the connection pool
+// plus the resync busy-flag that keeps at most one full-state push to
+// that worker in flight.
+type fabricWorker struct {
+	addr    string
+	cl      *fabric.Client
+	syncing atomic.Bool
+}
+
+// fabricRouter implements topk.RemotePartialer over the worker fleet:
+// Owns consults the shard→owner table, Partial runs the wire round
+// trip, and refusals that mark a stale or restarted worker kick an
+// asynchronous full-state resync (never a replay — workers are
+// stateless readers) while the solve falls back locally.
+type fabricRouter struct {
+	eng     *Engine
+	workers []*fabricWorker
+	owner   []*fabricWorker // shard index → owning worker (nil = local)
+	timeout time.Duration   // per-partial budget, used to bound resyncs too
+}
+
+// errShardLocal reports a Partial call for a shard no worker owns; the
+// remote plane never issues one (Owns gates it), so it only guards
+// against misuse.
+var errShardLocal = errors.New("toprr: shard has no remote owner")
+
+// newFabricRouter validates the shard assignment against the engine's
+// (possibly persisted) shard count and builds the per-worker pools.
+// Connections dial lazily — a fleet that is down at OpenEngine time
+// costs nothing until a solve first routes to it.
+func newFabricRouter(e *Engine, cfg RemoteShards) (*fabricRouter, error) {
+	fr := &fabricRouter{
+		eng:     e,
+		owner:   make([]*fabricWorker, e.shards),
+		timeout: cfg.Timeout,
+	}
+	if fr.timeout <= 0 {
+		fr.timeout = fabric.DefaultTimeout
+	}
+	for addr, shards := range cfg.Workers {
+		if addr == "" {
+			return nil, fmt.Errorf("toprr: remote shards: empty worker address")
+		}
+		w := &fabricWorker{
+			addr: addr,
+			cl: fabric.NewClient(fabric.ClientConfig{
+				Addr:        addr,
+				Dataset:     cfg.Dataset,
+				Conns:       cfg.Conns,
+				Timeout:     cfg.Timeout,
+				DialTimeout: cfg.DialTimeout,
+				Serial:      cfg.Serial,
+			}),
+		}
+		for _, s := range shards {
+			if s < 0 || s >= e.shards {
+				return nil, fmt.Errorf("toprr: remote shards: worker %s owns shard %d, engine has shards [0, %d)", addr, s, e.shards)
+			}
+			if prev := fr.owner[s]; prev != nil {
+				return nil, fmt.Errorf("toprr: remote shards: shard %d owned by both %s and %s", s, prev.addr, addr)
+			}
+			fr.owner[s] = w
+		}
+		fr.workers = append(fr.workers, w)
+	}
+	return fr, nil
+}
+
+// Owns reports whether a shard routes to a worker.
+func (fr *fabricRouter) Owns(shard int) bool {
+	return shard >= 0 && shard < len(fr.owner) && fr.owner[shard] != nil
+}
+
+// Partial fetches one shard's partial from its owner at exactly
+// generation gen. A nil members means the shard's full member list
+// under the worker's own assignment; otherwise the ascending slots ship
+// with the request (active-set configurations). A worker known to be at
+// a different generation is not asked — the call fails immediately (the
+// solve computes locally) and a resync starts in the background;
+// likewise a worker that refuses with a generation mismatch or
+// not-synced is re-pinned asynchronously.
+func (fr *fabricRouter) Partial(ctx context.Context, gen uint64, shard, k int, w vec.Vector, members []int) ([]int, []float64, error) {
+	fw := fr.owner[shard]
+	if fw == nil {
+		return nil, nil, errShardLocal
+	}
+	if synced := fw.cl.SyncedGen(); synced != gen {
+		// Stale (or pinned-old-generation) solve: the worker holds one
+		// generation and it is not this one. Skip the doomed round trip;
+		// push the current state in the background if the worker is
+		// behind it.
+		if synced < fr.eng.store.Snapshot().Scorer.Generation() || synced < gen {
+			fr.resync(fw, false)
+		}
+		return nil, nil, fmt.Errorf("%w: worker %s synced at generation %d, want %d", fabric.ErrGenMismatch, fw.addr, synced, gen)
+	}
+	var m32 []uint32
+	if len(members) > 0 {
+		m32 = make([]uint32, len(members))
+		for i, s := range members {
+			m32[i] = uint32(s)
+		}
+	}
+	idx32, scores, err := fw.cl.Partial(ctx, gen, shard, k, w, m32)
+	if err != nil {
+		if errors.Is(err, fabric.ErrGenMismatch) || errors.Is(err, fabric.ErrNotSynced) {
+			// The worker's actual state disagrees with what this client
+			// pushed — the restart signature. Forget the recorded sync so
+			// the re-push is not skipped as already-done.
+			fr.resync(fw, true)
+		}
+		return nil, nil, err
+	}
+	idx := make([]int, len(idx32))
+	for i, v := range idx32 {
+		idx[i] = int(v)
+	}
+	return idx, scores, nil
+}
+
+// resync pushes the current dataset generation to one worker in the
+// background, at most one push per worker at a time. force forgets the
+// client's recorded sync first (worker-restart recovery).
+func (fr *fabricRouter) resync(fw *fabricWorker, force bool) {
+	if !fw.syncing.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer fw.syncing.Store(false)
+		if force {
+			fw.cl.ResetSync()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*fr.timeout)
+		defer cancel()
+		// Best effort: a failed push leaves the worker unsynced and its
+		// shards answering locally; the next refusal retries.
+		fr.syncTo(ctx, fw) //nolint:errcheck
+	}()
+}
+
+// syncTo ships the current generation's full state to one worker. The
+// flattening copy is the cost of "resync, don't replay": a worker
+// rejoins by replacing its copy wholesale, so no op log is kept for it.
+func (fr *fabricRouter) syncTo(ctx context.Context, fw *fabricWorker) error {
+	sc := fr.eng.store.Snapshot().Scorer
+	gen := sc.Generation()
+	if fw.cl.SyncedGen() >= gen {
+		return nil
+	}
+	pts := sc.Points()
+	d := sc.Dim()
+	flat := make([]float64, 0, len(pts)*d)
+	for _, p := range pts {
+		flat = append(flat, p...)
+	}
+	return fw.cl.Sync(ctx, fabric.SyncMsg{
+		Gen:    gen,
+		Shards: uint32(fr.eng.shards),
+		Dim:    uint32(d),
+		Pts:    flat,
+	})
+}
+
+// syncAll pushes the current generation to every worker, synchronously;
+// the first error wins but every worker is attempted.
+func (fr *fabricRouter) syncAll(ctx context.Context) error {
+	var first error
+	for _, fw := range fr.workers {
+		if err := fr.syncTo(ctx, fw); err != nil && first == nil {
+			first = fmt.Errorf("toprr: sync worker %s: %w", fw.addr, err)
+		}
+	}
+	return first
+}
+
+// wire sums the pool's transport counters.
+func (fr *fabricRouter) wire() (out, in, maxInflight int64) {
+	for _, fw := range fr.workers {
+		ws := fw.cl.Wire()
+		out += ws.BytesOut
+		in += ws.BytesIn
+		if ws.MaxInflight > maxInflight {
+			maxInflight = ws.MaxInflight
+		}
+	}
+	return out, in, maxInflight
+}
+
+// drain quiesces every worker pool: new remote fetches fail fast (their
+// shards answer locally — the solve plane never notices), in-flight
+// requests get until ctx to finish, then the connections close with a
+// clean FIN.
+func (fr *fabricRouter) drain(ctx context.Context) error {
+	var first error
+	for _, fw := range fr.workers {
+		if err := fw.cl.Drain(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// close tears every pool down immediately.
+func (fr *fabricRouter) close() {
+	for _, fw := range fr.workers {
+		fw.cl.Close()
+	}
+}
+
+// SyncRemote pushes the current dataset generation to every configured
+// fabric worker and returns the first error (nil when the engine has no
+// fabric). Solves route remotely only at generations a worker has been
+// pinned to; the background resync converges there on its own, and
+// SyncRemote exists for callers that want the remote path warm now —
+// after boot, or deterministically in tests and benchmarks.
+func (e *Engine) SyncRemote(ctx context.Context) error {
+	if e.fabric == nil {
+		return nil
+	}
+	return e.fabric.syncAll(ctx)
+}
+
+// DrainFabric gracefully quiesces the engine's fabric connections: new
+// remote fetches fail fast and their shards answer locally, in-flight
+// requests get until ctx expires, then the connections close cleanly.
+// A nil error means every in-flight request finished. No-op without
+// coordinator mode; solving continues — entirely locally — after the
+// drain.
+func (e *Engine) DrainFabric(ctx context.Context) error {
+	if e.fabric == nil {
+		return nil
+	}
+	return e.fabric.drain(ctx)
+}
+
+// FabricStats reports the coordinator's cumulative fabric counters
+// (zero-valued without coordinator mode).
+func (e *Engine) FabricStats() FabricStats {
+	if e.fabric == nil || e.remotePlane == nil {
+		return FabricStats{}
+	}
+	rs := e.remotePlane.Stats()
+	out, in, depth := e.fabric.wire()
+	return FabricStats{
+		RemotePartials:   rs.Partials,
+		HedgedDispatches: rs.Hedged,
+		Fallbacks:        rs.Fallbacks,
+		BytesOut:         out,
+		BytesIn:          in,
+		MaxInflight:      depth,
+		Workers:          len(e.fabric.workers),
+	}
+}
